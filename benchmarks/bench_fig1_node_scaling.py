@@ -1,0 +1,115 @@
+"""Fig. 1: tiny-suite node-level scaling and performance.
+
+(a, d) Speedup (min/avg/max over repeated runs) versus process count with
+ccNUMA-domain boundaries; lbm and minisweep fluctuate reproducibly.
+(b-c, e-f) DP performance and its vectorized-only part (DP-AVX) for the
+memory-bound and non-memory-bound groups.
+"""
+
+import pytest
+
+from _shared import ALL_BENCH_NAMES, node_sweep
+from repro.analysis.speedup import speedup_table
+from repro.harness.report import ascii_plot, ascii_table
+from repro.machine import get_cluster
+from repro.spechpc import get_benchmark
+
+
+@pytest.mark.parametrize("cluster_name", ["ClusterA", "ClusterB"])
+def test_fig1_speedup_curves(benchmark, cluster_name):
+    cluster = get_cluster(cluster_name)
+    dom = cluster.node.cores_per_domain
+
+    def build():
+        return {b: node_sweep(cluster_name, b) for b in ALL_BENCH_NAMES}
+
+    sweeps = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    # table: min/avg/max speedup at domain multiples
+    marks = [1, dom, 2 * dom, cluster.node.cores // 2, cluster.node.cores]
+    rows = []
+    for b in ALL_BENCH_NAMES:
+        stats = dict(
+            (n, (lo, avg, hi)) for n, lo, avg, hi in speedup_table(sweeps[b])
+        )
+        cells = [
+            f"{stats[n][1]:.1f} [{stats[n][0]:.1f},{stats[n][2]:.1f}]"
+            if n in stats
+            else "-"
+            for n in marks
+        ]
+        rows.append((b, *cells))
+    print()
+    print(
+        ascii_table(
+            ["Benchmark"] + [f"n={n}" for n in marks],
+            rows,
+            title=f"Fig. 1({'a' if cluster_name == 'ClusterA' else 'd'}) "
+            f"{cluster_name} speedup avg [min,max] "
+            f"(domain = {dom} cores)",
+        )
+    )
+
+    # plot: saturating vs scalable vs fluctuating codes
+    xs = sweeps["tealeaf"].proc_counts
+    series = {
+        name: [sweeps[name].speedups()[n] for n in xs]
+        for name in ("tealeaf", "lbm", "minisweep", "sph-exa")
+    }
+    print()
+    print(
+        ascii_plot(
+            xs,
+            series,
+            title=f"Fig. 1 {cluster_name}: speedup vs processes",
+            ylabel="speedup",
+        )
+    )
+
+    # shape assertions
+    sat = sweeps["tealeaf"].speedups()
+    assert sat[dom] < 0.6 * dom          # saturates inside the domain
+    full = cluster.node.cores
+    assert sat[full] > 3.0 * sat[dom] * 0.9  # but scales across domains
+    lbm_percore = [
+        sweeps["lbm"].speedups()[n] / n for n in xs if n >= dom
+    ]
+    assert max(lbm_percore) / min(lbm_percore) > 1.08  # fluctuations
+
+
+@pytest.mark.parametrize("cluster_name", ["ClusterA", "ClusterB"])
+def test_fig1_dp_vs_dpavx_performance(benchmark, cluster_name):
+    cluster = get_cluster(cluster_name)
+    full = cluster.node.cores
+
+    def build():
+        out = {}
+        for b in ALL_BENCH_NAMES:
+            best = node_sweep(cluster_name, b).point(full).best
+            out[b] = (best.gflops, best.gflops_avx)
+        return out
+
+    perf = benchmark.pedantic(build, rounds=1, iterations=1)
+    groups = {
+        "memory-bound": [b for b in ALL_BENCH_NAMES if get_benchmark(b).info.memory_bound],
+        "non-memory-bound": [
+            b for b in ALL_BENCH_NAMES if not get_benchmark(b).info.memory_bound
+        ],
+    }
+    for gname, members in groups.items():
+        rows = [
+            (b, f"{perf[b][0]:.1f}", f"{perf[b][1]:.1f}",
+             f"{100 * perf[b][1] / perf[b][0]:.0f}%")
+            for b in members
+        ]
+        print()
+        print(
+            ascii_table(
+                ["Benchmark", "DP Gflop/s", "DP-AVX Gflop/s", "SIMD share"],
+                rows,
+                title=f"Fig. 1(b-c/e-f) {cluster_name} full node, {gname} codes",
+            )
+        )
+    # a well-vectorized code has a small DP vs DP-AVX difference
+    assert perf["cloverleaf"][1] / perf["cloverleaf"][0] > 0.9
+    assert perf["soma"][1] / perf["soma"][0] < 0.1

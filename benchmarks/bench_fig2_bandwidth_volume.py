@@ -1,0 +1,104 @@
+"""Fig. 2: node-level bandwidth and data-volume behavior (tiny suite).
+
+(a-b) Memory bandwidth versus process count — hpgmgfv, cloverleaf,
+tealeaf, pot3d (and partly weather) draw a significant fraction of the
+node bandwidth; the first four saturate each ccNUMA domain.
+(c-d) L3 and L2 bandwidths — on a victim-cache CPU, L3 traffic can exceed
+L2 traffic (pot3d).
+(e-h) Memory/L3/L2 data volumes.
+"""
+
+import pytest
+
+from _shared import ALL_BENCH_NAMES, node_sweep
+from repro.harness.report import ascii_plot, ascii_table
+from repro.machine import get_cluster
+from repro.units import GB
+
+
+@pytest.mark.parametrize("cluster_name", ["ClusterA", "ClusterB"])
+def test_fig2_memory_bandwidth(benchmark, cluster_name):
+    cluster = get_cluster(cluster_name)
+    dom = cluster.node.cores_per_domain
+    full = cluster.node.cores
+
+    def build():
+        return {b: node_sweep(cluster_name, b) for b in ALL_BENCH_NAMES}
+
+    sweeps = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    xs = list(sweeps["tealeaf"].proc_counts)
+    series = {
+        b: [sweeps[b].point(n).best.mem_bandwidth / GB for n in xs]
+        for b in ("tealeaf", "pot3d", "hpgmgfv", "weather", "lbm", "soma")
+    }
+    print()
+    print(
+        ascii_plot(
+            xs,
+            series,
+            title=f"Fig. 2(a-b) {cluster_name} memory bandwidth [GB/s] vs processes",
+            ylabel="GB/s",
+        )
+    )
+
+    rows = []
+    for b in ALL_BENCH_NAMES:
+        bw_dom = sweeps[b].point(dom).best.mem_bandwidth / GB
+        bw_full = sweeps[b].point(full).best.mem_bandwidth / GB
+        rows.append((b, f"{bw_dom:.1f}", f"{bw_full:.1f}"))
+    sat_dom = cluster.node.cpu.domain_memory_bw / GB
+    sat_full = cluster.node.sustained_memory_bw / GB
+    print()
+    print(
+        ascii_table(
+            ["Benchmark", f"BW @ 1 domain (sat {sat_dom:.0f})",
+             f"BW @ full node (sat {sat_full:.0f})"],
+            rows,
+            title=f"{cluster_name} memory bandwidth [GB/s]",
+        )
+    )
+
+    # the paper's saturation statement: tealeaf/cloverleaf/pot3d saturate
+    # the domain; hpgmgfv weakly; the rest stay well below
+    for b in ("tealeaf", "cloverleaf", "pot3d"):
+        assert sweeps[b].point(dom).best.mem_bandwidth >= 0.9 * sat_dom * GB
+    for b in ("lbm", "soma", "minisweep", "sph-exa"):
+        assert sweeps[b].point(dom).best.mem_bandwidth < 0.75 * sat_dom * GB
+
+
+@pytest.mark.parametrize("cluster_name", ["ClusterA", "ClusterB"])
+def test_fig2_cache_bandwidth_and_volumes(benchmark, cluster_name):
+    cluster = get_cluster(cluster_name)
+    full = cluster.node.cores
+
+    def build():
+        out = {}
+        for b in ALL_BENCH_NAMES:
+            best = node_sweep(cluster_name, b).point(full).best
+            out[b] = (
+                best.mem_bandwidth / GB,
+                best.l3_bandwidth / GB,
+                best.l2_bandwidth / GB,
+                best.mem_volume / GB,
+                best.counters["l3_bytes"] / GB,
+                best.counters["l2_bytes"] / GB,
+            )
+        return out
+
+    data = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [
+        (b, *(f"{v:.0f}" for v in data[b]))
+        for b in ALL_BENCH_NAMES
+    ]
+    print()
+    print(
+        ascii_table(
+            ["Benchmark", "mem GB/s", "L3 GB/s", "L2 GB/s",
+             "mem vol GB", "L3 vol GB", "L2 vol GB"],
+            rows,
+            title=f"Fig. 2(c-h) {cluster_name} full-node cache/memory traffic",
+        )
+    )
+    # victim-L3 signature: pot3d's L3 traffic exceeds its L2 traffic
+    assert data["pot3d"][1] > data["pot3d"][2]

@@ -1,0 +1,72 @@
+"""Fig. 2 insets: ITAC timelines of the two pathological runs.
+
+* minisweep at 59 processes on ClusterA — the rendezvous serialization
+  ripple (the paper: 75 % of time in MPI_Recv, ~5.5 % in MPI_Sendrecv,
+  19.5 % computing);
+* lbm at 71 processes on ClusterA — slow rank(s) stretching everyone's
+  MPI_Barrier/MPI_Wait.
+"""
+
+from repro.harness import run
+from repro.harness.report import ascii_table
+from repro.machine import CLUSTER_A
+from repro.spechpc import get_benchmark
+
+
+def test_minisweep_59_process_trace(benchmark):
+    def build():
+        return run(get_benchmark("minisweep"), CLUSTER_A, 59, trace=True)
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    frac = result.trace.fractions()
+    rows = [(k, f"{100 * v:.1f}%") for k, v in sorted(frac.items(), key=lambda kv: -kv[1])]
+    print()
+    print(
+        ascii_table(
+            ["Interval kind", "share of total rank time"],
+            rows,
+            title="minisweep @ 59 processes on ClusterA "
+            "(paper: 75% MPI_Recv, 5.5% MPI_Sendrecv, 19.5% compute)",
+        )
+    )
+    print()
+    print(result.trace.ascii_timeline(ranks=[0, 14, 29, 44, 58], width=90))
+
+    # comparison against the good neighbor count
+    r58 = run(get_benchmark("minisweep"), CLUSTER_A, 58)
+    print(
+        f"\nt(58 procs) = {r58.elapsed:.2f} s, t(59 procs) = "
+        f"{result.elapsed:.2f} s -> slowdown {result.elapsed / r58.elapsed:.2f}x"
+    )
+    mpi_kinds = {k: v for k, v in frac.items() if k.startswith("MPI_")}
+    # the blocking p2p pair dominates, computation is a minority share
+    assert sum(mpi_kinds.values()) > 0.35
+    assert result.elapsed > 1.2 * r58.elapsed
+
+
+def test_lbm_71_process_trace(benchmark):
+    def build():
+        return run(get_benchmark("lbm"), CLUSTER_A, 71, trace=True)
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    frac = result.trace.fractions()
+    rows = [(k, f"{100 * v:.1f}%") for k, v in sorted(frac.items(), key=lambda kv: -kv[1])]
+    print()
+    print(
+        ascii_table(
+            ["Interval kind", "share of total rank time"],
+            rows,
+            title="lbm @ 71 processes on ClusterA "
+            "(paper: one slow rank, waiting in MPI_Wait/MPI_Barrier)",
+        )
+    )
+    print()
+    print(result.trace.ascii_timeline(ranks=[0, 35, 69, 70], width=90))
+
+    # per-rank compute skew: a slow class of ranks computes measurably
+    # longer than the fast class, which then waits in the barrier
+    computes = sorted(
+        result.trace.time_by_kind(r).get("compute", 0.0) for r in range(71)
+    )
+    assert computes[-1] > 1.05 * computes[0]
+    assert "MPI_Barrier" in frac

@@ -1,0 +1,150 @@
+"""Fig. 3 + Sect. 4.2: CPU and DRAM power (tiny suite).
+
+(a, c) Power versus speedup within one ccNUMA domain, with the zero-core
+baseline extrapolation (~40 % of TDP on Ice Lake, ~50 % on Sapphire
+Rapids, <20 % on 2012-era Sandy Bridge).
+(b, d) Full-node power versus process count (doubling from one socket to
+two).  Plus the Sect. 4.2.1 hot/cool table: sph-exa reaches ~98 % of TDP,
+soma ~85-89 %; memory-bound codes draw the highest DRAM power.
+"""
+
+import numpy as np
+import pytest
+
+from _shared import ALL_BENCH_NAMES, domain_sweep, node_sweep
+from repro.harness.report import ascii_plot, ascii_table
+from repro.machine import SANDY_BRIDGE_NODE, get_cluster
+from repro.model.power import ChipPowerModel
+
+
+@pytest.mark.parametrize("cluster_name", ["ClusterA", "ClusterB"])
+def test_fig3_domain_power_and_baseline(benchmark, cluster_name):
+    cluster = get_cluster(cluster_name)
+    cpu = cluster.node.cpu
+    sockets = cluster.node.sockets
+
+    def build():
+        return {b: domain_sweep(cluster_name, b) for b in ALL_BENCH_NAMES}
+
+    sweeps = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    # zero-core extrapolation: linear fit of node chip power vs cores
+    rows = []
+    intercepts = []
+    for b in ALL_BENCH_NAMES:
+        xs, ys = [], []
+        for p in sweeps[b].points:
+            xs.append(p.nprocs)
+            ys.append(p.best.energy.avg_chip_power)
+        slope, intercept = np.polyfit(xs, ys, 1)
+        per_socket = intercept / sockets
+        intercepts.append(per_socket)
+        rows.append(
+            (b, f"{ys[-1]:.0f}", f"{per_socket:.0f}",
+             f"{100 * per_socket / cpu.tdp_w:.0f}%")
+        )
+    print()
+    print(
+        ascii_table(
+            ["Benchmark", "chip P @ 1 domain [W]",
+             "extrapolated 0-core baseline [W/socket]", "% of TDP"],
+            rows,
+            title=f"Fig. 3(a/c) {cluster_name} zero-core baseline "
+            f"(model idle: {cpu.idle_power_w:.0f} W, TDP {cpu.tdp_w:.0f} W)",
+        )
+    )
+    sandy = SANDY_BRIDGE_NODE.cpu
+    print(
+        f"\nIdle/TDP: {cluster_name} = "
+        f"{100 * cpu.idle_power_w / cpu.tdp_w:.0f}%  vs Sandy Bridge (2012) = "
+        f"{100 * sandy.idle_power_w / sandy.tdp_w:.0f}%"
+    )
+
+    mean_intercept = float(np.mean(intercepts))
+    assert mean_intercept == pytest.approx(cpu.idle_power_w, rel=0.12)
+    expected_frac = 0.40 if cluster_name == "ClusterA" else 0.50
+    assert mean_intercept / cpu.tdp_w == pytest.approx(expected_frac, abs=0.06)
+
+    # power vs speedup plot for a saturating and a scalable code
+    for name in ("pot3d", "sph-exa"):
+        sp = sweeps[name].speedups()
+        xs = [sp[p.nprocs] for p in sweeps[name].points]
+        ys = [p.best.energy.avg_chip_power for p in sweeps[name].points]
+        print()
+        print(
+            ascii_plot(
+                xs,
+                {name: ys},
+                width=60,
+                height=12,
+                title=f"{cluster_name} {name}: chip power [W] vs speedup (1 domain)",
+            )
+        )
+
+
+@pytest.mark.parametrize("cluster_name", ["ClusterA", "ClusterB"])
+def test_fig3_hot_cool_and_dram(benchmark, cluster_name):
+    cluster = get_cluster(cluster_name)
+    cpu = cluster.node.cpu
+    sockets = cluster.node.sockets
+    full = cluster.node.cores
+
+    def build():
+        out = {}
+        for b in ALL_BENCH_NAMES:
+            best = node_sweep(cluster_name, b).point(full).best
+            out[b] = (
+                best.energy.avg_chip_power / sockets,
+                best.energy.avg_dram_power / sockets,
+            )
+        return out
+
+    power = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [
+        (
+            b,
+            f"{power[b][0]:.0f}",
+            f"{100 * power[b][0] / cpu.tdp_w:.0f}%",
+            f"{power[b][1]:.1f}",
+        )
+        for b in sorted(ALL_BENCH_NAMES, key=lambda x: -power[x][0])
+    ]
+    print()
+    print(
+        ascii_table(
+            ["Benchmark", "chip W/socket", "% TDP", "DRAM W/socket"],
+            rows,
+            title=f"Sect. 4.2.1 {cluster_name} hot/cool codes at full node "
+            "(paper: sph-exa 98%/97% TDP, soma 89%/85%)",
+        )
+    )
+    chip = {b: v[0] for b, v in power.items()}
+    dram = {b: v[1] for b, v in power.items()}
+    # sph-exa among the hottest (within 2 % of the suite maximum) and the
+    # hot group sits clearly above the cool codes
+    assert chip["sph-exa"] >= 0.98 * max(chip.values())
+    assert chip["sph-exa"] / cpu.tdp_w > 0.85
+    assert chip["soma"] < 0.95 * chip["sph-exa"]
+    # memory-bound trio draws the highest DRAM power; soma near the floor
+    top_dram = sorted(dram, key=dram.get, reverse=True)[:4]
+    assert {"tealeaf", "cloverleaf", "pot3d"} <= set(top_dram)
+    assert dram["soma"] <= min(dram[b] for b in ("tealeaf", "pot3d"))
+
+
+def test_fig3_power_doubles_across_sockets(benchmark):
+    def build():
+        sw = node_sweep("ClusterA", "sph-exa")
+        return (
+            sw.point(36).best.energy.avg_chip_power,
+            sw.point(72).best.energy.avg_chip_power,
+        )
+
+    one_socket_active, two_socket = benchmark.pedantic(build, rounds=1, iterations=1)
+    # dynamic power doubles; baseline of the idle second socket is shared
+    print(
+        f"\nchip power @36 procs: {one_socket_active:.0f} W, "
+        f"@72 procs: {two_socket:.0f} W"
+    )
+    dynamic1 = one_socket_active - 2 * 98.0
+    dynamic2 = two_socket - 2 * 98.0
+    assert dynamic2 == pytest.approx(2 * dynamic1, rel=0.1)

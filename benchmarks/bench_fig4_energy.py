@@ -1,0 +1,113 @@
+"""Fig. 4 + Sect. 4.3: energy to solution and energy-delay product.
+
+(a, b) Z-plots — CPU+DRAM energy versus speedup with the core count as
+parameter.  On these CPUs the baseline power dominates, so energy falls
+monotonically with speedup, the E and EDP minima (nearly) coincide at the
+fastest point, and concurrency throttling saves almost nothing:
+**race-to-idle**.
+(c) Total energy versus process count — fluctuating codes (lbm,
+minisweep) must avoid their low-performance operating points.
+"""
+
+import pytest
+
+from _shared import ALL_BENCH_NAMES, node_sweep
+from repro.analysis.energy import (
+    concurrency_throttling_saves,
+    edp_minimum,
+    energy_minimum,
+    race_to_idle_holds,
+    zplot,
+)
+from repro.harness.report import ascii_plot, ascii_table
+from repro.machine import get_cluster
+
+
+@pytest.mark.parametrize("cluster_name", ["ClusterA", "ClusterB"])
+def test_fig4_zplot_race_to_idle(benchmark, cluster_name):
+    def build():
+        return {b: zplot(node_sweep(cluster_name, b)) for b in ALL_BENCH_NAMES}
+
+    plots = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    for b in ALL_BENCH_NAMES:
+        pts = plots[b]
+        emin = energy_minimum(pts)
+        edpmin = edp_minimum(pts)
+        fastest = max(pts, key=lambda p: p.speedup)
+        saving = concurrency_throttling_saves(pts)
+        rows.append(
+            (
+                b,
+                emin.nprocs,
+                edpmin.nprocs,
+                fastest.nprocs,
+                f"{100 * saving:.1f}%",
+                "yes" if race_to_idle_holds(pts) else "NO",
+            )
+        )
+    print()
+    print(
+        ascii_table(
+            ["Benchmark", "E-min @n", "EDP-min @n", "fastest @n",
+             "throttling saving", "race-to-idle"],
+            rows,
+            title=f"Fig. 4(a/b) {cluster_name}: energy/EDP minima "
+            "(paper: minima practically identical, throttling saves little)",
+        )
+    )
+
+    # Z-plot for one memory-bound code (the classic throttling candidate)
+    pts = plots["pot3d"]
+    print()
+    print(
+        ascii_plot(
+            [p.speedup for p in pts],
+            {"pot3d": [p.energy / 1e3 for p in pts]},
+            width=60,
+            height=12,
+            title=f"{cluster_name} pot3d Z-plot: energy [kJ] vs speedup",
+        )
+    )
+
+    # the paper's headline: race-to-idle holds for every benchmark
+    for b in ALL_BENCH_NAMES:
+        assert race_to_idle_holds(plots[b]), b
+    # and throttling saves only a minor amount even for memory-bound codes
+    for b in ("tealeaf", "cloverleaf", "pot3d", "hpgmgfv"):
+        assert concurrency_throttling_saves(plots[b]) < 0.12, b
+
+
+@pytest.mark.parametrize("cluster_name", ["ClusterA", "ClusterB"])
+def test_fig4_total_energy_vs_processes(benchmark, cluster_name):
+    cluster = get_cluster(cluster_name)
+
+    def build():
+        return {
+            b: node_sweep(cluster_name, b)
+            for b in ("lbm", "minisweep", "tealeaf")
+        }
+
+    sweeps = benchmark.pedantic(build, rounds=1, iterations=1)
+    xs = list(sweeps["lbm"].proc_counts)
+    series = {
+        b: [sweeps[b].point(n).best.total_energy / 1e3 for n in xs]
+        for b in sweeps
+    }
+    print()
+    print(
+        ascii_plot(
+            xs,
+            series,
+            title=f"Fig. 4(c) {cluster_name}: total energy [kJ] vs processes",
+            ylabel="kJ",
+            logy=True,
+        )
+    )
+    # energy decreases strongly toward full node for all three
+    for b, ys in series.items():
+        assert ys[-1] < 0.5 * ys[0], b
+    # fluctuating codes: energy at bad counts pops above the envelope
+    lbm = series["lbm"][len(xs) // 2 :]
+    assert max(lbm) / min(lbm) > 1.05

@@ -1,0 +1,143 @@
+"""Fig. 5: small-suite multi-node strong scaling.
+
+(a, d) Speedup versus node count, (b, e) per-node memory bandwidth
+(horizontal = perfect scaling, declining = communication or cache
+effects, rising = soma's replication anomaly), (c, f) aggregate memory
+data volume (drop = cache effect, rise = replication).
+Also checks the Sect. 5.1.3 cluster-comparison statements.
+"""
+
+import pytest
+
+from _shared import ALL_BENCH_NAMES, multinode_sweep
+from repro.harness.report import ascii_plot, ascii_table
+from repro.machine import get_cluster
+from repro.units import GB
+
+NODES = (1, 2, 4, 8, 16)
+
+
+@pytest.mark.parametrize("cluster_name", ["ClusterA", "ClusterB"])
+def test_fig5_multinode_scaling(benchmark, cluster_name):
+    cluster = get_cluster(cluster_name)
+    cores = cluster.node.cores
+
+    def build():
+        return {b: multinode_sweep(cluster_name, b) for b in ALL_BENCH_NAMES}
+
+    sweeps = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    # (a/d) speedup table
+    rows = []
+    for b in ALL_BENCH_NAMES:
+        sp = sweeps[b].speedups()
+        rows.append((b, *(f"{sp[n * cores]:.1f}" for n in NODES)))
+    print()
+    print(
+        ascii_table(
+            ["Benchmark"] + [f"{n} nodes" for n in NODES],
+            rows,
+            title=f"Fig. 5(a/d) {cluster_name} speedup (small suite, ideal = node count)",
+        )
+    )
+
+    # (b/e) per-node memory bandwidth
+    rows = []
+    for b in ALL_BENCH_NAMES:
+        rows.append(
+            (
+                b,
+                *(
+                    f"{sweeps[b].point(n * cores).best.per_node_bandwidth / GB:.0f}"
+                    for n in NODES
+                ),
+            )
+        )
+    print()
+    print(
+        ascii_table(
+            ["Benchmark"] + [f"{n} nodes" for n in NODES],
+            rows,
+            title=f"Fig. 5(b/e) {cluster_name} per-node memory bandwidth [GB/s]",
+        )
+    )
+
+    # (c/f) aggregate memory data volume
+    rows = []
+    for b in ALL_BENCH_NAMES:
+        rows.append(
+            (
+                b,
+                *(
+                    f"{sweeps[b].point(n * cores).best.mem_volume / 1e12:.2f}"
+                    for n in NODES
+                ),
+            )
+        )
+    print()
+    print(
+        ascii_table(
+            ["Benchmark"] + [f"{n} nodes" for n in NODES],
+            rows,
+            title=f"Fig. 5(c/f) {cluster_name} total memory data volume [TB]",
+        )
+    )
+
+    sp16 = {b: sweeps[b].speedups()[16 * cores] for b in ALL_BENCH_NAMES}
+    # pot3d superlinear; weather superlinear-to-linear; poor trio below 8x
+    assert sp16["pot3d"] > 16.3
+    assert sp16["weather"] > 12.0
+    for b in ("soma", "sph-exa"):
+        assert sp16[b] < 9.0, b
+    assert sp16["minisweep"] < 11.5
+    # soma's aggregate volume rises ~linearly with nodes (replication)
+    soma_vol = [
+        sweeps["soma"].point(n * cores).best.mem_volume for n in NODES
+    ]
+    assert soma_vol[-1] > 5 * soma_vol[0]
+    # all codes except soma have non-increasing per-node bandwidth trend
+    soma_bw = [
+        sweeps["soma"].point(n * cores).best.per_node_bandwidth for n in NODES
+    ]
+    assert soma_bw[-1] > 1.3 * soma_bw[0]
+
+
+def test_sec513_cluster_comparison(benchmark):
+    """Sect. 5.1.3: qualitative consistency across clusters; weather's
+    superlinearity stronger on B at intermediate scales; cloverleaf and
+    sph-exa scale slightly worse on B due to higher single-node baselines."""
+
+    def build():
+        out = {}
+        for cl in ("ClusterA", "ClusterB"):
+            cores = get_cluster(cl).node.cores
+            out[cl] = {
+                b: multinode_sweep(cl, b).speedups()
+                for b in ("weather", "cloverleaf", "sph-exa")
+            }
+        return out
+
+    sp = benchmark.pedantic(build, rounds=1, iterations=1)
+    ca, cb = get_cluster("ClusterA"), get_cluster("ClusterB")
+    rows = []
+    for b in ("weather", "cloverleaf", "sph-exa"):
+        a8 = sp["ClusterA"][b][8 * ca.node.cores]
+        b8 = sp["ClusterB"][b][8 * cb.node.cores]
+        rows.append((b, f"{a8:.2f}", f"{b8:.2f}"))
+    print()
+    print(
+        ascii_table(
+            ["Benchmark", "A speedup @8 nodes", "B speedup @8 nodes"],
+            rows,
+            title="Sect. 5.1.3 cluster comparison (small suite)",
+        )
+    )
+    # weather superlinear on both, stronger on B at 8 nodes
+    assert sp["ClusterB"]["weather"][8 * cb.node.cores] > sp["ClusterA"]["weather"][
+        8 * ca.node.cores
+    ]
+    # sph-exa scales worse on B (higher single-node baseline)
+    assert (
+        sp["ClusterB"]["sph-exa"][16 * cb.node.cores]
+        < sp["ClusterA"]["sph-exa"][16 * ca.node.cores]
+    )

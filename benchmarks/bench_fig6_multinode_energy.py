@@ -1,0 +1,108 @@
+"""Fig. 6 + Sect. 5.2: multi-node power and energy scaling (small suite).
+
+Total (chip + DRAM) power approaches a large fraction of the aggregate
+TDP; the baseline power of the coolest code dominates its dynamic power
+(82 % on ClusterB, 53 % on ClusterA at full scale).  Energy stays ~flat
+for scalable codes (tealeaf) and grows with node count for the poorly
+scaling ones (minisweep, soma, sph-exa), soma steepening once its
+scaling dies.
+"""
+
+import pytest
+
+from _shared import ALL_BENCH_NAMES, multinode_sweep
+from repro.harness.report import ascii_plot, ascii_table
+from repro.machine import get_cluster
+from repro.perfmon.rapl import EnergyMeter
+
+NODES = (1, 2, 4, 8, 16)
+
+
+@pytest.mark.parametrize("cluster_name", ["ClusterA", "ClusterB"])
+def test_fig6_power_and_energy_scaling(benchmark, cluster_name):
+    cluster = get_cluster(cluster_name)
+    cores = cluster.node.cores
+
+    def build():
+        return {b: multinode_sweep(cluster_name, b) for b in ALL_BENCH_NAMES}
+
+    sweeps = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    # power table
+    rows = []
+    for b in ALL_BENCH_NAMES:
+        rows.append(
+            (
+                b,
+                *(
+                    f"{sweeps[b].point(n * cores).best.avg_power / 1e3:.2f}"
+                    for n in NODES
+                ),
+            )
+        )
+    tdp16 = 16 * cluster.node.tdp_w / 1e3
+    print()
+    print(
+        ascii_table(
+            ["Benchmark"] + [f"{n} nodes [kW]" for n in NODES],
+            rows,
+            title=f"Fig. 6({'a' if cluster_name == 'ClusterA' else 'c'}) "
+            f"{cluster_name} total power (16-node CPU TDP: {tdp16:.1f} kW)",
+        )
+    )
+
+    # energy table
+    rows = []
+    for b in ALL_BENCH_NAMES:
+        rows.append(
+            (
+                b,
+                *(
+                    f"{sweeps[b].point(n * cores).best.total_energy / 1e6:.2f}"
+                    for n in NODES
+                ),
+            )
+        )
+    print()
+    print(
+        ascii_table(
+            ["Benchmark"] + [f"{n} nodes [MJ]" for n in NODES],
+            rows,
+            title=f"Fig. 6({'b' if cluster_name == 'ClusterA' else 'd'}) "
+            f"{cluster_name} total energy",
+        )
+    )
+
+    # paper checks -----------------------------------------------------
+    p16 = {
+        b: sweeps[b].point(16 * cores).best.avg_power for b in ALL_BENCH_NAMES
+    }
+    tdp = 16 * cluster.node.tdp_w
+    fractions = {b: p / tdp for b, p in p16.items()}
+    lo, hi = min(fractions.values()), max(fractions.values())
+    print(f"\npower band at 16 nodes: {100 * lo:.0f}%-{100 * hi:.0f}% of CPU TDP")
+    assert 0.55 <= lo <= hi <= 1.0
+
+    # baseline power share of the coolest code
+    baseline = EnergyMeter(cluster).baseline_power(nnodes=16)
+    coolest = min(p16.values())
+    share = baseline / coolest
+    print(f"baseline power share of coolest code: {100 * share:.0f}%")
+    if cluster_name == "ClusterB":
+        assert share > 0.62   # paper: 82 %
+    else:
+        assert share > 0.45   # paper: 53 %
+
+    # energy shapes: scalable codes flat, poor scalers rising
+    def energy(b, n):
+        return sweeps[b].point(n * cores).best.total_energy
+
+    assert energy("tealeaf", 16) < 1.4 * energy("tealeaf", 1)
+    for b in ("soma", "sph-exa"):
+        assert energy(b, 16) > 1.6 * energy(b, 1), b
+    assert energy("minisweep", 16) > 1.35 * energy("minisweep", 1)
+    # soma's slope steepens once scaling stops
+    e = [energy("soma", n) for n in NODES]
+    early_slope = (e[1] - e[0]) / e[0]
+    late_slope = (e[4] - e[3]) / e[3]
+    assert late_slope > early_slope

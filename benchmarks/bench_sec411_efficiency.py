@@ -1,0 +1,50 @@
+"""Sect. 4.1.1: parallel efficiency across ccNUMA domains (tiny suite).
+
+Regenerates the paper's efficiency table — speedup of the full node over
+one ccNUMA domain, divided by the domain count — for all nine benchmarks
+on both clusters, printed next to the paper's measured percentages.
+"""
+
+import pytest
+
+from _shared import ALL_BENCH_NAMES, PAPER_EFFICIENCY, domain_run, full_node_run
+from repro.analysis import domain_efficiency
+from repro.harness.report import ascii_table
+from repro.machine import get_cluster
+
+
+def _efficiency_row(cluster_name: str, bench: str) -> float:
+    cluster = get_cluster(cluster_name)
+    return 100 * domain_efficiency(
+        domain_run(cluster_name, bench),
+        full_node_run(cluster_name, bench),
+        cluster.node.numa_domains,
+    )
+
+
+@pytest.mark.parametrize("cluster_name", ["ClusterA", "ClusterB"])
+def test_domain_efficiency_table(benchmark, cluster_name):
+    def build():
+        return {b: _efficiency_row(cluster_name, b) for b in ALL_BENCH_NAMES}
+
+    effs = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [
+        (b, f"{effs[b]:.0f}", PAPER_EFFICIENCY[cluster_name][b])
+        for b in ALL_BENCH_NAMES
+    ]
+    print()
+    print(
+        ascii_table(
+            ["Benchmark", "measured eff. %", "paper eff. %"],
+            rows,
+            title=f"Sect. 4.1.1 parallel efficiency, {cluster_name} "
+            "(ccNUMA-domain baseline)",
+        )
+    )
+    # shape assertions: the strongly memory-bound codes scale ~ideally
+    for name in ("tealeaf", "pot3d", "cloverleaf"):
+        assert 85 <= effs[name] <= 115, name
+    # weather is superlinear on ClusterB
+    if cluster_name == "ClusterB":
+        assert effs["weather"] > 105
+        assert effs["weather"] == max(effs.values())

@@ -1,0 +1,47 @@
+"""Sect. 4.1.2: node-level acceleration factors ClusterB over ClusterA.
+
+The paper expects ratios between the peak-performance ratio (~1.2,
+compute-bound codes) and the memory-bandwidth ratio (~1.5, memory-bound
+codes), exceeded where Sapphire Rapids' larger caches help.
+"""
+
+from _shared import ALL_BENCH_NAMES, PAPER_ACCELERATION, full_node_run
+from repro.analysis import acceleration_factor
+from repro.analysis.comparison import expected_acceleration_band
+from repro.harness.report import ascii_table
+from repro.machine import CLUSTER_A, CLUSTER_B
+from repro.spechpc import get_benchmark
+
+
+def test_acceleration_factors(benchmark):
+    def build():
+        return {
+            b: acceleration_factor(
+                full_node_run("ClusterA", b), full_node_run("ClusterB", b)
+            )
+            for b in ALL_BENCH_NAMES
+        }
+
+    accel = benchmark.pedantic(build, rounds=1, iterations=1)
+    lo, hi = expected_acceleration_band(CLUSTER_A, CLUSTER_B)
+    rows = []
+    for b in ALL_BENCH_NAMES:
+        kind = "memory-bound" if get_benchmark(b).info.memory_bound else "non-mem-bound"
+        rows.append((b, kind, f"{accel[b]:.2f}", f"{PAPER_ACCELERATION[b]:.2f}"))
+    print()
+    print(
+        ascii_table(
+            ["Benchmark", "class", "measured B/A", "paper B/A"],
+            rows,
+            title="Sect. 4.1.2 acceleration factors "
+            f"(expected hardware band: {lo:.2f}-{hi:.2f})",
+        )
+    )
+    # shape: every code gains at least ~the peak ratio
+    assert all(a >= 0.95 * lo for a in accel.values())
+    # memory-bound codes cluster near the bandwidth ratio
+    for b in ("tealeaf", "cloverleaf", "pot3d", "hpgmgfv"):
+        assert hi * 0.9 <= accel[b] <= hi * 1.15, (b, accel[b])
+    # lbm smallest, weather largest — the paper's ordering endpoints
+    assert accel["lbm"] == min(accel.values())
+    assert accel["weather"] == max(accel.values())

@@ -1,0 +1,48 @@
+"""Sect. 4.1.3: vectorization (SIMD) ratios.
+
+The ratio of flops executed with AVX-512 instructions to all flops, per
+benchmark — similar on both CPUs; cloverleaf/pot3d/lbm highest, tealeaf
+and soma poorly vectorized.
+"""
+
+from _shared import ALL_BENCH_NAMES, PAPER_VECTORIZATION, full_node_run
+from repro.harness.report import ascii_table
+
+
+def test_vectorization_ratios(benchmark):
+    def build():
+        out = {}
+        for b in ALL_BENCH_NAMES:
+            out[b] = (
+                full_node_run("ClusterA", b).vectorization_ratio,
+                full_node_run("ClusterB", b).vectorization_ratio,
+            )
+        return out
+
+    vec = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    for b in ALL_BENCH_NAMES:
+        paper = PAPER_VECTORIZATION.get(b)
+        rows.append(
+            (
+                b,
+                f"{100 * vec[b][0]:.1f}",
+                f"{100 * vec[b][1]:.1f}",
+                f"{100 * paper:.1f}" if paper is not None else "(n/a)",
+            )
+        )
+    print()
+    print(
+        ascii_table(
+            ["Benchmark", "ClusterA %", "ClusterB %", "paper %"],
+            rows,
+            title="Sect. 4.1.3 vectorization ratios (SIMD flops / all flops)",
+        )
+    )
+    a = {b: v[0] for b, v in vec.items()}
+    # similar on both systems
+    assert all(abs(v[0] - v[1]) < 0.02 for v in vec.values())
+    # ordering: cloverleaf/pot3d ~full, lbm high; tealeaf poor; soma worst
+    assert a["cloverleaf"] > 0.9 and a["pot3d"] > 0.9 and a["lbm"] > 0.85
+    assert a["tealeaf"] < 0.15
+    assert a["soma"] == min(a.values()) and a["soma"] < 0.05

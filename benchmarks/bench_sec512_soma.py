@@ -1,0 +1,74 @@
+"""Sect. 5.1.2: the intriguing non-memory-bound case of soma.
+
+soma spends the majority of its communication time in MPI reductions,
+stops scaling beyond a few nodes, yet its *per-node* memory bandwidth
+rises with node count before flattening at a plateau far below the
+machine limit — because every rank updates a replicated density field
+whose traffic does not strong-scale.
+"""
+
+from _shared import multinode_sweep
+from repro.harness.report import ascii_plot, ascii_table
+from repro.machine import get_cluster
+from repro.units import GB
+
+NODES = (1, 2, 4, 8, 16)
+
+
+def test_soma_replication_anomaly(benchmark):
+    def build():
+        return {cl: multinode_sweep(cl, "soma") for cl in ("ClusterA", "ClusterB")}
+
+    sweeps = benchmark.pedantic(build, rounds=1, iterations=1)
+    for cl, sweep in sweeps.items():
+        cores = get_cluster(cl).node.cores
+        rows = []
+        for n in NODES:
+            best = sweep.point(n * cores).best
+            mpi = {
+                k: v for k, v in best.time_by_kind.items() if k.startswith("MPI_")
+            }
+            dominant = max(mpi, key=mpi.get) if mpi else "-"
+            rows.append(
+                (
+                    n,
+                    f"{sweep.speedups()[n * cores]:.2f}",
+                    f"{best.per_node_bandwidth / GB:.0f}",
+                    f"{best.mem_volume / GB:.0f}",
+                    f"{100 * best.mpi_fraction:.0f}%",
+                    dominant,
+                )
+            )
+        print()
+        print(
+            ascii_table(
+                ["Nodes", "speedup", "per-node BW [GB/s]", "total volume [GB]",
+                 "MPI share", "dominant MPI call"],
+                rows,
+                title=f"Sect. 5.1.2 soma on {cl}",
+            )
+        )
+
+    a = sweeps["ClusterA"]
+    cores_a = get_cluster("ClusterA").node.cores
+    bw = [a.point(n * cores_a).best.per_node_bandwidth for n in NODES]
+    vol = [a.point(n * cores_a).best.mem_volume for n in NODES]
+    sp = a.speedups()
+
+    # per-node bandwidth rises, then flattens far below the ~307 GB/s limit
+    assert bw[2] > 1.2 * bw[0]
+    assert bw[-1] < 0.75 * get_cluster("ClusterA").node.sustained_memory_bw
+    assert bw[-1] / bw[-2] < 1.5  # flattening
+    # aggregate traffic rises ~linearly with node count (replicated data)
+    assert 0.45 * 16 < vol[-1] / vol[0] <= 16.5
+    # scaling is poor and the dominant MPI call is the reduction
+    assert sp[16 * cores_a] < 8
+    last = a.point(16 * cores_a).best
+    mpi = {k: v for k, v in last.time_by_kind.items() if k.startswith("MPI_")}
+    assert max(mpi, key=mpi.get) == "MPI_Allreduce"
+    # the paper's question: does soma become memory bound? No — the
+    # per-node bandwidth stalls around the plateau while scaling stops.
+    print(
+        f"\nClusterA plateau: {bw[-1] / GB:.0f} GB/s of "
+        f"{get_cluster('ClusterA').node.sustained_memory_bw / GB:.0f} GB/s node limit"
+    )

@@ -1,0 +1,58 @@
+"""Sect. 5.1: the four fundamental multi-node scaling cases.
+
+Classifies every benchmark's small-workload strong scaling (1..16 nodes)
+into cases A-D / poor from measured cache-effect (memory-volume drop) and
+communication-overhead evidence, next to the paper's table.
+"""
+
+import pytest
+
+from _shared import ALL_BENCH_NAMES, PAPER_SCALING_CASES, multinode_sweep
+from repro.analysis import classify_scaling
+from repro.harness.report import ascii_table
+
+
+@pytest.mark.parametrize("cluster_name", ["ClusterA", "ClusterB"])
+def test_scaling_case_table(benchmark, cluster_name):
+    def build():
+        return {
+            b: classify_scaling(multinode_sweep(cluster_name, b))
+            for b in ALL_BENCH_NAMES
+        }
+
+    evidence = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    for b in ALL_BENCH_NAMES:
+        ev = evidence[b]
+        rows.append(
+            (
+                b,
+                f"{ev.scaling_ratio:.2f}",
+                "yes" if ev.cache_effect else "no",
+                f"{ev.volume_ratio:.2f}",
+                f"{100 * ev.comm_fraction:.1f}%",
+                ev.case.name,
+                PAPER_SCALING_CASES[cluster_name][b],
+            )
+        )
+    print()
+    print(
+        ascii_table(
+            ["Benchmark", "eff @16 nodes", "cache effect", "vol ratio",
+             "MPI share", "measured case", "paper case"],
+            rows,
+            title=f"Sect. 5.1 scaling cases, {cluster_name} (small suite, "
+            "1 -> 16 nodes)",
+        )
+    )
+    cases = {b: evidence[b].case.name for b in ALL_BENCH_NAMES}
+    # the anchor classifications of the paper
+    assert cases["pot3d"] == "A"
+    assert cases["soma"] == "POOR"
+    assert cases["sph-exa"] == "POOR"
+    assert cases["minisweep"] == "POOR"
+    assert cases["cloverleaf"] in ("B", "C", "D")
+    assert cases["weather"] in ("A", "B")
+    # pot3d shows a real volume drop; cloverleaf does not
+    assert evidence["pot3d"].volume_ratio < 0.95
+    assert evidence["cloverleaf"].volume_ratio > 0.97

@@ -1,0 +1,65 @@
+"""Tables 1 & 2: the SPEChpc 2021 suite registry.
+
+Regenerates the static benchmark-attribute tables of the paper from the
+modeled suite: names, language, LOC, dominant collective, key workload
+parameters (Table 1) and the numerics/domain summary (Table 2).
+"""
+
+from repro.harness.report import ascii_table
+from repro.spechpc import all_benchmarks
+
+
+def _table1_rows():
+    rows = []
+    for b in all_benchmarks():
+        tiny = b.workload("tiny")
+        small = b.workload("small")
+        key_t = ", ".join(f"{k}={v}" for k, v in list(tiny.params.items())[:3])
+        key_s = ", ".join(f"{k}={v}" for k, v in list(small.params.items())[:3])
+        rows.append(
+            (
+                b.name,
+                b.info.benchmark_id,
+                b.info.language,
+                b.info.loc,
+                b.info.collective,
+                f"{key_t} ({tiny.steps} steps)",
+                f"{key_s} ({small.steps} steps)",
+            )
+        )
+    return rows
+
+
+def test_table1_attributes(benchmark):
+    rows = benchmark(_table1_rows)
+    print()
+    print(
+        ascii_table(
+            ["Name", "ID", "Language", "LOC", "Collective", "Tiny", "Small"],
+            rows,
+            title="Table 1: key attributes of the SPEChpc 2021 parallel benchmarks",
+        )
+    )
+    assert len(rows) == 9
+
+
+def test_table2_numerics(benchmark):
+    def build():
+        return [
+            (b.name, b.info.numerics[:58], b.info.domain)
+            for b in all_benchmarks()
+        ]
+
+    rows = benchmark(build)
+    print()
+    print(
+        ascii_table(
+            ["Name", "Numerical brief information", "Application domain"],
+            rows,
+            title="Table 2: numeric and domain data of the SPEChpc 2021 suite",
+        )
+    )
+    assert {r[0] for r in rows} == {
+        "lbm", "soma", "tealeaf", "cloverleaf", "minisweep",
+        "pot3d", "sph-exa", "hpgmgfv", "weather",
+    }

@@ -1,0 +1,74 @@
+"""Table 3: hardware and software attributes of ClusterA and ClusterB.
+
+Prints the machine-model registry in Table 3's layout and checks the
+headline derived ratios the paper builds its expectations on (peak ~1.2x,
+bandwidth ~1.5x, caches per core larger on Sapphire Rapids).
+"""
+
+from repro.harness.report import ascii_table
+from repro.machine import CLUSTER_A, CLUSTER_B
+from repro.machine.registry import theoretical_ratio_summary
+from repro.units import GB, GiB, MiB
+
+
+def _rows():
+    rows = []
+    for label, getter in [
+        ("Processor", lambda c: f"{c.node.cpu.name}"),
+        ("Processor model", lambda c: c.node.cpu.model),
+        ("Base clock speed", lambda c: f"{c.node.cpu.base_clock_hz / 1e9:.1f} GHz"),
+        ("Physical cores per node", lambda c: c.node.cores),
+        ("ccNUMA domains per node", lambda c: c.node.numa_domains),
+        ("Sockets per node", lambda c: c.node.sockets),
+        (
+            "Per-core L1/L2 cache",
+            lambda c: f"{c.node.cpu.hierarchy.l1.capacity_bytes / 1024:.0f} KiB / "
+            f"{c.node.cpu.hierarchy.l2.capacity_bytes / MiB:.2f} MiB",
+        ),
+        (
+            "Shared LLC (L3)",
+            lambda c: f"{c.node.cpu.hierarchy.l3.capacity_bytes / MiB:.0f} MiB",
+        ),
+        ("Memory per node", lambda c: f"{c.node.memory_bytes / GiB:.0f} GiB"),
+        ("Socket memory type", lambda c: c.node.cpu.extras["ddr"]),
+        (
+            "Theor. socket memory bandwidth",
+            lambda c: f"{c.node.cpu.theoretical_memory_bw / GB:.1f} GB/s",
+        ),
+        ("Thermal design power", lambda c: f"{c.node.cpu.tdp_w:.0f} W"),
+        ("Node interconnect", lambda c: c.network.name),
+        ("Interconnect topology", lambda c: c.network.topology),
+        (
+            "Raw bandwidth per link+direction",
+            lambda c: f"{c.network.link_bandwidth * 8 / 1e9:.0f} Gbit/s",
+        ),
+    ]:
+        rows.append((label, getter(CLUSTER_A), getter(CLUSTER_B)))
+    return rows
+
+
+def test_table3_attributes(benchmark):
+    rows = benchmark(_rows)
+    print()
+    print(
+        ascii_table(
+            ["Attribute", "ClusterA", "ClusterB"],
+            rows,
+            title="Table 3: key hardware and software attributes",
+        )
+    )
+    ratios = theoretical_ratio_summary()
+    print()
+    print(
+        ascii_table(
+            ["Derived B/A ratio", "value", "paper expectation"],
+            [
+                ("peak performance", f"{ratios['peak_flops']:.2f}", "~1.2"),
+                ("memory bandwidth", f"{ratios['memory_bw']:.2f}", "~1.5"),
+                ("L2 per core", f"{ratios['l2_per_core']:.2f}", "1.6 (60% more)"),
+                ("L3 per core", f"{ratios['l3_per_core']:.2f}", "1.45 (45% more)"),
+            ],
+        )
+    )
+    assert abs(ratios["peak_flops"] - 1.2) < 0.05
+    assert abs(ratios["memory_bw"] - 1.5) < 0.05

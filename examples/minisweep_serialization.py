@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Diagnosing the minisweep MPI serialization bug (paper Sect. 4.1.5).
+
+Scans minisweep over process counts around the pathological primes,
+prints the performance fluctuation, and renders the ITAC-style timeline
+of a bad run to show the rendezvous ripple: sends block until the
+receiver posts its receive, and with open boundary conditions only the
+head of the chain can receive right away.
+
+Usage:
+    python examples/minisweep_serialization.py
+"""
+
+from repro.harness import ascii_plot, run
+from repro.machine import CLUSTER_A
+from repro.spechpc import get_benchmark
+from repro.spechpc.base import dims_create
+
+
+def main() -> None:
+    bench = get_benchmark("minisweep")
+
+    counts = list(range(48, 73))
+    perf = []
+    for n in counts:
+        r = run(bench, CLUSTER_A, n)
+        perf.append(r.gflops)
+    print(
+        ascii_plot(
+            counts,
+            {"minisweep": perf},
+            width=64,
+            height=14,
+            title="minisweep performance [Gflop/s] vs process count on ClusterA",
+            ylabel="Gflop/s",
+        )
+    )
+    print("\nprocess grid (chain length = first dimension):")
+    for n in (58, 59, 64, 69, 72):
+        py, pz = dims_create(n, 2)
+        r = run(bench, CLUSTER_A, n)
+        print(
+            f"  n={n:3d}: grid {py:2d} x {pz:2d}  time {r.elapsed:6.2f} s  "
+            f"MPI share {100 * r.mpi_fraction:4.1f} %"
+        )
+
+    print("\nITAC timeline at 59 processes (S = blocked send, R = recv):")
+    r59 = run(bench, CLUSTER_A, 59, trace=True)
+    print(r59.trace.ascii_timeline(ranks=[0, 19, 39, 58], width=88))
+
+    frac = r59.trace.fractions()
+    mpi = sum(v for k, v in frac.items() if k.startswith("MPI_"))
+    print(
+        f"\nAt 59 processes {100 * mpi:.0f} % of all rank time is blocked in "
+        "point-to-point MPI — the rendezvous ripple of the send-before-recv "
+        "ordering (paper: 75 % in MPI_Recv). At 58 processes the chain is "
+        "half as long and performance roughly doubles."
+    )
+
+
+if __name__ == "__main__":
+    main()

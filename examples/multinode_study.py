@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Multi-node strong-scaling study (the paper's Sect. 5 workflow).
+
+Scales the small workloads over 1..16 nodes, measures speedup, per-node
+memory bandwidth, aggregate data volume, and MPI share, and classifies
+each benchmark into the paper's scaling cases A-D / poor.
+
+Usage:
+    python examples/multinode_study.py [cluster] [benchmark ...]
+"""
+
+import sys
+
+from repro.analysis import classify_scaling
+from repro.harness import ascii_table, scaling_sweep
+from repro.machine import get_cluster
+from repro.spechpc import all_benchmarks, get_benchmark
+from repro.units import GB
+
+
+def main() -> None:
+    cluster = get_cluster(sys.argv[1] if len(sys.argv) > 1 else "A")
+    names = sys.argv[2:] or ["pot3d", "weather", "cloverleaf", "soma"]
+    cores = cluster.node.cores
+    counts = [n * cores for n in (1, 2, 4, 8, 16)]
+
+    rows = []
+    for name in names:
+        bench = get_benchmark(name)
+        series = scaling_sweep(bench, cluster, counts, suite="small")
+        ev = classify_scaling(series)
+        sp = series.speedups()
+        rows.append(
+            (
+                name,
+                " ".join(f"{sp[c]:5.1f}" for c in counts),
+                f"{ev.volume_ratio:.2f}",
+                f"{100 * ev.comm_fraction:.1f}%",
+                ev.case.name,
+            )
+        )
+        last = series.points[-1].best
+        print(
+            f"{name:11s} 16-node per-node BW "
+            f"{last.per_node_bandwidth / GB:6.1f} GB/s   case {ev.case.value}"
+        )
+
+    print()
+    print(
+        ascii_table(
+            ["Benchmark", "speedup @ 1/2/4/8/16 nodes", "volume ratio",
+             "MPI share", "case"],
+            rows,
+            title=f"{cluster.name} small-suite strong scaling "
+            "(cases: A superlinear-cache, B balanced, C comm>cache, "
+            "D comm-only, POOR)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Node-level scaling study (the paper's Sect. 4 workflow).
+
+Sweeps a benchmark over 1..N cores of both clusters, prints the speedup
+curve with ccNUMA-domain markers, the bandwidth saturation behavior, and
+the efficiency across domains — reproducing the diagnosis workflow the
+paper applies to every code (saturating? scalable? fluctuating?).
+
+Usage:
+    python examples/node_scaling_study.py [benchmark]
+"""
+
+import sys
+
+from repro.analysis import domain_efficiency, saturation_ratio
+from repro.harness import ascii_plot, run, scaling_sweep
+from repro.machine import CLUSTER_A, CLUSTER_B
+from repro.spechpc import get_benchmark
+from repro.units import GB
+
+
+def study(bench_name: str) -> None:
+    bench = get_benchmark(bench_name)
+    for cluster in (CLUSTER_A, CLUSTER_B):
+        cores = cluster.node.cores
+        dom = cluster.node.cores_per_domain
+        counts = sorted(set(list(range(1, dom + 1)) + list(range(dom, cores + 1, 2)) + [cores]))
+        series = scaling_sweep(bench, cluster, counts, repeats=3, noise_sigma=0.015)
+
+        sp = series.speedups()
+        print(f"\n=== {bench.name} on {cluster.name} "
+              f"({cluster.node.cpu.name}, {dom} cores/domain) ===")
+        print(
+            ascii_plot(
+                counts,
+                {"speedup": [sp[n] for n in counts],
+                 "ideal": [float(n) for n in counts]},
+                width=64,
+                height=14,
+                title="speedup vs processes (domain boundaries at "
+                + ", ".join(str(dom * k) for k in range(1, cluster.node.numa_domains + 1))
+                + ")",
+            )
+        )
+        sat = saturation_ratio(series, dom)
+        print(f"saturation ratio inside domain: {sat:.2f} "
+              f"({'memory-bound/saturating' if sat < 0.5 else 'scalable'})")
+
+        r_dom = run(bench, cluster, dom)
+        r_full = run(bench, cluster, cores)
+        eff = domain_efficiency(r_dom, r_full, cluster.node.numa_domains)
+        print(f"efficiency across ccNUMA domains: {100 * eff:.0f} % "
+              f"({'superlinear (cache effect)' if eff > 1.05 else 'ideal' if eff > 0.9 else 'degraded'})")
+        print(f"full-node bandwidth: {r_full.mem_bandwidth / GB:.0f} GB/s of "
+              f"{cluster.node.sustained_memory_bw / GB:.0f} GB/s saturated")
+
+
+if __name__ == "__main__":
+    study(sys.argv[1] if len(sys.argv) > 1 else "pot3d")

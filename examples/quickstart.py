@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: run one SPEChpc 2021 benchmark on a simulated cluster.
+
+Runs the tealeaf benchmark (tiny workload) on a full ClusterA node
+(2x Intel Ice Lake 8360Y), prints the LIKWID-style metrics, the ITAC-style
+MPI time breakdown, and the RAPL-style energy reading — the observables
+the paper's whole analysis is built from.
+
+Usage:
+    python examples/quickstart.py [benchmark] [nprocs]
+"""
+
+import sys
+
+from repro.harness import run
+from repro.machine import CLUSTER_A
+from repro.spechpc import get_benchmark
+from repro.units import GB, fmt_energy, fmt_power, fmt_time
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "tealeaf"
+    nprocs = int(sys.argv[2]) if len(sys.argv) > 2 else CLUSTER_A.node.cores
+
+    bench = get_benchmark(name)
+    print(f"# {bench.name}: {bench.info.numerics}")
+    print(f"# domain: {bench.info.domain}")
+    print(f"# target: {CLUSTER_A.describe().splitlines()[1].strip()}")
+    print(f"# ranks:  {nprocs} (consecutive cores, SNC on)\n")
+
+    result = run(bench, CLUSTER_A, nprocs, suite="tiny", trace=True)
+
+    print(f"wall-clock time (full workload) : {fmt_time(result.elapsed)}")
+    print(f"performance                     : {result.gflops:8.1f} Gflop/s DP")
+    print(f"vectorized part (DP-AVX)        : {result.gflops_avx:8.1f} Gflop/s")
+    print(f"vectorization ratio             : {100 * result.vectorization_ratio:.1f} %")
+    print(f"memory bandwidth                : {result.mem_bandwidth / GB:8.1f} GB/s "
+          f"(node saturation {CLUSTER_A.node.sustained_memory_bw / GB:.0f} GB/s)")
+    print(f"L3 / L2 bandwidth               : {result.l3_bandwidth / GB:8.1f} / "
+          f"{result.l2_bandwidth / GB:.1f} GB/s")
+    print(f"memory data volume              : {result.mem_volume / GB:8.1f} GB")
+
+    print("\nMPI time breakdown (ITAC-style, aggregated over ranks):")
+    total = sum(result.time_by_kind.values())
+    for kind, t in sorted(result.time_by_kind.items(), key=lambda kv: -kv[1]):
+        print(f"  {kind:16s} {100 * t / total:6.2f} %")
+
+    e = result.energy
+    print(f"\nenergy to solution (chip+DRAM)  : {fmt_energy(e.total_energy)}")
+    print(f"average power                   : {fmt_power(e.avg_total_power)} "
+          f"(chip {fmt_power(e.avg_chip_power)}, DRAM {fmt_power(e.avg_dram_power)})")
+    print(f"energy-delay product            : {e.edp / 1e3:.1f} kJ s")
+
+
+if __name__ == "__main__":
+    main()

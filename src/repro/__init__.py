@@ -1,0 +1,38 @@
+"""repro — simulation-based reproduction of the SPEChpc 2021 Ice Lake /
+Sapphire Rapids performance and energy case study (SC 2023).
+
+Public API highlights:
+
+>>> from repro import run, get_benchmark, CLUSTER_A
+>>> result = run(get_benchmark("tealeaf"), CLUSTER_A, nprocs=72)
+>>> round(result.mem_bandwidth / 1e9)  # saturated node bandwidth, GB/s
+307
+
+Subpackages
+-----------
+``repro.machine``   cluster/CPU/network models (Table 3 registries)
+``repro.des``       discrete-event simulation engine
+``repro.smpi``      simulated MPI runtime
+``repro.model``     execution (Roofline/ECM), power, alignment models
+``repro.perfmon``   LIKWID/RAPL/ITAC-style instrumentation
+``repro.spechpc``   the nine benchmarks + executable mini-kernels
+``repro.harness``   runners, sweeps, reporting
+``repro.analysis``  efficiencies, scaling cases, Z-plots, comparisons
+"""
+
+from repro.harness import run, scaling_sweep
+from repro.machine import CLUSTER_A, CLUSTER_B, get_cluster
+from repro.spechpc import all_benchmarks, get_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run",
+    "scaling_sweep",
+    "get_benchmark",
+    "all_benchmarks",
+    "get_cluster",
+    "CLUSTER_A",
+    "CLUSTER_B",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Analysis layer: the paper's derived metrics and classifications.
+
+* :mod:`repro.analysis.speedup` — speedups, parallel efficiency with
+  ccNUMA-domain baselines (Sect. 4.1.1), saturation detection;
+* :mod:`repro.analysis.classify` — the four multi-node scaling cases A-D
+  plus "poor" (Sect. 5.1), decided from cache-effect and
+  communication-overhead evidence;
+* :mod:`repro.analysis.energy` — Z-plots, energy/EDP minima, race-to-idle
+  (Sect. 4.3);
+* :mod:`repro.analysis.comparison` — ClusterB-over-ClusterA acceleration
+  factors and hot/cool power classification (Sect. 4.1.2, 4.2.1).
+"""
+
+from repro.analysis.speedup import (
+    domain_efficiency,
+    saturation_ratio,
+    speedup_table,
+)
+from repro.analysis.classify import ScalingCase, classify_scaling
+from repro.analysis.energy import ZPoint, race_to_idle_holds, zplot
+from repro.analysis.comparison import acceleration_factor, tdp_fraction
+
+__all__ = [
+    "domain_efficiency",
+    "saturation_ratio",
+    "speedup_table",
+    "ScalingCase",
+    "classify_scaling",
+    "ZPoint",
+    "zplot",
+    "race_to_idle_holds",
+    "acceleration_factor",
+    "tdp_fraction",
+]

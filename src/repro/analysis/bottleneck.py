@@ -1,0 +1,102 @@
+"""Per-run bottleneck attribution — the paper's "upshot" diagnoses.
+
+Given a finished run, :func:`diagnose` reports which resource dominates
+it (ccNUMA memory bandwidth, core execution, point-to-point MPI,
+collectives, load imbalance) with the same vocabulary the paper uses to
+summarize each benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.results import RunResult
+from repro.machine.cluster import ClusterSpec
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """Summary of a run's dominating behaviors."""
+
+    memory_bound: bool
+    bandwidth_fraction: float     # achieved / saturated node bandwidth
+    mpi_fraction: float
+    dominant_mpi: str | None      # e.g. "MPI_Allreduce"
+    p2p_dominated: bool           # point-to-point > collectives
+    labels: tuple[str, ...]       # the paper-style tags
+
+    def summary(self) -> str:
+        tags = ", ".join(self.labels) if self.labels else "scalable"
+        return (
+            f"bandwidth {100 * self.bandwidth_fraction:.0f}% of saturation, "
+            f"MPI {100 * self.mpi_fraction:.0f}%"
+            + (f" (mostly {self.dominant_mpi})" if self.dominant_mpi else "")
+            + f" -> {tags}"
+        )
+
+
+#: Achieved/saturated bandwidth above this means memory-bound behavior.
+MEMORY_BOUND_FRACTION = 0.85
+#: MPI share above this is "significant communication overhead".
+COMM_SIGNIFICANT = 0.10
+#: MPI share above this dominates the run.
+COMM_DOMINANT = 0.30
+
+
+def diagnose(result: RunResult, cluster: ClusterSpec) -> Diagnosis:
+    """Attribute a run's behavior to the paper's bottleneck categories."""
+    # saturation reference: the bandwidth of the ccNUMA domains the job's
+    # compact placement actually occupies (18 ranks on a 72-core node can
+    # at most saturate one domain, not four)
+    occupied_domains = sum(
+        cluster.node.domains_in_use(c)
+        for c in cluster.ranks_per_node(result.nprocs)
+    )
+    sat_bw = occupied_domains * cluster.node.cpu.domain_memory_bw
+    bw_frac = result.mem_bandwidth / sat_bw if sat_bw else 0.0
+
+    mpi_times = {
+        k: v for k, v in result.time_by_kind.items() if k.startswith("MPI_")
+    }
+    dominant = max(mpi_times, key=mpi_times.get) if mpi_times else None
+    p2p = sum(
+        v
+        for k, v in mpi_times.items()
+        if k in ("MPI_Send", "MPI_Recv", "MPI_Wait", "MPI_Sendrecv")
+    )
+    coll = sum(
+        v
+        for k, v in mpi_times.items()
+        if k
+        in ("MPI_Allreduce", "MPI_Barrier", "MPI_Bcast", "MPI_Reduce",
+            "MPI_Allgather")
+    )
+
+    labels: list[str] = []
+    memory_bound = bw_frac >= MEMORY_BOUND_FRACTION
+    if memory_bound:
+        labels.append("memory-bandwidth saturated")
+    if result.mpi_fraction >= COMM_DOMINANT:
+        labels.append("communication dominated")
+    elif result.mpi_fraction >= COMM_SIGNIFICANT:
+        labels.append("significant communication overhead")
+    if dominant == "MPI_Allreduce" and result.mpi_fraction >= COMM_SIGNIFICANT:
+        labels.append("reduction heavy")
+    if (
+        dominant in ("MPI_Send", "MPI_Recv")
+        and result.mpi_fraction >= COMM_SIGNIFICANT
+    ):
+        labels.append("point-to-point serialization")
+    if dominant in ("MPI_Barrier", "MPI_Wait") and result.mpi_fraction >= 0.03:
+        labels.append("synchronization / load imbalance")
+    if not memory_bound and result.mpi_fraction < COMM_SIGNIFICANT:
+        labels.append("compute bound")
+
+    return Diagnosis(
+        memory_bound=memory_bound,
+        bandwidth_fraction=bw_frac,
+        mpi_fraction=result.mpi_fraction,
+        dominant_mpi=dominant,
+        p2p_dominated=p2p > coll,
+        labels=tuple(labels),
+    )

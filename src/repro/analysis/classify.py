@@ -1,0 +1,98 @@
+"""Multi-node scaling-case classification (Sect. 5.1).
+
+Two antagonistic effects determine strong-scaling behavior at cluster
+level: *cache effects* (memory data volume drops when the per-rank working
+set falls into cache -> superlinear) and *communication overhead*.  The
+paper sorts each benchmark into one of five categories:
+
+====  ===============  ============  ======================
+Case  Scalability      Cache effect  Communication overhead
+====  ===============  ============  ======================
+A     superlinear      strong        minor
+B     linear           present       present (balance out)
+C     close-to-linear  present       dominates
+D     close-to-linear  none          only factor
+poor  poor             (any)         large, often + small data set
+====  ===============  ============  ======================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.harness.results import ScalingSeries
+
+
+class ScalingCase(enum.Enum):
+    A = "A: cache effect prevails over communication"
+    B = "B: cache effect and communication balance out"
+    C = "C: communication dominates over cache effect"
+    D = "D: no cache effect, only communication"
+    POOR = "poor: large communication overhead / small data set"
+
+
+@dataclass(frozen=True)
+class ScalingEvidence:
+    """The measured ingredients of a classification."""
+
+    scaling_ratio: float      # speedup at max nodes / ideal
+    cache_effect: bool        # aggregate memory volume dropped
+    volume_ratio: float       # volume(max nodes) / volume(1 node)
+    comm_fraction: float      # aggregate MPI share at max nodes
+    case: ScalingCase
+
+
+#: Volume must drop below this ratio to count as a cache effect.
+CACHE_VOLUME_THRESHOLD = 0.95
+#: MPI share above this counts as significant communication overhead.
+COMM_THRESHOLD = 0.04
+#: MPI share above which communication *dominates* a present cache effect
+#: (case C instead of the balanced case B).
+COMM_DOMINANT = 0.08
+#: Efficiency bands.
+SUPERLINEAR = 1.04
+CLOSE_TO_LINEAR = 0.72
+
+
+def classify_scaling(series: ScalingSeries) -> ScalingEvidence:
+    """Classify a multi-node series into the paper's cases A-D / poor.
+
+    The series should cover node-level process counts (e.g. 1..16 nodes,
+    full nodes each) of the *small* workload.
+    """
+    first = series.points[0]
+    last = series.points[-1]
+    if last.nprocs <= first.nprocs:
+        raise ValueError("series must span increasing process counts")
+
+    ideal = last.nprocs / first.nprocs
+    speedup = series.speedups()[last.nprocs]
+    ratio = speedup / ideal
+
+    vol_first = sum(r.mem_volume for r in first.runs) / len(first.runs)
+    vol_last = sum(r.mem_volume for r in last.runs) / len(last.runs)
+    volume_ratio = vol_last / vol_first if vol_first else 1.0
+    cache = volume_ratio < CACHE_VOLUME_THRESHOLD
+
+    comm = sum(r.mpi_fraction for r in last.runs) / len(last.runs)
+
+    if ratio >= SUPERLINEAR:
+        case = ScalingCase.A
+    elif ratio >= CLOSE_TO_LINEAR:
+        if cache and comm >= COMM_DOMINANT:
+            case = ScalingCase.C     # cache gains eaten by communication
+        elif cache:
+            case = ScalingCase.B     # cache and communication balance out
+        else:
+            case = ScalingCase.D     # communication is the only factor
+    else:
+        case = ScalingCase.POOR
+
+    return ScalingEvidence(
+        scaling_ratio=ratio,
+        cache_effect=cache,
+        volume_ratio=volume_ratio,
+        comm_fraction=comm,
+        case=case,
+    )

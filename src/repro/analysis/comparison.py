@@ -1,0 +1,45 @@
+"""Cross-cluster and power-envelope comparisons (Sect. 4.1.2, 4.2.1)."""
+
+from __future__ import annotations
+
+from repro.harness.results import RunResult
+from repro.machine.cluster import ClusterSpec
+
+
+def acceleration_factor(run_a: RunResult, run_b: RunResult) -> float:
+    """Node-level speedup of cluster B over cluster A for the same
+    benchmark/workload (Sect. 4.1.2's table): elapsed(A) / elapsed(B)."""
+    if run_a.benchmark != run_b.benchmark or run_a.suite != run_b.suite:
+        raise ValueError("comparing different benchmarks or workloads")
+    if run_b.elapsed <= 0:
+        raise ValueError("invalid elapsed time")
+    return run_a.elapsed / run_b.elapsed
+
+
+def tdp_fraction(result: RunResult, cluster: ClusterSpec) -> float:
+    """Average chip power as a fraction of the allocated sockets' TDP —
+    the paper's hot/cool metric (sph-exa ~0.98, soma ~0.85-0.89)."""
+    sockets = result.nnodes * cluster.node.sockets
+    tdp = sockets * cluster.node.cpu.tdp_w
+    return result.energy.avg_chip_power / tdp
+
+
+def is_hot(result: RunResult, cluster: ClusterSpec, threshold: float = 0.92) -> bool:
+    """Hot codes approach the TDP limit (Sect. 4.2.1)."""
+    return tdp_fraction(result, cluster) >= threshold
+
+
+def dram_power_per_socket(result: RunResult, cluster: ClusterSpec) -> float:
+    """Average DRAM power per socket [W]."""
+    sockets = result.nnodes * cluster.node.sockets
+    return result.energy.avg_dram_power / sockets
+
+
+def expected_acceleration_band(
+    cluster_a: ClusterSpec, cluster_b: ClusterSpec
+) -> tuple[float, float]:
+    """The paper's a-priori expectation: between the peak-performance
+    ratio (compute-bound) and the memory-bandwidth ratio (memory-bound)."""
+    peak = cluster_b.node.peak_flops / cluster_a.node.peak_flops
+    bw = cluster_b.node.sustained_memory_bw / cluster_a.node.sustained_memory_bw
+    return (min(peak, bw), max(peak, bw))

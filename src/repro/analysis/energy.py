@@ -1,0 +1,87 @@
+"""Energy analysis: Z-plots, E/EDP minima, race-to-idle (Sect. 4.3).
+
+A Z-plot relates energy to speedup with the resource count (cores) as the
+parameter along the curve: horizontal lines are constant energy, vertical
+lines constant speedup, lines through the origin constant EDP.  On CPUs
+with dominant idle power, the energy-minimal and EDP-minimal operating
+points coincide at the fastest configuration — "race to idle".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.results import ScalingSeries
+
+
+@dataclass(frozen=True)
+class ZPoint:
+    """One operating point in the Z-plot."""
+
+    nprocs: int
+    speedup: float
+    energy: float
+    edp: float
+
+    def __post_init__(self) -> None:
+        if self.speedup <= 0 or self.energy < 0:
+            raise ValueError("invalid Z-plot point")
+
+
+def zplot(series: ScalingSeries, baseline: int | None = None) -> list[ZPoint]:
+    """Z-plot points (Fig. 4(a, b)) from a core-count sweep."""
+    speedups = series.speedups(baseline)
+    points = []
+    for p in series.points:
+        best = p.best
+        points.append(
+            ZPoint(
+                nprocs=p.nprocs,
+                speedup=speedups[p.nprocs],
+                energy=best.total_energy,
+                edp=best.edp,
+            )
+        )
+    return points
+
+
+def energy_minimum(points: list[ZPoint]) -> ZPoint:
+    """Operating point with minimal energy to solution."""
+    if not points:
+        raise ValueError("no points")
+    return min(points, key=lambda p: p.energy)
+
+
+def edp_minimum(points: list[ZPoint]) -> ZPoint:
+    """Operating point with minimal energy-delay product."""
+    if not points:
+        raise ValueError("no points")
+    return min(points, key=lambda p: p.edp)
+
+
+def race_to_idle_holds(points: list[ZPoint], tolerance: float = 0.06) -> bool:
+    """True if the E-minimal and EDP-minimal points both sit at (or within
+    ``tolerance`` of) the fastest operating point — the paper's headline
+    energy conclusion for Ice Lake and Sapphire Rapids."""
+    if not points:
+        raise ValueError("no points")
+    fastest = max(points, key=lambda p: p.speedup)
+    e_min = energy_minimum(points)
+    edp_min = edp_minimum(points)
+    near = lambda p: p.speedup >= (1.0 - tolerance) * fastest.speedup  # noqa: E731
+    return near(e_min) and near(edp_min)
+
+
+def concurrency_throttling_saves(
+    points: list[ZPoint], full_point: ZPoint | None = None
+) -> float:
+    """Relative energy saving achievable by using fewer cores than the
+    maximum (older CPUs: substantial for memory-bound codes; on the
+    paper's CPUs: marginal).  Returns (E_full - E_min) / E_full."""
+    if not points:
+        raise ValueError("no points")
+    full = full_point or max(points, key=lambda p: p.nprocs)
+    e_min = energy_minimum(points).energy
+    if full.energy == 0:
+        return 0.0
+    return (full.energy - e_min) / full.energy

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``      benchmarks and clusters available
+``run``       one benchmark run with full observables
+``sweep``     scaling sweep (core-level or node-level)
+``compare``   ClusterB-over-ClusterA acceleration factor
+``report``    suite-wide summary (acceleration + efficiency + class)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import classify_scaling, domain_efficiency
+from repro.harness import ascii_table, run, scaling_sweep
+from repro.machine import get_cluster
+from repro.spechpc import SUITE_ORDER, all_benchmarks, get_benchmark
+from repro.units import GB, fmt_energy, fmt_power, fmt_time
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = [
+        (
+            b.name,
+            b.info.language,
+            b.info.collective,
+            "memory-bound" if b.info.memory_bound else "non-memory-bound",
+            ", ".join(sorted(b.workloads)),
+        )
+        for b in all_benchmarks()
+    ]
+    print(ascii_table(
+        ["benchmark", "language", "collective", "class", "workloads"], rows,
+        title="SPEChpc 2021 suite",
+    ))
+    print("\nclusters: A = ClusterA (Ice Lake 8360Y), B = ClusterB (Sapphire Rapids 8470)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cluster = get_cluster(args.cluster)
+    bench = get_benchmark(args.benchmark)
+    nprocs = args.nprocs or cluster.node.cores
+    result = run(bench, cluster, nprocs, suite=args.suite, trace=args.trace)
+    print(f"{bench.name} ({args.suite}) on {cluster.name}, {nprocs} ranks, "
+          f"{result.nnodes} node(s)")
+    print(f"  time      : {fmt_time(result.elapsed)}")
+    print(f"  DP perf   : {result.gflops:.1f} Gflop/s "
+          f"({100 * result.vectorization_ratio:.0f} % SIMD)")
+    print(f"  memory BW : {result.mem_bandwidth / GB:.1f} GB/s "
+          f"({result.per_node_bandwidth / GB:.1f} per node)")
+    print(f"  MPI share : {100 * result.mpi_fraction:.1f} %")
+    print(f"  energy    : {fmt_energy(result.total_energy)} at "
+          f"{fmt_power(result.avg_power)}")
+    if args.trace and result.trace is not None:
+        print("\ntimeline (first/last ranks):")
+        ranks = sorted({0, nprocs // 2, nprocs - 1})
+        print(result.trace.ascii_timeline(ranks=ranks, width=80))
+    if args.likwid:
+        from repro.perfmon.likwid_report import full_report
+
+        print()
+        print(full_report(result, cluster))
+    if args.diagnose:
+        from repro.analysis.bottleneck import diagnose
+
+        print(f"\ndiagnosis: {diagnose(result, cluster).summary()}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    cluster = get_cluster(args.cluster)
+    bench = get_benchmark(args.benchmark)
+    if args.nodes:
+        cores = cluster.node.cores
+        counts = [n * cores for n in (1, 2, 4, 8, 16) if n <= cluster.max_nodes]
+        suite = "small"
+    else:
+        counts = [int(c) for c in args.counts.split(",")] if args.counts else None
+        if counts is None:
+            dom = cluster.node.cores_per_domain
+            counts = sorted({1, 2, 4, dom // 2, dom, 2 * dom, cluster.node.cores})
+        suite = args.suite
+    series = scaling_sweep(bench, cluster, counts, suite=suite,
+                           repeats=args.repeats, noise_sigma=0.015 if args.repeats > 1 else 0.0)
+    sp = series.speedups()
+    rows = [
+        (
+            p.nprocs,
+            f"{sp[p.nprocs]:.2f}",
+            f"{p.best.gflops:.1f}",
+            f"{p.best.per_node_bandwidth / GB:.1f}",
+            f"{100 * p.best.mpi_fraction:.1f}%",
+            f"{p.best.total_energy / 1e3:.1f}",
+        )
+        for p in series.points
+    ]
+    print(ascii_table(
+        ["ranks", "speedup", "Gflop/s", "GB/s/node", "MPI", "energy kJ"],
+        rows,
+        title=f"{bench.name} ({suite}) on {cluster.name}",
+    ))
+    if args.nodes:
+        ev = classify_scaling(series)
+        print(f"\nscaling case: {ev.case.value}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    bench = get_benchmark(args.benchmark)
+    a, b = get_cluster("A"), get_cluster("B")
+    ra = run(bench, a, a.node.cores, suite=args.suite)
+    rb = run(bench, b, b.node.cores, suite=args.suite)
+    print(f"{bench.name} ({args.suite}): ClusterA {fmt_time(ra.elapsed)} vs "
+          f"ClusterB {fmt_time(rb.elapsed)}")
+    print(f"acceleration factor B over A: {ra.elapsed / rb.elapsed:.2f}")
+    print(f"(hardware band: 1.20 compute-bound .. 1.56 memory-bound)")
+    return 0
+
+
+def _cmd_report(_args: argparse.Namespace) -> int:
+    a, b = get_cluster("A"), get_cluster("B")
+    rows = []
+    for name in SUITE_ORDER:
+        bench = get_benchmark(name)
+        ra = run(bench, a, a.node.cores)
+        rb = run(bench, b, b.node.cores)
+        eff_a = 100 * domain_efficiency(
+            run(bench, a, a.node.cores_per_domain), ra, a.node.numa_domains
+        )
+        eff_b = 100 * domain_efficiency(
+            run(bench, b, b.node.cores_per_domain), rb, b.node.numa_domains
+        )
+        rows.append(
+            (
+                name,
+                f"{ra.elapsed / rb.elapsed:.2f}",
+                f"{eff_a:.0f}%",
+                f"{eff_b:.0f}%",
+                f"{ra.mem_bandwidth / GB:.0f}",
+                f"{100 * ra.vectorization_ratio:.0f}%",
+            )
+        )
+    print(ascii_table(
+        ["benchmark", "accel B/A", "eff A", "eff B", "BW(A) GB/s", "SIMD"],
+        rows,
+        title="SPEChpc 2021 tiny-suite node-level summary",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulated SPEChpc 2021 performance & energy study",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and clusters").set_defaults(
+        fn=_cmd_list
+    )
+
+    pr = sub.add_parser("run", help="run one benchmark")
+    pr.add_argument("benchmark")
+    pr.add_argument("--cluster", "-c", default="A")
+    pr.add_argument("--nprocs", "-n", type=int, default=None)
+    pr.add_argument("--suite", "-s", default="tiny")
+    pr.add_argument("--trace", action="store_true")
+    pr.add_argument("--likwid", action="store_true",
+                    help="print likwid-perfctr-style group reports")
+    pr.add_argument("--diagnose", action="store_true",
+                    help="print the bottleneck diagnosis")
+    pr.set_defaults(fn=_cmd_run)
+
+    ps = sub.add_parser("sweep", help="scaling sweep")
+    ps.add_argument("benchmark")
+    ps.add_argument("--cluster", "-c", default="A")
+    ps.add_argument("--suite", "-s", default="tiny")
+    ps.add_argument("--counts", help="comma-separated rank counts")
+    ps.add_argument("--nodes", action="store_true",
+                    help="node-level sweep of the small workload")
+    ps.add_argument("--repeats", type=int, default=1)
+    ps.set_defaults(fn=_cmd_sweep)
+
+    pc = sub.add_parser("compare", help="ClusterB over ClusterA")
+    pc.add_argument("benchmark")
+    pc.add_argument("--suite", "-s", default="tiny")
+    pc.set_defaults(fn=_cmd_compare)
+
+    sub.add_parser("report", help="suite-wide summary").set_defaults(
+        fn=_cmd_report
+    )
+    return p
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Discrete-event simulation core.
+
+A minimal but complete coroutine-based discrete-event engine in the style of
+SimPy/SimGrid: simulated processes are Python generators that ``yield``
+scheduling primitives (:class:`Delay`, :class:`Wait`) to the
+:class:`Simulator`, which advances virtual time through an event heap.
+
+The simulated MPI runtime (:mod:`repro.smpi`) and the benchmark codes run on
+top of this engine, so communication/serialization phenomena (rendezvous
+ripples, barrier skew) emerge from actual interleaved execution rather than
+closed-form formulas.
+"""
+
+from repro.des.simulator import (
+    DeadlockError,
+    Delay,
+    Signal,
+    SimProcess,
+    Simulator,
+    Wait,
+    join_all,
+)
+
+__all__ = [
+    "Simulator",
+    "SimProcess",
+    "Delay",
+    "Wait",
+    "Signal",
+    "DeadlockError",
+    "join_all",
+]

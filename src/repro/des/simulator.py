@@ -1,0 +1,237 @@
+"""Event loop, processes, and scheduling primitives.
+
+Processes are plain generator functions.  They communicate with the engine
+by yielding:
+
+* :class:`Delay` — suspend for a span of virtual time;
+* :class:`Wait` — suspend until a :class:`Signal` fires (the signal's value
+  is delivered as the result of the ``yield``);
+* another generator — run it to completion as a sub-coroutine (its return
+  value is delivered as the result of the ``yield``).
+
+The sub-coroutine convention keeps benchmark code readable: an MPI call is
+simply ``result = yield comm.allreduce(...)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable, Optional
+
+#: Type of a simulated-process body.
+ProcessBody = Generator[Any, Any, Any]
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Yielded by a process to sleep for ``duration`` virtual seconds."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative delay: {self.duration}")
+
+
+class Signal:
+    """A one-shot broadcast condition.
+
+    Processes block on a signal with ``yield Wait(sig)``; ``fire(value)``
+    wakes all current and future waiters, delivering ``value``.  Firing an
+    already-fired signal is an error (one-shot semantics keep matching
+    logic in the MPI layer honest).
+    """
+
+    __slots__ = ("fired", "value", "_waiters", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self.fired = False
+        self.value: Any = None
+        self._waiters: list[SimProcess] = []
+        self.name = name
+
+    def fire(self, value: Any = None) -> None:
+        if self.fired:
+            raise RuntimeError(f"signal {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._simulator._ready(proc, value)
+
+    def add_waiter(self, proc: "SimProcess") -> None:
+        self._waiters.append(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self.fired else f"{len(self._waiters)} waiting"
+        return f"<Signal {self.name!r} {state}>"
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Yielded by a process to block until ``signal`` fires."""
+
+    signal: Signal
+
+
+class SimProcess:
+    """A running simulated process (a stack of generator frames)."""
+
+    __slots__ = ("name", "_stack", "_simulator", "done", "result", "error")
+
+    def __init__(self, name: str, body: ProcessBody, simulator: "Simulator") -> None:
+        self.name = name
+        self._stack: list[ProcessBody] = [body]
+        self._simulator = simulator
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+    def _step(self, send_value: Any) -> None:
+        """Advance the process until it blocks or finishes."""
+        sim = self._simulator
+        while True:
+            frame = self._stack[-1]
+            try:
+                yielded = frame.send(send_value)
+            except StopIteration as stop:
+                self._stack.pop()
+                if not self._stack:
+                    self.done = True
+                    self.result = stop.value
+                    sim._finished(self)
+                    return
+                send_value = stop.value
+                continue
+            except BaseException as exc:
+                self.done = True
+                self.error = exc
+                sim._finished(self)
+                raise
+            if isinstance(yielded, Delay):
+                sim._schedule(sim.now + yielded.duration, self, None)
+                return
+            if isinstance(yielded, Wait):
+                sig = yielded.signal
+                if sig.fired:
+                    send_value = sig.value
+                    continue
+                sig.add_waiter(self)
+                return
+            if isinstance(yielded, Generator):
+                self._stack.append(yielded)
+                send_value = None
+                continue
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported object "
+                f"{yielded!r}; expected Delay, Wait, or a generator"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "running"
+        return f"<SimProcess {self.name!r} {state}>"
+
+
+class Simulator:
+    """The virtual-time event loop.
+
+    Usage::
+
+        sim = Simulator()
+        sim.spawn("worker", worker_body())
+        sim.run()
+        assert sim.now == expected_makespan
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, SimProcess, Any]] = []
+        self._counter = itertools.count()
+        self._processes: list[SimProcess] = []
+        self._nfinished = 0
+
+    # --- process management ----------------------------------------------
+
+    def spawn(self, name: str, body: ProcessBody) -> SimProcess:
+        """Create a process and make it runnable at the current time."""
+        if not isinstance(body, Generator):
+            raise TypeError(f"process body for {name!r} must be a generator")
+        proc = SimProcess(name, body, self)
+        self._processes.append(proc)
+        self._schedule(self.now, proc, None)
+        return proc
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Run a plain callback at virtual ``time`` (used for message
+        delivery without the overhead of a full process)."""
+        if time < self.now - 1e-15:
+            raise ValueError(f"call_at in the past: {time} < {self.now}")
+        heapq.heappush(self._heap, (time, next(self._counter), None, fn))
+
+    @property
+    def processes(self) -> tuple[SimProcess, ...]:
+        return tuple(self._processes)
+
+    # --- engine internals ----------------------------------------------------
+
+    def _schedule(self, time: float, proc: SimProcess, value: Any) -> None:
+        heapq.heappush(self._heap, (time, next(self._counter), proc, value))
+
+    def _ready(self, proc: SimProcess, value: Any) -> None:
+        """Make a blocked process runnable now (called by Signal.fire)."""
+        self._schedule(self.now, proc, value)
+
+    def _finished(self, proc: SimProcess) -> None:
+        self._nfinished += 1
+
+    # --- main loop -----------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Execute events until the heap drains (or ``until`` is reached).
+
+        Returns the final virtual time.  Raises :class:`DeadlockError` if
+        processes remain blocked with no pending events — which in the MPI
+        layer indicates a genuine communication deadlock.
+        """
+        while self._heap:
+            time, _, proc, value = heapq.heappop(self._heap)
+            if until is not None and time > until:
+                heapq.heappush(self._heap, (time, next(self._counter), proc, value))
+                self.now = until
+                return self.now
+            if time < self.now - 1e-15:
+                raise RuntimeError("event scheduled in the past")
+            self.now = max(self.now, time)
+            if proc is None:
+                value()  # plain callback scheduled via call_at
+                continue
+            if proc.done:
+                continue
+            proc._step(value)
+        blocked = [p for p in self._processes if not p.done]
+        if blocked:
+            names = ", ".join(p.name for p in blocked[:8])
+            raise DeadlockError(
+                f"{len(blocked)} process(es) blocked forever at t={self.now}: {names}"
+            )
+        return self.now
+
+    def all_done(self) -> bool:
+        """True if every spawned process has finished."""
+        return all(p.done for p in self._processes)
+
+
+class DeadlockError(RuntimeError):
+    """Raised when the event heap drains while processes are still blocked."""
+
+
+def join_all(procs: Iterable[SimProcess]) -> list[Any]:
+    """Collect results of finished processes, re-raising the first error."""
+    results = []
+    for p in procs:
+        if p.error is not None:
+            raise p.error
+        results.append(p.result)
+    return results

@@ -1,0 +1,25 @@
+"""Experiment harness: run benchmarks, sweep scales, collect statistics.
+
+The harness mirrors the paper's methodology (Sect. 3): warmed-up runs,
+repeated executions with min/max/average statistics, consecutive-core
+pinning, fixed clocks (implicit in the machine model), and LIKWID/RAPL
+measurement of every run.
+"""
+
+from repro.harness.results import RunResult, ScalingPoint, ScalingSeries
+from repro.harness.runner import run
+from repro.harness.sweep import domain_fill_counts, node_counts, scaling_sweep
+from repro.harness.report import ascii_plot, ascii_table, fmt_float
+
+__all__ = [
+    "run",
+    "RunResult",
+    "ScalingPoint",
+    "ScalingSeries",
+    "scaling_sweep",
+    "domain_fill_counts",
+    "node_counts",
+    "ascii_table",
+    "ascii_plot",
+    "fmt_float",
+]

@@ -1,0 +1,100 @@
+"""ASCII tables and plots for bench output.
+
+Everything the paper shows as a figure is rendered here as aligned text:
+a table of series values plus, where useful, a rough scatter plot — good
+enough to read off shapes (saturation, superlinearity, fluctuation) from
+a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def fmt_float(x: float, width: int = 8, prec: int = 2) -> str:
+    """Fixed-width float with graceful handling of huge/tiny values."""
+    if x == 0:
+        return f"{0:{width}.{prec}f}"
+    if abs(x) >= 10 ** (width - prec) or abs(x) < 10 ** -(prec + 1):
+        return f"{x:{width}.{prec}e}"
+    return f"{x:{width}.{prec}f}"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    out.append(sep)
+    for row in cells[1:]:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 70,
+    height: int = 18,
+    logy: bool = False,
+    title: str | None = None,
+    ylabel: str = "",
+) -> str:
+    """Plot one or more y-series over shared x values as a text scatter.
+
+    Each series gets a marker character; x is mapped linearly, y linearly
+    or logarithmically.
+    """
+    markers = "ox+*#@%&"
+    all_y = [y for ys in series.values() for y in ys if y is not None]
+    if not all_y or not xs:
+        return "(no data)"
+    y_min, y_max = min(all_y), max(all_y)
+    if logy:
+        if y_min <= 0:
+            raise ValueError("log scale requires positive values")
+        y_min, y_max = math.log10(y_min), math.log10(y_max)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(series.items()):
+        m = markers[idx % len(markers)]
+        for x, y in zip(xs, ys):
+            if y is None:
+                continue
+            yy = math.log10(y) if logy else y
+            col = round((x - x_min) / (x_max - x_min) * (width - 1))
+            row = round((yy - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = m
+
+    out = []
+    if title:
+        out.append(title)
+    top = 10**y_max if logy else y_max
+    bot = 10**y_min if logy else y_min
+    out.append(f"{fmt_float(top).strip():>10} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        out.append(" " * 10 + " |" + "".join(row))
+    out.append(f"{fmt_float(bot).strip():>10} +" + "".join(grid[-1]))
+    out.append(
+        " " * 12 + f"{fmt_float(x_min).strip()}".ljust(width - 10)
+        + f"{fmt_float(x_max).strip():>10}"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    out.append(" " * 12 + legend + (f"   [{ylabel}]" if ylabel else ""))
+    return "\n".join(out)

@@ -1,0 +1,190 @@
+"""Result records for single runs and scaling series."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.perfmon.rapl import EnergyReading
+from repro.units import GB, GIGA
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One benchmark execution, scaled to the workload's full iteration
+    count (the simulator executes a few representative steps).
+
+    All volumes/energies are full-run totals; rates use the full-run
+    elapsed time (identical to per-step rates, since steps are uniform).
+    """
+
+    benchmark: str
+    cluster: str
+    suite: str
+    nprocs: int
+    nnodes: int
+    elapsed: float
+    sim_elapsed: float
+    step_scale: float
+    counters: dict[str, float]
+    time_by_kind: dict[str, float]
+    energy: EnergyReading
+    trace: Optional[Any] = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    # --- derived rates --------------------------------------------------------
+
+    @property
+    def gflops(self) -> float:
+        """DP performance [Gflop/s]."""
+        return self.counters["flops"] / self.elapsed / GIGA if self.elapsed else 0.0
+
+    @property
+    def gflops_avx(self) -> float:
+        """Vectorized-only DP performance [Gflop/s]."""
+        return (
+            self.counters["simd_flops"] / self.elapsed / GIGA if self.elapsed else 0.0
+        )
+
+    @property
+    def vectorization_ratio(self) -> float:
+        flops = self.counters["flops"]
+        return self.counters["simd_flops"] / flops if flops else 0.0
+
+    @property
+    def mem_bandwidth(self) -> float:
+        """Node-aggregate memory bandwidth [B/s]."""
+        return self.counters["mem_bytes"] / self.elapsed if self.elapsed else 0.0
+
+    @property
+    def l3_bandwidth(self) -> float:
+        return self.counters["l3_bytes"] / self.elapsed if self.elapsed else 0.0
+
+    @property
+    def l2_bandwidth(self) -> float:
+        return self.counters["l2_bytes"] / self.elapsed if self.elapsed else 0.0
+
+    @property
+    def per_node_bandwidth(self) -> float:
+        """Memory bandwidth per node [B/s] (Fig. 5(b,e))."""
+        return self.mem_bandwidth / self.nnodes if self.nnodes else 0.0
+
+    @property
+    def mem_volume(self) -> float:
+        """Total memory data volume of the full run [B] (Fig. 5(c,f))."""
+        return self.counters["mem_bytes"]
+
+    @property
+    def mpi_time(self) -> float:
+        """Aggregate rank-time inside MPI [s]."""
+        return sum(v for k, v in self.time_by_kind.items() if k.startswith("MPI_"))
+
+    @property
+    def mpi_fraction(self) -> float:
+        total = sum(self.time_by_kind.values())
+        return self.mpi_time / total if total else 0.0
+
+    @property
+    def total_energy(self) -> float:
+        return self.energy.total_energy
+
+    @property
+    def avg_power(self) -> float:
+        return self.energy.avg_total_power
+
+    @property
+    def edp(self) -> float:
+        return self.energy.edp
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable record (for EXPERIMENTS.md appendices)."""
+        return {
+            "benchmark": self.benchmark,
+            "cluster": self.cluster,
+            "suite": self.suite,
+            "nprocs": self.nprocs,
+            "nnodes": self.nnodes,
+            "elapsed_s": self.elapsed,
+            "gflops": self.gflops,
+            "gflops_avx": self.gflops_avx,
+            "mem_bw_gbs": self.mem_bandwidth / GB,
+            "mem_volume_gb": self.mem_volume / GB,
+            "mpi_fraction": self.mpi_fraction,
+            "energy_kj": self.total_energy / 1e3,
+            "avg_power_w": self.avg_power,
+            "edp_kjs": self.edp / 1e3,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Statistics over repeated runs at one process count."""
+
+    nprocs: int
+    runs: tuple[RunResult, ...]
+
+    def __post_init__(self) -> None:
+        if not self.runs:
+            raise ValueError("a scaling point needs at least one run")
+
+    @property
+    def best(self) -> RunResult:
+        return min(self.runs, key=lambda r: r.elapsed)
+
+    @property
+    def elapsed_min(self) -> float:
+        return min(r.elapsed for r in self.runs)
+
+    @property
+    def elapsed_max(self) -> float:
+        return max(r.elapsed for r in self.runs)
+
+    @property
+    def elapsed_avg(self) -> float:
+        return sum(r.elapsed for r in self.runs) / len(self.runs)
+
+
+@dataclass(frozen=True)
+class ScalingSeries:
+    """One benchmark scaled over process counts on one cluster."""
+
+    benchmark: str
+    cluster: str
+    suite: str
+    points: tuple[ScalingPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("series must contain points")
+
+    def point(self, nprocs: int) -> ScalingPoint:
+        for p in self.points:
+            if p.nprocs == nprocs:
+                return p
+        raise KeyError(f"no point at nprocs={nprocs}")
+
+    @property
+    def proc_counts(self) -> list[int]:
+        return [p.nprocs for p in self.points]
+
+    def speedups(self, baseline_nprocs: int | None = None) -> dict[int, float]:
+        """Average-time speedups relative to a baseline point (default:
+        the smallest process count in the series)."""
+        base = self.point(baseline_nprocs or self.points[0].nprocs)
+        t0 = base.elapsed_avg
+        return {p.nprocs: t0 / p.elapsed_avg for p in self.points}
+
+    def speedup_stats(
+        self, baseline_nprocs: int | None = None
+    ) -> dict[int, tuple[float, float, float]]:
+        """(min, avg, max) speedup per point, using the baseline average."""
+        base = self.point(baseline_nprocs or self.points[0].nprocs)
+        t0 = base.elapsed_avg
+        return {
+            p.nprocs: (t0 / p.elapsed_max, t0 / p.elapsed_avg, t0 / p.elapsed_min)
+            for p in self.points
+        }

@@ -1,0 +1,104 @@
+"""Single-run executor: benchmark x cluster x process count -> RunResult."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.machine.cluster import ClusterSpec
+from repro.model.execution import ExecutionModel
+from repro.perfmon.rapl import EnergyMeter, EnergyReading
+from repro.perfmon.trace import TraceCollector
+from repro.smpi.runtime import MpiRuntime
+from repro.spechpc.base import Benchmark, RunContext
+
+
+def run(
+    benchmark: Benchmark,
+    cluster: ClusterSpec,
+    nprocs: int,
+    suite: str = "tiny",
+    sim_steps: Optional[int] = None,
+    trace: bool = False,
+    noise_sigma: float = 0.0,
+    seed: int = 0,
+    threads_per_rank: int = 1,
+):
+    """Execute one simulated benchmark run.
+
+    Parameters
+    ----------
+    benchmark / cluster / nprocs / suite:
+        What to run and where.
+    sim_steps:
+        Representative steps to simulate (default: the benchmark's own
+        choice); results are scaled to the workload's full iteration
+        count.
+    trace:
+        Collect an ITAC-style event trace (slower, more memory).
+    noise_sigma:
+        Relative run-to-run compute jitter (the paper repeats runs and
+        reports min/max/avg); 0 disables noise.
+    seed:
+        Jitter RNG seed — vary it across repeats.
+    threads_per_rank:
+        > 1 runs the hybrid MPI+OpenMP variant (the paper's future-work
+        mode): each rank's kernels are shared by that many cores and the
+        rank is pinned to a core block.
+    """
+    from repro.harness.results import RunResult  # local import: no cycle
+
+    workload = benchmark.workload(suite)
+    steps = sim_steps if sim_steps is not None else benchmark.default_sim_steps(suite)
+    noise = None
+    if noise_sigma > 0.0:
+        rng = np.random.default_rng(seed)
+        noise = 1.0 + noise_sigma * np.abs(rng.standard_normal(nprocs))
+
+    ctx = RunContext(
+        cluster=cluster,
+        nprocs=nprocs,
+        workload=workload,
+        exec_model=ExecutionModel(cluster.node.cpu),
+        sim_steps=steps,
+        noise=noise,
+        threads=threads_per_rank,
+    )
+    collector = TraceCollector() if trace else None
+    runtime = MpiRuntime(
+        cluster, nprocs, trace=collector, threads_per_rank=threads_per_rank
+    )
+    ctx.runtime = runtime
+    job = runtime.launch(benchmark.make_body(ctx))
+
+    scale = ctx.step_scale()
+    counters = {
+        name: sum(s.counters[name] for s in job.stats) * scale
+        for name in job.stats[0].counters
+    }
+    time_by_kind = {k: v * scale for k, v in job.breakdown().items()}
+
+    raw_energy = EnergyMeter(cluster).read(job)
+    energy = EnergyReading(
+        elapsed=raw_energy.elapsed * scale,
+        chip_energy=raw_energy.chip_energy * scale,
+        dram_energy=raw_energy.dram_energy * scale,
+        nnodes=raw_energy.nnodes,
+    )
+
+    return RunResult(
+        benchmark=benchmark.name,
+        cluster=cluster.name,
+        suite=suite,
+        nprocs=nprocs,
+        nnodes=job.nnodes,
+        elapsed=job.elapsed * scale,
+        sim_elapsed=job.elapsed,
+        step_scale=scale,
+        counters=counters,
+        time_by_kind=time_by_kind,
+        energy=energy,
+        trace=collector,
+        meta={"sim_steps": steps, "seed": seed, "noise_sigma": noise_sigma},
+    )

@@ -1,0 +1,62 @@
+"""Scaling sweeps with repeat statistics."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.harness.results import RunResult, ScalingPoint, ScalingSeries
+from repro.harness.runner import run
+from repro.machine.cluster import ClusterSpec
+from repro.spechpc.base import Benchmark
+
+
+def scaling_sweep(
+    benchmark: Benchmark,
+    cluster: ClusterSpec,
+    proc_counts: Sequence[int],
+    suite: str = "tiny",
+    repeats: int = 1,
+    noise_sigma: float = 0.0,
+    sim_steps: Optional[int] = None,
+) -> ScalingSeries:
+    """Run ``benchmark`` at each process count, ``repeats`` times each."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    points = []
+    for n in proc_counts:
+        runs: list[RunResult] = []
+        for rep in range(repeats):
+            runs.append(
+                run(
+                    benchmark,
+                    cluster,
+                    n,
+                    suite=suite,
+                    sim_steps=sim_steps,
+                    noise_sigma=noise_sigma,
+                    seed=1000 * n + rep,
+                )
+            )
+        points.append(ScalingPoint(nprocs=n, runs=tuple(runs)))
+    return ScalingSeries(
+        benchmark=benchmark.name,
+        cluster=cluster.name,
+        suite=suite,
+        points=tuple(points),
+    )
+
+
+def domain_fill_counts(cluster: ClusterSpec, stride: int = 1) -> list[int]:
+    """Process counts 1..cores-per-node (the x-axis of Figs. 1-4)."""
+    return list(range(1, cluster.node.cores + 1, stride))
+
+
+def node_counts(cluster: ClusterSpec, max_nodes: int | None = None) -> list[int]:
+    """Power-of-two node counts for multi-node sweeps (Figs. 5-6)."""
+    limit = max_nodes or cluster.max_nodes
+    counts = []
+    n = 1
+    while n <= limit:
+        counts.append(n)
+        n *= 2
+    return counts

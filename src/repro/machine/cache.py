@@ -1,0 +1,94 @@
+"""Cache hierarchy description.
+
+The hierarchy is described per core (private levels) and per shared domain
+(LLC).  On both Ice Lake and Sapphire Rapids the L3 is a *non-inclusive
+victim cache* (paper, footnote 6): the effective last-level capacity seen by
+a working set is L2 + L3, which :meth:`MemoryHierarchy.effective_llc_bytes`
+exposes and the cache-fit model in :mod:`repro.model.execution` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the cache hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Human-readable level name (``"L1"``, ``"L2"``, ``"L3"``).
+    capacity_bytes:
+        Capacity of one instance of this level.
+    shared_by_cores:
+        Number of cores sharing one instance (1 for private levels).
+    bandwidth_per_core:
+        Sustainable bandwidth per core into this level [B/s].  For the LLC
+        this is the per-core slice bandwidth; aggregate bandwidth of a
+        domain is ``bandwidth_per_core * cores``.
+    victim:
+        True if this level is a victim cache that sees evictions from the
+        level above (relevant for L3 on Ice Lake / Sapphire Rapids; the
+        paper observes L3 traffic exceeding L2 traffic for pot3d because of
+        this).
+    """
+
+    name: str
+    capacity_bytes: float
+    shared_by_cores: int = 1
+    bandwidth_per_core: float = 0.0
+    victim: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"{self.name}: capacity must be positive")
+        if self.shared_by_cores < 1:
+            raise ValueError(f"{self.name}: shared_by_cores must be >= 1")
+
+    @property
+    def capacity_per_core(self) -> float:
+        """Capacity available to one core if the level is shared fairly."""
+        return self.capacity_bytes / self.shared_by_cores
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """Private + shared cache levels of one CPU (one socket).
+
+    ``l1``/``l2`` are per-core private caches, ``l3`` is shared by
+    ``l3.shared_by_cores`` cores (the whole socket on both paper CPUs).
+    """
+
+    l1: CacheLevel
+    l2: CacheLevel
+    l3: CacheLevel
+
+    def __post_init__(self) -> None:
+        if not (self.l1.capacity_bytes <= self.l2.capacity_bytes):
+            raise ValueError("L1 must not be larger than L2")
+
+    def levels(self) -> tuple[CacheLevel, CacheLevel, CacheLevel]:
+        """The levels ordered from closest to the core outwards."""
+        return (self.l1, self.l2, self.l3)
+
+    def effective_llc_bytes(self, cores: int) -> float:
+        """Aggregate last-level capacity seen by ``cores`` cores of a socket.
+
+        With a non-inclusive victim L3 the usable outer-level capacity is
+        the sum of the private L2s plus the shared L3 slice proportional to
+        the cores used.  This is the quantity that decides whether a
+        strong-scaled working set "fits into cache" (paper Sect. 5.1,
+        cases A-C).
+        """
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        cores_on_socket = min(cores, self.l3.shared_by_cores)
+        l2_total = self.l2.capacity_bytes * cores_on_socket
+        l3_share = self.l3.capacity_bytes * cores_on_socket / self.l3.shared_by_cores
+        return l2_total + l3_share
+
+    def per_core_llc_bytes(self) -> float:
+        """Outer-level cache capacity per core (L2 + L3 slice)."""
+        return self.l2.capacity_bytes + self.l3.capacity_per_core

@@ -1,0 +1,79 @@
+"""Cluster specification: homogeneous nodes plus an interconnect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.network import NetworkSpec
+from repro.machine.node import CoreLocation, NodeSpec
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of :class:`NodeSpec` nodes.
+
+    Rank placement follows the paper's setup: consecutive MPI ranks on
+    consecutive cores, filling node 0 completely before node 1, etc.
+    """
+
+    name: str
+    node: NodeSpec
+    network: NetworkSpec
+    max_nodes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_nodes < 1:
+            raise ValueError("max_nodes must be >= 1")
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.node.cores
+
+    def max_ranks(self) -> int:
+        """Largest MPI job this cluster can host."""
+        return self.max_nodes * self.node.cores
+
+    def nodes_for(self, nprocs: int) -> int:
+        """Number of nodes a compact placement of ``nprocs`` ranks uses."""
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        return -(-nprocs // self.node.cores)
+
+    def place(self, rank: int) -> tuple[int, CoreLocation]:
+        """Return ``(node_index, core_location)`` of an MPI rank."""
+        if rank < 0:
+            raise ValueError("rank must be non-negative")
+        node_idx, core = divmod(rank, self.node.cores)
+        if node_idx >= self.max_nodes:
+            raise ValueError(
+                f"rank {rank} exceeds cluster capacity "
+                f"({self.max_nodes} nodes x {self.node.cores} cores)"
+            )
+        return node_idx, self.node.locate(core)
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        """True if two ranks are placed on the same node."""
+        return self.place(rank_a)[0] == self.place(rank_b)[0]
+
+    def ranks_per_node(self, nprocs: int) -> list[int]:
+        """Rank count on each used node for a compact placement."""
+        nodes = self.nodes_for(nprocs)
+        counts = [self.node.cores] * nodes
+        remainder = nprocs - (nodes - 1) * self.node.cores
+        counts[-1] = remainder
+        return counts
+
+    def describe(self) -> str:
+        """Multi-line summary mirroring Table 3 of the paper."""
+        cpu = self.node.cpu
+        lines = [
+            f"Cluster {self.name}",
+            f"  Node: {self.node.describe()}",
+            f"  CPU:  {cpu.describe()}",
+            f"  L1/L2 per core: {cpu.hierarchy.l1.capacity_bytes / 2**10:.0f} KiB / "
+            f"{cpu.hierarchy.l2.capacity_bytes / 2**20:.2f} MiB",
+            f"  Shared L3: {cpu.hierarchy.l3.capacity_bytes / 2**20:.0f} MiB",
+            f"  Network: {self.network.name} ({self.network.topology}), "
+            f"{self.network.link_bandwidth * 8 / 1e9:.0f} Gbit/s per link+direction",
+        ]
+        return "\n".join(lines)

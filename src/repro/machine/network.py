@@ -1,0 +1,91 @@
+"""Interconnect model.
+
+Both clusters in the paper use HDR100 InfiniBand in a fat-tree topology
+(Table 3), i.e. full bisection bandwidth and identical communication
+performance — the paper relies on this to attribute scaling differences to
+the nodes, not the fabric (Sect. 5.1.3).
+
+We use a LogGP-flavoured point-to-point cost model
+
+    T(msg) = latency + overhead + bytes / bandwidth
+
+with separate parameter sets for intra-node (shared-memory transport) and
+inter-node (verbs) paths, plus a per-message rendezvous handshake cost for
+large messages.  The eager/rendezvous switch-over threshold matches typical
+Intel MPI defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Fabric and intra-node transport parameters.
+
+    Parameters
+    ----------
+    name:
+        e.g. ``"HDR100 InfiniBand"``.
+    link_bandwidth:
+        Raw link bandwidth per direction [B/s] (100 Gbit/s for HDR100).
+    efficiency:
+        Achievable fraction of raw bandwidth for large messages.
+    latency:
+        End-to-end small-message latency between two nodes [s].
+    intra_node_bandwidth:
+        Shared-memory copy bandwidth between two ranks on one node [B/s].
+    intra_node_latency:
+        Shared-memory small-message latency [s].
+    eager_threshold:
+        Messages strictly larger than this use the rendezvous protocol
+        (sender blocks until the receive is posted); smaller messages are
+        buffered eagerly.  This is what produces the minisweep
+        serialization ripple of Sect. 4.1.5.
+    rendezvous_handshake:
+        Extra round-trip cost of the rendezvous protocol [s].
+    per_message_overhead:
+        CPU overhead per message send/receive [s] (LogGP ``o``).
+    """
+
+    name: str = "HDR100 InfiniBand"
+    topology: str = "fat-tree"
+    link_bandwidth: float = 100e9 / 8.0
+    efficiency: float = 0.90
+    latency: float = 1.3e-6
+    intra_node_bandwidth: float = 12e9
+    intra_node_latency: float = 0.35e-6
+    eager_threshold: int = 64 * 1024
+    rendezvous_handshake: float = 2.0e-6
+    per_message_overhead: float = 0.4e-6
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth <= 0 or self.intra_node_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if not (0.0 < self.efficiency <= 1.0):
+            raise ValueError("efficiency must be in (0, 1]")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustained inter-node bandwidth per link and direction [B/s]."""
+        return self.link_bandwidth * self.efficiency
+
+    def is_eager(self, nbytes: int) -> bool:
+        """True if a message of ``nbytes`` uses the eager protocol."""
+        return nbytes <= self.eager_threshold
+
+    def transfer_time(self, nbytes: int, intra_node: bool) -> float:
+        """Pure wire/copy time for ``nbytes`` (excluding protocol costs)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if intra_node:
+            return self.intra_node_latency + nbytes / self.intra_node_bandwidth
+        return self.latency + nbytes / self.effective_bandwidth
+
+    def ptp_time(self, nbytes: int, intra_node: bool) -> float:
+        """Full point-to-point cost including overheads and handshake."""
+        t = self.per_message_overhead + self.transfer_time(nbytes, intra_node)
+        if not self.is_eager(nbytes):
+            t += self.rendezvous_handshake if not intra_node else self.rendezvous_handshake / 2
+        return t

@@ -1,0 +1,133 @@
+"""Node topology: sockets, ccNUMA domains, and core numbering.
+
+The paper maps consecutive MPI ranks to consecutive cores (likwid-mpirun),
+with Sub-NUMA Clustering active, so the fundamental scaling unit is one
+ccNUMA domain (18 cores on ClusterA, 13 on ClusterB).  :class:`NodeSpec`
+provides that mapping plus helpers to count active cores per domain — the
+quantity the bandwidth-contention model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.cpu import CpuSpec
+
+
+@dataclass(frozen=True)
+class CoreLocation:
+    """Placement of one core within a node."""
+
+    core: int
+    socket: int
+    domain: int          # global ccNUMA domain index within the node
+    domain_local: int    # core index within its domain
+
+    def __post_init__(self) -> None:
+        if min(self.core, self.socket, self.domain, self.domain_local) < 0:
+            raise ValueError("indices must be non-negative")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node: ``sockets`` identical CPUs plus local memory.
+
+    Parameters
+    ----------
+    cpu:
+        The socket specification.
+    sockets:
+        Sockets per node (2 on both paper clusters).
+    memory_bytes:
+        Installed memory (4 x 64 GiB on ClusterA, 8 x 128 GiB on ClusterB).
+    """
+
+    cpu: CpuSpec
+    sockets: int = 2
+    memory_bytes: float = 256 * 2**30
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise ValueError("sockets must be >= 1")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+
+    # --- topology ------------------------------------------------------------
+
+    @property
+    def cores(self) -> int:
+        """Physical cores per node."""
+        return self.cpu.cores * self.sockets
+
+    @property
+    def numa_domains(self) -> int:
+        """ccNUMA domains per node."""
+        return self.cpu.numa_domains * self.sockets
+
+    @property
+    def cores_per_domain(self) -> int:
+        """Cores per ccNUMA domain — the fundamental scaling unit."""
+        return self.cpu.cores_per_domain
+
+    def locate(self, core: int) -> CoreLocation:
+        """Map a flat core id (likwid-style consecutive numbering) to its
+        socket / ccNUMA domain."""
+        if not (0 <= core < self.cores):
+            raise ValueError(f"core {core} out of range [0, {self.cores})")
+        socket = core // self.cpu.cores
+        within = core % self.cpu.cores
+        domain_in_socket = within // self.cores_per_domain
+        return CoreLocation(
+            core=core,
+            socket=socket,
+            domain=socket * self.cpu.numa_domains + domain_in_socket,
+            domain_local=within % self.cores_per_domain,
+        )
+
+    def active_cores_per_domain(self, nprocs: int) -> list[int]:
+        """How many of the first ``nprocs`` consecutive cores land in each
+        ccNUMA domain.
+
+        With consecutive pinning, domains fill one after another; the
+        returned list has one entry per domain of the node.
+        """
+        if not (0 <= nprocs <= self.cores):
+            raise ValueError(f"nprocs {nprocs} out of range [0, {self.cores}]")
+        counts = [0] * self.numa_domains
+        for c in range(nprocs):
+            counts[self.locate(c).domain] += 1
+        return counts
+
+    def domains_in_use(self, nprocs: int) -> int:
+        """Number of ccNUMA domains touched by ``nprocs`` consecutive ranks."""
+        return sum(1 for c in self.active_cores_per_domain(nprocs) if c > 0)
+
+    # --- derived performance properties --------------------------------------
+
+    @property
+    def peak_flops(self) -> float:
+        """DP peak of the whole node."""
+        return self.cpu.peak_flops * self.sockets
+
+    @property
+    def sustained_memory_bw(self) -> float:
+        """Saturated memory bandwidth of the whole node [B/s]."""
+        return self.cpu.sustained_memory_bw * self.sockets
+
+    @property
+    def tdp_w(self) -> float:
+        """Combined TDP of all sockets."""
+        return self.cpu.tdp_w * self.sockets
+
+    @property
+    def llc_bytes(self) -> float:
+        """Aggregate outer-level cache (L2 + victim L3) of the node."""
+        return self.cpu.hierarchy.effective_llc_bytes(self.cpu.cores) * self.sockets
+
+    def describe(self) -> str:
+        """One-line node summary."""
+        return (
+            f"{self.sockets}x {self.cpu.name} {self.cpu.model} "
+            f"({self.cores} cores, {self.numa_domains} ccNUMA domains, "
+            f"{self.memory_bytes / 2**30:.0f} GiB)"
+        )

@@ -1,0 +1,33 @@
+"""Analytical performance and power models.
+
+These models translate a benchmark's *resource characterization* (flops and
+data volumes per unit of work) into virtual compute-phase durations and
+hardware-counter increments on a given CPU, including the two node-level
+effects the paper's analysis hinges on:
+
+* **ccNUMA bandwidth contention** — ranks sharing a domain share its
+  saturable memory bandwidth (Sect. 4.1.4);
+* **cache fit** — when a strong-scaled per-rank working set drops into the
+  outer-level cache, memory traffic collapses and performance scales
+  superlinearly (Sect. 5.1, cases A-C).
+
+The power models implement the RAPL semantics of Sect. 4.2: chip power =
+high idle baseline + per-core dynamic power scaled by code "heat";
+DRAM power = floor + bandwidth-proportional term.
+"""
+
+from repro.model.kernel import KernelModel, PhaseCost
+from repro.model.execution import ExecutionModel, cache_fit_factor
+from repro.model.power import ChipPowerModel, DramPowerModel, NodePowerModel
+from repro.model.alignment import alignment_penalty
+
+__all__ = [
+    "KernelModel",
+    "PhaseCost",
+    "ExecutionModel",
+    "cache_fit_factor",
+    "ChipPowerModel",
+    "DramPowerModel",
+    "NodePowerModel",
+    "alignment_penalty",
+]

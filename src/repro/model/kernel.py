@@ -1,0 +1,193 @@
+"""Kernel resource characterization.
+
+A :class:`KernelModel` describes one computational kernel *per unit of
+work* (a lattice-site update, a grid-cell sweep, a particle interaction...).
+The numbers play the role the paper's LIKWID measurements play: they fix
+the kernel's position in the Roofline diagram and its traffic through the
+cache hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class KernelModel:
+    """Per-work-unit resource footprint of a kernel.
+
+    Parameters
+    ----------
+    name:
+        Kernel name (used in traces and reports).
+    flops_per_unit:
+        DP floating-point operations per work unit.
+    simd_fraction:
+        Fraction of those flops executed as (AVX-512) SIMD instructions —
+        the "vectorization ratio" of Sect. 4.1.3.
+    mem_bytes_per_unit:
+        DRAM traffic per unit when the working set streams from memory.
+    l3_bytes_per_unit / l2_bytes_per_unit:
+        Cache traffic per unit.  On the paper's CPUs L3 is a victim cache
+        and can see *more* traffic than L2 for streaming kernels.
+    working_set_bytes_per_unit:
+        Resident state per work unit — decides cache fit under strong
+        scaling.
+    compute_efficiency:
+        Fraction of the core's arithmetic peak this instruction mix can
+        achieve when not limited by data transfers (real codes rarely
+        exceed ~0.5).
+    heat:
+        Relative per-core dynamic power of this instruction mix when the
+        core is fully busy, in (0, 1] — 1.0 for the "hottest" codes of
+        Sect. 4.2.1 (sph-exa reaches 98 % of TDP), ~0.8 for "cool" ones
+        (soma at 85-89 %).
+    latency_bound_factor:
+        >1 for kernels whose memory access is latency/TLB-sensitive rather
+        than purely streaming (e.g. lbm's "propagate" with sparse
+        accesses); inflates the single-core memory time without changing
+        the saturated bandwidth.
+    cache_sharpness:
+        Steepness of the capacity-miss transition in
+        :func:`repro.model.execution.cache_fit_factor` — large for
+        hot-spot/blocked access patterns whose misses die off quickly once
+        the hot set fits (e.g. replicated lookup tables), small for
+        streaming sweeps.
+    fixed_working_set_bytes:
+        If > 0, the per-rank resident set is this constant instead of
+        ``working_set_bytes_per_unit * units`` — for hot structures whose
+        size does not strong-scale (replicated fields, lookup tables,
+        tree caches).  This makes a code cache-*sensitive* (ClusterB's
+        larger caches help) without making it cache-*scalable*.
+    mem_overlap:
+        Fraction of the DRAM time hidden under computation.  1 (default)
+        models prefetched streaming (Roofline max); 0 models dependent
+        random loads that fully serialize with the instruction stream
+        (soma's field lookups).
+    """
+
+    name: str
+    flops_per_unit: float
+    simd_fraction: float
+    mem_bytes_per_unit: float
+    l3_bytes_per_unit: float
+    l2_bytes_per_unit: float
+    working_set_bytes_per_unit: float
+    compute_efficiency: float = 0.40
+    latency_bound_factor: float = 1.0
+    heat: float = 0.85
+    cache_sharpness: float = 1.8
+    fixed_working_set_bytes: float = 0.0
+    mem_overlap: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.flops_per_unit < 0 or self.mem_bytes_per_unit < 0:
+            raise ValueError(f"{self.name}: negative resource counts")
+        if not (0.0 <= self.simd_fraction <= 1.0):
+            raise ValueError(f"{self.name}: simd_fraction must be in [0, 1]")
+        if not (0.0 < self.compute_efficiency <= 1.0):
+            raise ValueError(f"{self.name}: compute_efficiency must be in (0, 1]")
+        if self.latency_bound_factor < 1.0:
+            raise ValueError(f"{self.name}: latency_bound_factor must be >= 1")
+        if not (0.0 < self.heat <= 1.0):
+            raise ValueError(f"{self.name}: heat must be in (0, 1]")
+        if self.cache_sharpness <= 0:
+            raise ValueError(f"{self.name}: cache_sharpness must be positive")
+        if self.fixed_working_set_bytes < 0:
+            raise ValueError(f"{self.name}: fixed working set must be >= 0")
+        if not (0.0 <= self.mem_overlap <= 1.0):
+            raise ValueError(f"{self.name}: mem_overlap must be in [0, 1]")
+
+    @property
+    def intensity(self) -> float:
+        """Arithmetic intensity w.r.t. DRAM traffic [flop/B]."""
+        if self.mem_bytes_per_unit == 0:
+            return float("inf")
+        return self.flops_per_unit / self.mem_bytes_per_unit
+
+    def scaled(self, factor: float) -> "KernelModel":
+        """A copy with all per-unit resources multiplied by ``factor``
+        (useful to fold several sub-kernels into one)."""
+        return replace(
+            self,
+            flops_per_unit=self.flops_per_unit * factor,
+            mem_bytes_per_unit=self.mem_bytes_per_unit * factor,
+            l3_bytes_per_unit=self.l3_bytes_per_unit * factor,
+            l2_bytes_per_unit=self.l2_bytes_per_unit * factor,
+        )
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """Resolved cost of executing a kernel on some units of work:
+    the virtual duration plus the counter increments to account.
+
+    ``busy_seconds`` is the instruction-execution portion of the phase in
+    *core-seconds* (the rest is stalled on data) — it can exceed
+    ``seconds`` for multi-threaded (hybrid MPI+X) phases where several
+    cores execute concurrently.  ``heat`` is the kernel's power factor.
+    Both feed the RAPL energy meter.
+    """
+
+    seconds: float
+    flops: float
+    simd_flops: float
+    mem_bytes: float
+    l3_bytes: float
+    l2_bytes: float
+    busy_seconds: float = -1.0
+    heat: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError("phase duration must be non-negative")
+        if self.busy_seconds < 0:
+            object.__setattr__(self, "busy_seconds", self.seconds)
+
+    def __add__(self, other: "PhaseCost") -> "PhaseCost":
+        total_s = self.seconds + other.seconds
+        heat = self.heat
+        if total_s > 0:
+            heat = (self.heat * self.seconds + other.heat * other.seconds) / total_s
+        elif other.seconds == 0 and self.seconds == 0:
+            heat = max(self.heat, other.heat)
+        return PhaseCost(
+            seconds=total_s,
+            flops=self.flops + other.flops,
+            simd_flops=self.simd_flops + other.simd_flops,
+            mem_bytes=self.mem_bytes + other.mem_bytes,
+            l3_bytes=self.l3_bytes + other.l3_bytes,
+            l2_bytes=self.l2_bytes + other.l2_bytes,
+            busy_seconds=self.busy_seconds + other.busy_seconds,
+            heat=heat,
+        )
+
+    def scaled(self, factor: float) -> "PhaseCost":
+        """All quantities multiplied by ``factor`` (e.g. remaining steps)."""
+        return PhaseCost(
+            seconds=self.seconds * factor,
+            flops=self.flops * factor,
+            simd_flops=self.simd_flops * factor,
+            mem_bytes=self.mem_bytes * factor,
+            l3_bytes=self.l3_bytes * factor,
+            l2_bytes=self.l2_bytes * factor,
+            busy_seconds=self.busy_seconds * factor,
+            heat=self.heat,
+        )
+
+    @staticmethod
+    def zero() -> "PhaseCost":
+        return PhaseCost(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def counter_kwargs(self) -> dict[str, float]:
+        """Keyword arguments for :meth:`Communicator.compute`."""
+        return {
+            "flops": self.flops,
+            "simd_flops": self.simd_flops,
+            "mem_bytes": self.mem_bytes,
+            "l3_bytes": self.l3_bytes,
+            "l2_bytes": self.l2_bytes,
+            "busy_seconds": self.busy_seconds,
+            "heat_seconds": self.heat * self.seconds,
+            "heat_busy_seconds": self.heat * self.busy_seconds,
+        }

@@ -1,0 +1,151 @@
+"""RAPL-style chip and DRAM power models.
+
+The chip model implements the "naive CPU power model" the paper confirms
+(Sect. 4.2): on-chip power grows linearly with active cores until a
+bottleneck is hit, after which stalled-but-active cores still burn a large
+fraction of their dynamic power, so the slope flattens without vanishing;
+the dominating term on modern CPUs is the *idle baseline* (zero-core
+extrapolation), which is ~40 % of TDP on Ice Lake and ~50 % on Sapphire
+Rapids.
+
+DRAM power is a floor plus a bandwidth-proportional term — constant once
+the memory bandwidth saturates, low for compute-bound codes; the DDR5 of
+ClusterB runs cooler than ClusterA's DDR4 despite its larger size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.cpu import CpuSpec
+from repro.machine.node import NodeSpec
+from repro.units import GB
+
+#: Fraction of its full dynamic power a stalled-but-active core keeps
+#: burning while it waits for memory.
+STALL_POWER_FRACTION = 0.55
+
+#: Fraction of TDP the hottest code reaches at full socket occupancy
+#: (paper Sect. 4.2.1: sph-exa at 97-98 % of TDP on both CPUs).
+HOT_TDP_FRACTION = 0.98
+
+
+@dataclass(frozen=True)
+class ChipPowerModel:
+    """Per-socket package power.
+
+    ``core_power_max_w`` — dynamic power of one fully-busy core running the
+    hottest instruction mix — defaults to the value that makes a fully
+    occupied socket reach ``HOT_TDP_FRACTION`` of TDP.
+    """
+
+    cpu: CpuSpec
+    core_power_max_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.core_power_max_w <= 0.0:
+            derived = (HOT_TDP_FRACTION * self.cpu.tdp_w - self.cpu.idle_power_w) / (
+                self.cpu.cores
+            )
+            object.__setattr__(self, "core_power_max_w", derived)
+
+    def core_power(self, heat: float, utilization: float) -> float:
+        """Dynamic power of one active core [W].
+
+        ``heat`` is the kernel's instruction-mix power factor (0..1],
+        ``utilization`` the fraction of time the core executes rather than
+        stalls; a fully stalled active core still draws
+        ``STALL_POWER_FRACTION`` of its busy power.
+        """
+        if not (0.0 <= utilization <= 1.0):
+            raise ValueError("utilization must be in [0, 1]")
+        if not (0.0 < heat <= 1.0):
+            raise ValueError("heat must be in (0, 1]")
+        duty = STALL_POWER_FRACTION + (1.0 - STALL_POWER_FRACTION) * utilization
+        return self.core_power_max_w * heat * duty
+
+    def socket_power(
+        self, active_cores: int, heat: float = 1.0, utilization: float = 1.0
+    ) -> float:
+        """Package power of one socket with ``active_cores`` busy cores [W],
+        capped at TDP."""
+        if not (0 <= active_cores <= self.cpu.cores):
+            raise ValueError(
+                f"active_cores must be in [0, {self.cpu.cores}]"
+            )
+        p = self.cpu.idle_power_w + active_cores * self.core_power(heat, utilization)
+        return min(p, self.cpu.tdp_w)
+
+    def idle_fraction_of_tdp(self) -> float:
+        """Baseline share of TDP (the paper's headline idle-power metric)."""
+        return self.cpu.idle_power_w / self.cpu.tdp_w
+
+
+@dataclass(frozen=True)
+class DramPowerModel:
+    """Per-socket DRAM power: floor + bandwidth-proportional term."""
+
+    cpu: CpuSpec
+
+    def socket_power(self, achieved_bw: float) -> float:
+        """DRAM power of one socket drawing ``achieved_bw`` B/s [W]."""
+        if achieved_bw < 0:
+            raise ValueError("bandwidth must be non-negative")
+        bw = min(achieved_bw, self.cpu.sustained_memory_bw)
+        return self.cpu.dram_idle_power_w + self.cpu.dram_power_per_gbs * (bw / GB)
+
+    def saturated_power(self) -> float:
+        """DRAM power at full sustained bandwidth (memory-bound codes)."""
+        return self.socket_power(self.cpu.sustained_memory_bw)
+
+
+@dataclass(frozen=True)
+class NodePowerModel:
+    """Whole-node power: all sockets' packages plus DRAM.
+
+    The node is the granularity of the paper's Figs. 3(b,d) and 6.
+    """
+
+    node: NodeSpec
+    chip: ChipPowerModel = field(init=False)
+    dram: DramPowerModel = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "chip", ChipPowerModel(self.node.cpu))
+        object.__setattr__(self, "dram", DramPowerModel(self.node.cpu))
+
+    def power(
+        self,
+        active_cores_per_socket: list[int],
+        heat: float,
+        utilization: float,
+        bw_per_socket: list[float],
+    ) -> tuple[float, float]:
+        """Return ``(chip_watts, dram_watts)`` for the node.
+
+        All sockets contribute their idle power even when no rank runs on
+        them (the node is allocated exclusively, as on the paper's
+        clusters).
+        """
+        if len(active_cores_per_socket) != self.node.sockets:
+            raise ValueError("need one active-core count per socket")
+        if len(bw_per_socket) != self.node.sockets:
+            raise ValueError("need one bandwidth per socket")
+        chip = sum(
+            self.chip.socket_power(n, heat, utilization)
+            for n in active_cores_per_socket
+        )
+        dram = sum(self.dram.socket_power(bw) for bw in bw_per_socket)
+        return chip, dram
+
+    def idle_power(self) -> float:
+        """Node power with zero active cores (chips + DRAM floors)."""
+        return self.node.sockets * (
+            self.node.cpu.idle_power_w + self.node.cpu.dram_idle_power_w
+        )
+
+    def max_power(self) -> float:
+        """Upper bound: all sockets at TDP plus saturated DRAM."""
+        return self.node.sockets * (
+            self.node.cpu.tdp_w + self.dram.saturated_power()
+        )

@@ -1,0 +1,31 @@
+"""Instrumentation layer: simulated LIKWID, RAPL, ITAC, ClusterCockpit.
+
+This subpackage turns raw :class:`~repro.smpi.runtime.MpiJob` results into
+the observables the paper plots:
+
+* :mod:`repro.perfmon.counters` — LIKWID-style derived metrics (Gflop/s,
+  DP-AVX rate, memory/L3/L2 bandwidth and data volumes, vectorization
+  ratio) from the accumulated hardware-event counters;
+* :mod:`repro.perfmon.rapl` — chip and DRAM energy by integrating the
+  power models over each rank's compute/MPI/idle phases;
+* :mod:`repro.perfmon.trace` — ITAC-style per-rank timelines with ASCII
+  rendering (the insets of Fig. 2);
+* :mod:`repro.perfmon.roofline` — time-resolved Roofline coordinates
+  (ClusterCockpit-style node monitoring).
+"""
+
+from repro.perfmon.counters import CounterReport, measure
+from repro.perfmon.rapl import EnergyMeter, EnergyReading
+from repro.perfmon.trace import TraceCollector, TraceInterval
+from repro.perfmon.roofline import RooflinePoint, roofline_point
+
+__all__ = [
+    "CounterReport",
+    "measure",
+    "EnergyMeter",
+    "EnergyReading",
+    "TraceCollector",
+    "TraceInterval",
+    "RooflinePoint",
+    "roofline_point",
+]

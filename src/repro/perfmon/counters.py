@@ -1,0 +1,99 @@
+"""LIKWID-style derived metrics.
+
+``likwid-perfctr -g MEM_DP / L3 / L2`` on the paper's systems reports
+flop rates split by SIMD width, memory/L3/L2 bandwidths, and data volumes.
+:func:`measure` computes the same quantities from a finished simulated job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.smpi.runtime import MpiJob
+from repro.units import GB, GIGA
+
+
+@dataclass(frozen=True)
+class CounterReport:
+    """Aggregate derived metrics of one job (node/cluster level).
+
+    Rates are based on the job's wall-clock time (makespan), volumes are
+    totals over all ranks — the conventions of the paper's Figs. 1-2, 5.
+    """
+
+    elapsed: float
+    flops_total: float
+    simd_flops_total: float
+    mem_bytes_total: float
+    l3_bytes_total: float
+    l2_bytes_total: float
+
+    # --- rates ----------------------------------------------------------------
+
+    @property
+    def gflops(self) -> float:
+        """DP performance [Gflop/s] (LIKWID's DP metric)."""
+        return self.flops_total / self.elapsed / GIGA if self.elapsed else 0.0
+
+    @property
+    def gflops_avx(self) -> float:
+        """Vectorized-only DP performance [Gflop/s] (DP-AVX metric)."""
+        return self.simd_flops_total / self.elapsed / GIGA if self.elapsed else 0.0
+
+    @property
+    def mem_bandwidth(self) -> float:
+        """Memory bandwidth [B/s]: data volume / wall-clock time."""
+        return self.mem_bytes_total / self.elapsed if self.elapsed else 0.0
+
+    @property
+    def l3_bandwidth(self) -> float:
+        return self.l3_bytes_total / self.elapsed if self.elapsed else 0.0
+
+    @property
+    def l2_bandwidth(self) -> float:
+        return self.l2_bytes_total / self.elapsed if self.elapsed else 0.0
+
+    # --- ratios -----------------------------------------------------------------
+
+    @property
+    def vectorization_ratio(self) -> float:
+        """Fraction of flops done with SIMD instructions (Sect. 4.1.3)."""
+        return self.simd_flops_total / self.flops_total if self.flops_total else 0.0
+
+    @property
+    def intensity(self) -> float:
+        """Arithmetic intensity w.r.t. DRAM [flop/B]."""
+        if self.mem_bytes_total == 0:
+            return float("inf")
+        return self.flops_total / self.mem_bytes_total
+
+    def summary(self) -> str:
+        """One-line metric summary for reports."""
+        return (
+            f"{self.gflops:8.1f} Gflop/s ({100 * self.vectorization_ratio:5.1f}% SIMD)  "
+            f"mem {self.mem_bandwidth / GB:7.1f} GB/s  "
+            f"L3 {self.l3_bandwidth / GB:7.1f} GB/s  "
+            f"L2 {self.l2_bandwidth / GB:7.1f} GB/s  "
+            f"vol {self.mem_bytes_total / GB:8.1f} GB"
+        )
+
+
+def measure(job: MpiJob) -> CounterReport:
+    """Derive the LIKWID-style report from a finished job."""
+    if job.elapsed < 0:
+        raise ValueError("job has negative elapsed time")
+    return CounterReport(
+        elapsed=job.elapsed,
+        flops_total=job.total_counter("flops"),
+        simd_flops_total=job.total_counter("simd_flops"),
+        mem_bytes_total=job.total_counter("mem_bytes"),
+        l3_bytes_total=job.total_counter("l3_bytes"),
+        l2_bytes_total=job.total_counter("l2_bytes"),
+    )
+
+
+def per_node_bandwidth(job: MpiJob) -> float:
+    """Average per-node memory bandwidth [B/s] (Fig. 5(b,e))."""
+    if job.elapsed == 0 or job.nnodes == 0:
+        return 0.0
+    return job.total_counter("mem_bytes") / job.elapsed / job.nnodes

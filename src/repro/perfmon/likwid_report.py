@@ -1,0 +1,83 @@
+"""likwid-perfctr-style formatted counter reports.
+
+Renders the derived metrics of a finished run in the familiar LIKWID
+group layout (``-g MEM_DP``, ``-g L3``, ``-g L2`` — the groups of
+Table 3's software row), so that readers of the paper can compare the
+simulated observables with the tool output they know.
+"""
+
+from __future__ import annotations
+
+from repro.harness.results import RunResult
+from repro.machine.cluster import ClusterSpec
+from repro.units import GB
+
+
+def _box(title: str, rows: list[tuple[str, str]]) -> str:
+    width_l = max(len(r[0]) for r in rows)
+    width_r = max(len(r[1]) for r in rows)
+    inner = max(width_l + width_r + 5, len(title) + 3)
+    width_r += inner - (width_l + width_r + 5)
+    top = "+" + "-" * inner + "+"
+    out = [top, "| " + title.ljust(inner - 1) + "|", top]
+    for left, right in rows:
+        out.append(f"| {left.ljust(width_l)} | {right.rjust(width_r)} |")
+    out.append(top)
+    return "\n".join(out)
+
+
+def mem_dp_report(result: RunResult, cluster: ClusterSpec) -> str:
+    """The MEM_DP group: DP flop rates, memory bandwidth and volume."""
+    rows = [
+        ("Runtime (RDTSC) [s]", f"{result.elapsed:.4f}"),
+        ("DP [MFLOP/s]", f"{result.gflops * 1e3:.1f}"),
+        ("AVX DP [MFLOP/s]", f"{result.gflops_avx * 1e3:.1f}"),
+        ("Vectorization ratio [%]", f"{100 * result.vectorization_ratio:.1f}"),
+        ("Memory bandwidth [MBytes/s]", f"{result.mem_bandwidth / 1e6:.1f}"),
+        ("Memory data volume [GBytes]", f"{result.mem_volume / GB:.2f}"),
+        (
+            "Bandwidth saturation [%]",
+            f"{100 * result.mem_bandwidth / (cluster.node.sustained_memory_bw * result.nnodes):.1f}",
+        ),
+    ]
+    return _box(f"Group MEM_DP | {result.benchmark} | {result.nprocs} ranks", rows)
+
+
+def cache_report(result: RunResult) -> str:
+    """The L3/L2 groups: cache bandwidths and volumes."""
+    rows = [
+        ("L3 bandwidth [MBytes/s]", f"{result.l3_bandwidth / 1e6:.1f}"),
+        ("L3 data volume [GBytes]", f"{result.counters['l3_bytes'] / GB:.2f}"),
+        ("L2 bandwidth [MBytes/s]", f"{result.l2_bandwidth / 1e6:.1f}"),
+        ("L2 data volume [GBytes]", f"{result.counters['l2_bytes'] / GB:.2f}"),
+        (
+            "L3/L2 traffic ratio",
+            f"{result.counters['l3_bytes'] / max(result.counters['l2_bytes'], 1.0):.2f}",
+        ),
+    ]
+    return _box(f"Groups L3+L2 | {result.benchmark} | {result.nprocs} ranks", rows)
+
+
+def energy_report(result: RunResult) -> str:
+    """The ENERGY group: RAPL package and DRAM domains."""
+    e = result.energy
+    rows = [
+        ("Runtime [s]", f"{result.elapsed:.4f}"),
+        ("Energy PKG [J]", f"{e.chip_energy:.1f}"),
+        ("Power PKG [W]", f"{e.avg_chip_power:.1f}"),
+        ("Energy DRAM [J]", f"{e.dram_energy:.1f}"),
+        ("Power DRAM [W]", f"{e.avg_dram_power:.1f}"),
+        ("Energy-delay product [Js]", f"{e.edp:.1f}"),
+    ]
+    return _box(f"Group ENERGY | {result.benchmark} | {result.nnodes} node(s)", rows)
+
+
+def full_report(result: RunResult, cluster: ClusterSpec) -> str:
+    """All groups concatenated — one likwid-perfctr session."""
+    return "\n\n".join(
+        [
+            mem_dp_report(result, cluster),
+            cache_report(result),
+            energy_report(result),
+        ]
+    )

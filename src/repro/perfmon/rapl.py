@@ -1,0 +1,124 @@
+"""RAPL-style energy accounting.
+
+The meter integrates the chip power model over each rank's phases:
+
+* **compute** — dynamic core power scaled by the kernel's heat and by the
+  instantaneous utilization (stalled cores burn
+  :data:`~repro.model.power.STALL_POWER_FRACTION` of busy power);
+* **MPI** — busy-waiting (Intel MPI spins by default), a hot scalar loop
+  at :data:`SPIN_POWER_FACTOR` of max core power — this is why minisweep's
+  serialization *increases* power while lbm's slow ranks *decrease* it
+  (Sect. 4.2.2);
+* **idle tail** — ranks that finish before the job only contribute
+  baseline power.
+
+The socket idle baseline and the DRAM floor accrue over the whole job on
+every allocated node (nodes are allocated exclusively).  DRAM dynamic
+energy is exactly ``slope x transferred bytes`` since the power term is
+bandwidth-proportional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.cluster import ClusterSpec
+from repro.model.power import STALL_POWER_FRACTION, ChipPowerModel, DramPowerModel
+from repro.smpi.runtime import MpiJob
+from repro.units import GB
+
+#: Fraction of max core power burnt by the MPI busy-wait spin loop.
+SPIN_POWER_FACTOR = 0.70
+
+
+@dataclass(frozen=True)
+class EnergyReading:
+    """Chip and DRAM energy of one job."""
+
+    elapsed: float
+    chip_energy: float
+    dram_energy: float
+    nnodes: int
+
+    @property
+    def total_energy(self) -> float:
+        return self.chip_energy + self.dram_energy
+
+    @property
+    def avg_chip_power(self) -> float:
+        return self.chip_energy / self.elapsed if self.elapsed else 0.0
+
+    @property
+    def avg_dram_power(self) -> float:
+        return self.dram_energy / self.elapsed if self.elapsed else 0.0
+
+    @property
+    def avg_total_power(self) -> float:
+        return self.avg_chip_power + self.avg_dram_power
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product [J s]."""
+        return self.total_energy * self.elapsed
+
+    def summary(self) -> str:
+        return (
+            f"E={self.total_energy / 1e3:9.2f} kJ  "
+            f"(chip {self.chip_energy / 1e3:8.2f} kJ, dram "
+            f"{self.dram_energy / 1e3:7.2f} kJ)  "
+            f"P={self.avg_total_power:8.1f} W  EDP={self.edp / 1e3:10.2f} kJ s"
+        )
+
+
+@dataclass(frozen=True)
+class EnergyMeter:
+    """RAPL meter for one cluster."""
+
+    cluster: ClusterSpec
+
+    def read(self, job: MpiJob) -> EnergyReading:
+        """Energy of a finished job across its allocated nodes."""
+        cpu = self.cluster.node.cpu
+        sockets = self.cluster.node.sockets
+        chip_model = ChipPowerModel(cpu)
+        dram_model = DramPowerModel(cpu)
+        elapsed = job.elapsed
+
+        # --- baselines on every allocated node -----------------------------
+        chip_energy = job.nnodes * sockets * cpu.idle_power_w * elapsed
+        dram_energy = job.nnodes * sockets * cpu.dram_idle_power_w * elapsed
+
+        # --- per-rank dynamic chip energy -------------------------------------
+        p_max = chip_model.core_power_max_w
+        for s in job.stats:
+            heat_seconds = s.counters["heat_seconds"]
+            heat_busy = s.counters["heat_busy_seconds"]
+            compute_energy = p_max * (
+                STALL_POWER_FRACTION * heat_seconds
+                + (1.0 - STALL_POWER_FRACTION) * heat_busy
+            )
+            mpi_energy = p_max * SPIN_POWER_FACTOR * s.mpi_time
+            chip_energy += compute_energy + mpi_energy
+
+        # cap: no node can exceed TDP-average (mirrors the RAPL limiter)
+        max_chip = job.nnodes * sockets * cpu.tdp_w * elapsed
+        chip_energy = min(chip_energy, max_chip)
+
+        # --- DRAM dynamic energy: slope x transferred bytes ---------------------
+        dram_energy += cpu.dram_power_per_gbs * job.total_counter("mem_bytes") / GB
+
+        return EnergyReading(
+            elapsed=elapsed,
+            chip_energy=chip_energy,
+            dram_energy=dram_energy,
+            nnodes=job.nnodes,
+        )
+
+    def baseline_power(self, nnodes: int = 1) -> float:
+        """Zero-activity power of ``nnodes`` allocated nodes [W]."""
+        cpu = self.cluster.node.cpu
+        return (
+            nnodes
+            * self.cluster.node.sockets
+            * (cpu.idle_power_w + cpu.dram_idle_power_w)
+        )

@@ -1,0 +1,112 @@
+"""Roofline coordinates (ClusterCockpit-style monitoring).
+
+The paper uses time-resolved Roofline plots to categorize codes; here we
+compute the Roofline position of a finished job against the node ceilings
+and report the limiting resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.node import NodeSpec
+from repro.perfmon.counters import measure
+from repro.smpi.runtime import MpiJob
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One application point in the Roofline diagram of a node."""
+
+    intensity: float        # flop/B (DRAM)
+    gflops: float           # achieved Gflop/s
+    peak_gflops: float      # node arithmetic ceiling
+    peak_bw: float          # node bandwidth ceiling [B/s]
+
+    @property
+    def attainable_gflops(self) -> float:
+        """Roofline ceiling at this intensity."""
+        if self.intensity == float("inf"):
+            return self.peak_gflops
+        return min(self.peak_gflops, self.peak_bw * self.intensity / 1e9)
+
+    @property
+    def knee_intensity(self) -> float:
+        """Intensity where the bandwidth and compute ceilings meet."""
+        return self.peak_gflops * 1e9 / self.peak_bw
+
+    @property
+    def memory_bound(self) -> bool:
+        """True left of the ridge point."""
+        return self.intensity < self.knee_intensity
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved fraction of the attainable ceiling."""
+        ceiling = self.attainable_gflops
+        return self.gflops / ceiling if ceiling else 0.0
+
+
+def roofline_point(job: MpiJob, node: NodeSpec, nodes_used: int = 1) -> RooflinePoint:
+    """Roofline position of a job, normalized to the nodes it used."""
+    rep = measure(job)
+    return RooflinePoint(
+        intensity=rep.intensity,
+        gflops=rep.gflops / max(1, nodes_used),
+        peak_gflops=node.peak_flops / 1e9,
+        peak_bw=node.sustained_memory_bw,
+    )
+
+
+@dataclass(frozen=True)
+class RooflineSample:
+    """One time bucket of a time-resolved Roofline series."""
+
+    t0: float
+    t1: float
+    gflops: float
+    mem_bw: float      # B/s
+
+    @property
+    def intensity(self) -> float:
+        if self.mem_bw == 0:
+            return float("inf")
+        return self.gflops * 1e9 / self.mem_bw
+
+
+def timeline_samples(trace, buckets: int = 50) -> list[RooflineSample]:
+    """Time-resolved Roofline series from a counter-carrying trace —
+    the ClusterCockpit view the paper uses to categorize codes.
+
+    Compute intervals carry their flops and memory bytes; each interval's
+    contribution is spread uniformly over the time buckets it overlaps.
+    """
+    if buckets < 1:
+        raise ValueError("buckets must be >= 1")
+    t_min, t_max = trace.span()
+    if t_max <= t_min:
+        return []
+    dt = (t_max - t_min) / buckets
+    flops = [0.0] * buckets
+    mem = [0.0] * buckets
+    for iv in trace.intervals:
+        if iv.duration <= 0 or (iv.flops == 0 and iv.mem_bytes == 0):
+            continue
+        b0 = max(0, int((iv.t0 - t_min) / dt))
+        b1 = min(buckets - 1, int((iv.t1 - t_min) / dt))
+        for b in range(b0, b1 + 1):
+            lo, hi = t_min + b * dt, t_min + (b + 1) * dt
+            overlap = min(iv.t1, hi) - max(iv.t0, lo)
+            if overlap > 0:
+                share = overlap / iv.duration
+                flops[b] += iv.flops * share
+                mem[b] += iv.mem_bytes * share
+    return [
+        RooflineSample(
+            t0=t_min + b * dt,
+            t1=t_min + (b + 1) * dt,
+            gflops=flops[b] / dt / 1e9,
+            mem_bw=mem[b] / dt,
+        )
+        for b in range(buckets)
+    ]

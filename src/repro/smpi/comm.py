@@ -1,0 +1,330 @@
+"""The per-rank MPI interface.
+
+Every method that communicates or computes is a *sub-coroutine*: benchmark
+code yields it to the engine, e.g.::
+
+    def body(comm):
+        yield comm.compute(0.01, flops=1e6)
+        yield comm.send(dest=comm.rank + 1, nbytes=8192)
+        val = yield comm.allreduce(nbytes=8)
+
+Time spent inside each call is attributed to an ITAC-style category
+(``MPI_Send``, ``MPI_Recv``, ``MPI_Wait``, ``MPI_Sendrecv``,
+``MPI_Allreduce``, ``MPI_Barrier``, ``MPI_Bcast``, ``MPI_Reduce``,
+``MPI_Allgather``, ``compute``) in the rank's :class:`~repro.smpi.runtime.
+RankStats` and, if a trace collector is attached, as a timeline interval.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.des.simulator import Delay, Wait
+from repro.smpi import collectives as coll
+from repro.smpi.mailbox import ANY_SOURCE, ANY_TAG, SendArrival
+from repro.smpi.request import Request
+
+
+def _completion(value):
+    """Unpack a completion-signal value into (finish_time, payload)."""
+    if isinstance(value, tuple):
+        return value
+    return value, None
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.smpi.runtime import MpiRuntime
+
+
+class Communicator:
+    """MPI_COMM_WORLD handle of one rank."""
+
+    __slots__ = ("runtime", "rank", "size", "_coll_seq")
+
+    def __init__(self, runtime: "MpiRuntime", rank: int) -> None:
+        self.runtime = runtime
+        self.rank = rank
+        self.size = runtime.nprocs
+        self._coll_seq = 0
+
+    # --- basic queries -------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.runtime.sim.now
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
+        return self.runtime.node_of(rank)
+
+    # --- computation ---------------------------------------------------------
+
+    def compute(
+        self,
+        seconds: float,
+        flops: float = 0.0,
+        simd_flops: float = 0.0,
+        mem_bytes: float = 0.0,
+        l3_bytes: float = 0.0,
+        l2_bytes: float = 0.0,
+        busy_seconds: float | None = None,
+        heat_seconds: float | None = None,
+        heat_busy_seconds: float | None = None,
+        label: str = "compute",
+    ) -> Generator:
+        """Burn ``seconds`` of virtual CPU time and account the hardware
+        events the work generated (LIKWID-counter semantics).
+
+        ``busy_seconds`` (instruction execution, default: all of it) and
+        the heat-weighted integrals feed the RAPL power model.
+        """
+        if seconds < 0:
+            raise ValueError("compute time must be non-negative")
+        if busy_seconds is None:
+            busy_seconds = seconds
+        if heat_seconds is None:
+            heat_seconds = 0.85 * seconds
+        if heat_busy_seconds is None:
+            heat_busy_seconds = 0.85 * busy_seconds
+        t0 = self.now
+        yield Delay(seconds)
+        stats = self.runtime.stats[self.rank]
+        stats.add_time("compute", seconds)
+        stats.add_counters(
+            flops=flops,
+            simd_flops=simd_flops,
+            mem_bytes=mem_bytes,
+            l3_bytes=l3_bytes,
+            l2_bytes=l2_bytes,
+            busy_seconds=busy_seconds,
+            heat_seconds=heat_seconds,
+            heat_busy_seconds=heat_busy_seconds,
+        )
+        self.runtime.record_trace(
+            self.rank, t0, self.now, label, flops=flops, mem_bytes=mem_bytes
+        )
+
+    def compute_cost(self, cost) -> Generator:
+        """Execute a resolved :class:`~repro.model.kernel.PhaseCost`."""
+        yield self.compute(cost.seconds, **cost.counter_kwargs())
+
+    # --- point-to-point --------------------------------------------------------
+
+    def isend(
+        self, dest: int, nbytes: int, tag: int = 0, payload: object = None
+    ) -> Request:
+        """Nonblocking send.  Returns immediately with a :class:`Request`.
+
+        ``payload`` optionally carries real application data to the
+        receiver (delivered as the return value of the matching receive).
+
+        NOTE: this is a plain method (not a coroutine) — the caller pays
+        time only in :meth:`wait`.
+        """
+        rt = self.runtime
+        if not (0 <= dest < self.size):
+            raise ValueError(f"invalid destination rank {dest}")
+        if dest == self.rank:
+            raise ValueError("self-sends are not supported")
+        net = rt.network
+        now = self.now
+        intra = rt.same_node(self.rank, dest)
+        req = Request("send", dest, tag, nbytes, now)
+        stats = rt.stats[self.rank]
+        stats.add_counters(messages=1, msg_bytes=nbytes)
+        if net.is_eager(nbytes):
+            arrival_time = now + net.transfer_time(nbytes, intra)
+            arr = SendArrival(
+                src=self.rank,
+                tag=tag,
+                nbytes=nbytes,
+                arrival_time=arrival_time,
+                rendezvous=False,
+                intra_node=intra,
+                payload=payload,
+            )
+            rt.deliver_at(arrival_time, dest, arr)
+            req.done_signal.fire(now + net.per_message_overhead)
+        else:
+            rts_lat = net.intra_node_latency if intra else net.latency
+            arr = SendArrival(
+                src=self.rank,
+                tag=tag,
+                nbytes=nbytes,
+                arrival_time=now + rts_lat,
+                rendezvous=True,
+                intra_node=intra,
+                sender_signal=req.done_signal,
+                payload=payload,
+            )
+            rt.deliver_at(now + rts_lat, dest, arr)
+        return req
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive.  Returns immediately with a :class:`Request`."""
+        rt = self.runtime
+        now = self.now
+        req = Request("recv", source, tag, 0, now)
+        arr, post = rt.mailboxes[self.rank].post_recv(source, tag, now)
+        if arr is not None:
+            rt.complete_match(arr, post)
+        # the mailbox match signal *is* the request completion signal
+        req.done_signal = post.match_signal
+        return req
+
+    def wait(self, req: Request, kind: str = "MPI_Wait") -> Generator:
+        """Block until ``req`` completes; time accounted as ``kind``.
+
+        Returns the payload for receive requests (None otherwise).
+        """
+        t0 = self.now
+        if req.done_signal.fired:
+            value = req.done_signal.value
+        else:
+            value = yield Wait(req.done_signal)
+        finish, payload = _completion(value)
+        if finish > self.now:
+            yield Delay(finish - self.now)
+        if self.now > t0:
+            self.runtime.stats[self.rank].add_time(kind, self.now - t0)
+            self.runtime.record_trace(self.rank, t0, self.now, kind)
+        return payload
+
+    def waitall(self, reqs: list[Request], kind: str = "MPI_Wait") -> Generator:
+        """Block until all requests complete.  Returns the payloads in
+        request order (None for sends)."""
+        payloads = []
+        for req in reqs:
+            payloads.append((yield self.wait(req, kind=kind)))
+        return payloads
+
+    def send(
+        self, dest: int, nbytes: int, tag: int = 0, payload: object = None
+    ) -> Generator:
+        """Blocking send (rendezvous blocks until the receive is posted)."""
+        t0 = self.now
+        req = self.isend(dest, nbytes, tag, payload=payload)
+        yield self._finish_p2p(req, t0, "MPI_Send")
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive.  Returns the sender's payload (or None)."""
+        t0 = self.now
+        req = self.irecv(source, tag)
+        payload = yield self._finish_p2p(req, t0, "MPI_Recv")
+        return payload
+
+    def sendrecv(
+        self,
+        dest: int,
+        send_bytes: int,
+        source: int,
+        recv_bytes: int = 0,
+        tag: int = 0,
+        payload: object = None,
+    ) -> Generator:
+        """Combined send+receive (deadlock-free halo exchange primitive).
+        Returns the received payload (or None)."""
+        t0 = self.now
+        rreq = self.irecv(source, tag)
+        sreq = self.isend(dest, send_bytes, tag, payload=payload)
+        yield self._finish_p2p(sreq, t0, "MPI_Sendrecv", record=False)
+        received = yield self._finish_p2p(rreq, t0, "MPI_Sendrecv", record=False)
+        if self.now > t0:
+            self.runtime.stats[self.rank].add_time("MPI_Sendrecv", self.now - t0)
+            self.runtime.record_trace(self.rank, t0, self.now, "MPI_Sendrecv")
+        return received
+
+    def _finish_p2p(
+        self, req: Request, t0: float, kind: str, record: bool = True
+    ) -> Generator:
+        if req.done_signal.fired:
+            value = req.done_signal.value
+        else:
+            value = yield Wait(req.done_signal)
+        finish, payload = _completion(value)
+        if finish > self.now:
+            yield Delay(finish - self.now)
+        if record and self.now > t0:
+            self.runtime.stats[self.rank].add_time(kind, self.now - t0)
+            self.runtime.record_trace(self.rank, t0, self.now, kind)
+        return payload
+
+    # --- collectives -----------------------------------------------------------
+
+    def barrier(self) -> Generator:
+        yield self._collective("MPI_Barrier", coll.barrier_cost, None)
+
+    def allreduce(self, nbytes: int = 8) -> Generator:
+        yield self._collective("MPI_Allreduce", coll.allreduce_cost, nbytes)
+
+    def bcast(self, nbytes: int, root: int = 0) -> Generator:
+        yield self._collective("MPI_Bcast", coll.bcast_cost, nbytes)
+
+    def reduce(self, nbytes: int, root: int = 0) -> Generator:
+        yield self._collective("MPI_Reduce", coll.reduce_cost, nbytes)
+
+    def allgather(self, total_bytes: int) -> Generator:
+        yield self._collective("MPI_Allgather", coll.allgather_cost, total_bytes)
+
+    def scatter(self, total_bytes: int, root: int = 0) -> Generator:
+        yield self._collective("MPI_Scatter", coll.scatter_cost, total_bytes)
+
+    def gather(self, total_bytes: int, root: int = 0) -> Generator:
+        yield self._collective("MPI_Gather", coll.gather_cost, total_bytes)
+
+    def alltoall(self, send_bytes: int) -> Generator:
+        yield self._collective("MPI_Alltoall", coll.alltoall_cost, send_bytes)
+
+    def allreduce_data(self, value, nbytes: int | None = None, op=None):
+        """Allreduce carrying *real data*: every rank contributes
+        ``value`` (e.g. a NumPy array or a float) and receives the
+        elementwise reduction.  ``op`` defaults to addition.
+
+        Usage: ``total = yield comm.allreduce_data(local_dot)``.
+        """
+        import numpy as _np
+
+        if nbytes is None:
+            nbytes = int(getattr(value, "nbytes", 8))
+        if op is None:
+            op = _np.add
+        rt = self.runtime
+        t0 = self.now
+        seq = self._coll_seq
+        self._coll_seq += 1
+        gate = rt.collective_gate("MPI_Allreduce", seq)
+        cost = coll.allreduce_cost(rt.network, self.size, rt.nnodes, nbytes)
+        rt.stats[self.rank].add_counters(messages=1, msg_bytes=nbytes)
+        gate.arrive(self.rank, t0, cost, payload=value, op=op)
+        if gate.signal.fired:
+            finish = gate.signal.value
+        else:
+            finish = yield Wait(gate.signal)
+        if finish > self.now:
+            yield Delay(finish - self.now)
+        if self.now > t0:
+            rt.stats[self.rank].add_time("MPI_Allreduce", self.now - t0)
+            rt.record_trace(self.rank, t0, self.now, "MPI_Allreduce")
+        return gate.payload_acc
+
+    def _collective(self, kind: str, cost_fn, nbytes: int | None) -> Generator:
+        rt = self.runtime
+        t0 = self.now
+        seq = self._coll_seq
+        self._coll_seq += 1
+        gate = rt.collective_gate(kind, seq)
+        if nbytes is None:
+            cost = cost_fn(rt.network, self.size, rt.nnodes)
+        else:
+            cost = cost_fn(rt.network, self.size, rt.nnodes, nbytes)
+            rt.stats[self.rank].add_counters(messages=1, msg_bytes=nbytes)
+        gate.arrive(self.rank, t0, cost)
+        if gate.signal.fired:
+            finish = gate.signal.value
+        else:
+            finish = yield Wait(gate.signal)
+        if finish > self.now:
+            yield Delay(finish - self.now)
+        if self.now > t0:
+            rt.stats[self.rank].add_time(kind, self.now - t0)
+            rt.record_trace(self.rank, t0, self.now, kind)

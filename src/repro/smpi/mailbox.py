@@ -1,0 +1,111 @@
+"""Message matching: posted receives vs. arrived/announced sends.
+
+Each rank owns one :class:`Mailbox`.  Incoming eager payloads and rendezvous
+ready-to-send (RTS) announcements queue as :class:`SendArrival`; receives
+that find no match queue as :class:`RecvPost`.  Matching follows MPI rules:
+FIFO per (source, tag), with ``ANY_SOURCE``/``ANY_TAG`` wildcards on the
+receive side.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.des.simulator import Signal
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class SendArrival:
+    """A message (eager payload or rendezvous RTS) known to the receiver.
+
+    ``arrival_time`` is when the payload (eager) or the RTS (rendezvous)
+    reaches the receiving rank.  For rendezvous sends ``sender_signal``
+    is fired with the transfer-end time once the match happens.
+    ``payload`` optionally carries real application data (the simulated
+    MPI can execute actual data-parallel programs; see
+    :mod:`repro.spechpc.distributed`).
+    """
+
+    src: int
+    tag: int
+    nbytes: int
+    arrival_time: float
+    rendezvous: bool
+    intra_node: bool
+    sender_signal: Optional[Signal] = None
+    payload: object = None
+
+
+@dataclass
+class RecvPost:
+    """A posted receive waiting for a matching message."""
+
+    src: int
+    tag: int
+    posted_time: float
+    match_signal: Signal = field(default_factory=lambda: Signal("recv-match"))
+
+    def matches(self, src: int, tag: int) -> bool:
+        src_ok = self.src == ANY_SOURCE or self.src == src
+        tag_ok = self.tag == ANY_TAG or self.tag == tag
+        return src_ok and tag_ok
+
+
+class Mailbox:
+    """Per-rank matching queues."""
+
+    __slots__ = ("rank", "_arrivals", "_posts")
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self._arrivals: deque[SendArrival] = deque()
+        self._posts: deque[RecvPost] = deque()
+
+    # --- receiver side -----------------------------------------------------
+
+    def post_recv(self, src: int, tag: int, now: float) -> tuple[Optional[SendArrival], RecvPost]:
+        """Post a receive.  Returns ``(matched_arrival_or_None, post)``.
+
+        If an arrival matches, it is removed from the queue and returned;
+        the caller computes completion times.  Otherwise the post is queued
+        and the caller must wait on ``post.match_signal`` (fired with the
+        matching :class:`SendArrival`).
+        """
+        post = RecvPost(src=src, tag=tag, posted_time=now)
+        for i, arr in enumerate(self._arrivals):
+            if post.matches(arr.src, arr.tag):
+                del self._arrivals[i]
+                return arr, post
+        self._posts.append(post)
+        return None, post
+
+    # --- sender side ---------------------------------------------------------
+
+    def deliver(self, arrival: SendArrival) -> Optional[RecvPost]:
+        """Register an arriving message; return the matching posted receive
+        if one exists (removed from the queue), else queue the arrival."""
+        for i, post in enumerate(self._posts):
+            if post.matches(arrival.src, arrival.tag):
+                del self._posts[i]
+                return post
+        self._arrivals.append(arrival)
+        return None
+
+    # --- introspection ---------------------------------------------------------
+
+    @property
+    def pending_arrivals(self) -> int:
+        return len(self._arrivals)
+
+    @property
+    def pending_posts(self) -> int:
+        return len(self._posts)
+
+    def idle(self) -> bool:
+        """True if no unmatched traffic remains (checked at finalize)."""
+        return not self._arrivals and not self._posts

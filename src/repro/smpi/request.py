@@ -1,0 +1,43 @@
+"""Nonblocking-communication request handles."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.des.simulator import Signal
+
+
+class Request:
+    """Handle returned by ``isend``/``irecv``.
+
+    ``done_signal`` fires when the operation completes; its value is the
+    completion time (and, for receives, the message payload descriptor).
+    """
+
+    __slots__ = ("kind", "peer", "tag", "nbytes", "done_signal", "posted_at")
+
+    def __init__(
+        self, kind: str, peer: int, tag: int, nbytes: int, posted_at: float
+    ) -> None:
+        if kind not in ("send", "recv"):
+            raise ValueError(f"unknown request kind {kind!r}")
+        self.kind = kind
+        self.peer = peer
+        self.tag = tag
+        self.nbytes = nbytes
+        self.posted_at = posted_at
+        self.done_signal = Signal(name=f"{kind}->{peer}#{tag}")
+
+    @property
+    def done(self) -> bool:
+        return self.done_signal.fired
+
+    @property
+    def completion_value(self) -> Any:
+        if not self.done:
+            raise RuntimeError("request not complete")
+        return self.done_signal.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "pending"
+        return f"<Request {self.kind} peer={self.peer} tag={self.tag} {state}>"

@@ -1,0 +1,34 @@
+"""The SPEChpc 2021 benchmark suite, modeled for the simulated runtime.
+
+All nine benchmarks of the suite are available via :func:`get_benchmark`
+or :data:`SUITE` (paper order).  Each benchmark carries its Table 1/2
+metadata, tiny/small workload definitions, kernel resource models, and an
+executable MPI program body.
+"""
+
+from repro.spechpc.base import (
+    Benchmark,
+    BenchmarkInfo,
+    RunContext,
+    Workload,
+    dims_create,
+    grid_coords,
+    grid_rank,
+    split_extent,
+)
+from repro.spechpc.suite import SUITE, SUITE_ORDER, all_benchmarks, get_benchmark
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkInfo",
+    "RunContext",
+    "Workload",
+    "dims_create",
+    "grid_coords",
+    "grid_rank",
+    "split_extent",
+    "SUITE",
+    "SUITE_ORDER",
+    "all_benchmarks",
+    "get_benchmark",
+]

@@ -1,0 +1,134 @@
+"""519.clvleaf / 619.clvleaf — CloverLeaf compressible Euler equations
+(Fortran, ~12500 LOC).
+
+Explicit second-order hydrodynamics on a 2D Cartesian grid: many
+independent streaming sweeps over ~15 field arrays make it **strongly
+memory-bound** and almost perfectly vectorized (Sect. 4.1.3/4.1.4).
+Each step exchanges halos for several field groups and reduces the
+minimum stable timestep (``MPI_Allreduce``).
+
+Multi-node (Sect. 5.1, case D): the working set stays far out of cache
+under strong scaling, so only communication overhead bends the scaling;
+the bend is slightly worse on ClusterB because its single-node baseline
+is higher (250 vs 160 Gflop/s, Sect. 5.1.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.model.kernel import KernelModel
+from repro.smpi.comm import Communicator
+from repro.spechpc.base import (
+    Benchmark,
+    BenchmarkInfo,
+    RunContext,
+    Workload,
+    dims_create,
+    grid_coords,
+    grid_rank,
+    split_extent,
+)
+
+HYDRO_STEP = KernelModel(
+    name="cloverleaf.hydro_step",
+    flops_per_unit=140.0,
+    simd_fraction=0.965,
+    mem_bytes_per_unit=440.0,       # ~15 arrays, several sweeps per step
+    l3_bytes_per_unit=520.0,
+    l2_bytes_per_unit=600.0,
+    working_set_bytes_per_unit=160.0,  # ~20 DP fields
+    compute_efficiency=0.50,
+    heat=0.78,
+)
+
+#: Field groups whose halos are exchanged per step.
+HALO_FIELDS = 10
+
+
+class Cloverleaf(Benchmark):
+    """CloverLeaf explicit Euler hydrodynamics."""
+
+    info = BenchmarkInfo(
+        name="cloverleaf",
+        benchmark_id=19,
+        language="Fortran",
+        loc=12500,
+        collective="Allreduce",
+        numerics=(
+            "Compressible Euler equations on a 2D Cartesian grid, explicit "
+            "second-order accurate method"
+        ),
+        domain="Physics / high energy physics",
+        memory_bound=True,
+    )
+
+    workloads = {
+        "tiny": Workload(
+            suite="tiny",
+            params={"nx": 15360, "ny": 15360},
+            steps=400,
+        ),
+        "small": Workload(
+            suite="small",
+            params={"nx": 61440, "ny": 30720},
+            steps=500,
+        ),
+        # modeled estimates for the 4 / 14.5 TB suites (see lbm.py note)
+        "medium": Workload(
+            suite="medium",
+            params={"nx": 122880, "ny": 61440},
+            steps=500,
+        ),
+        "large": Workload(
+            suite="large",
+            params={"nx": 245760, "ny": 122880},
+            steps=500,
+        ),
+    }
+
+    def decompose(self, ctx: RunContext) -> tuple[int, int]:
+        return dims_create(ctx.nprocs, 2)  # type: ignore[return-value]
+
+    def local_units(self, ctx: RunContext, rank: int) -> float:
+        px, py = self.decompose(ctx)
+        cx, cy = grid_coords(rank, (px, py))
+        nx, ny = ctx.workload.params["nx"], ctx.workload.params["ny"]
+        return float(split_extent(nx, px, cx) * split_extent(ny, py, cy))
+
+    def default_sim_steps(self, suite: str) -> int:
+        return 3
+
+    def make_body(self, ctx: RunContext) -> Callable[[Communicator], Generator]:
+        px, py = self.decompose(ctx)
+        nx, ny = ctx.workload.params["nx"], ctx.workload.params["ny"]
+
+        def body(comm: Communicator) -> Generator:
+            rank = comm.rank
+            cx, cy = grid_coords(rank, (px, py))
+            lx = split_extent(nx, px, cx)
+            ly = split_extent(ny, py, cy)
+            ranks_dom = ctx.ranks_in_domain(rank)
+            hydro = ctx.exec_model.phase_cost(
+                HYDRO_STEP, float(lx * ly), ranks_dom
+            )
+
+            neighbors = []
+            if cx > 0:
+                neighbors.append((grid_rank((cx - 1, cy), (px, py)), ly))
+            if cx < px - 1:
+                neighbors.append((grid_rank((cx + 1, cy), (px, py)), ly))
+            if cy > 0:
+                neighbors.append((grid_rank((cx, cy - 1), (px, py)), lx))
+            if cy < py - 1:
+                neighbors.append((grid_rank((cx, cy + 1), (px, py)), lx))
+
+            for _ in range(ctx.sim_steps):
+                # two halo-exchange rounds per step (pre- and post-advection)
+                for _round in range(2):
+                    for peer, edge in neighbors:
+                        nbytes = edge * 8 * (HALO_FIELDS // 2)
+                        yield comm.sendrecv(peer, nbytes, peer, nbytes)
+                yield self.compute_phase(ctx, comm, hydro, label="compute")
+                yield comm.allreduce(8)   # minimum stable dt
+        return body

@@ -1,0 +1,164 @@
+"""534.hpgmgfv / 634.hpgmgfv — finite-volume geometric multigrid
+(C, ~16700 LOC).
+
+Variable-coefficient elliptic solves on Cartesian grids via V-cycles over
+a hierarchy of levels (finest: 512^3 for tiny, 1024^3 for small, in 32^3
+boxes).  The fine-level smoother streams many arrays -> memory-bound,
+but only **weakly saturating** (Sect. 4.1.4): coarser levels live in the
+caches, so the aggregate becomes less memory-bound as more cores shrink
+the per-rank fine-level share.
+
+Communication per V-cycle: a halo exchange on *every* level (the coarse
+ones are latency-dominated small messages) plus a residual-norm
+``MPI_Allreduce``.  At cluster scale this point-to-point + reduction mix
+dominates and outweighs the superlinear cache gains — case C of
+Sect. 5.1 on both systems.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.model.kernel import KernelModel
+from repro.smpi.comm import Communicator
+from repro.spechpc.base import (
+    Benchmark,
+    BenchmarkInfo,
+    RunContext,
+    Workload,
+    dims_create,
+    grid_coords,
+    grid_rank,
+    split_extent,
+)
+
+SMOOTH_FINE = KernelModel(
+    name="hpgmgfv.smooth_fine",
+    flops_per_unit=45.0,             # Chebyshev smoother + residual, FV fluxes
+    simd_fraction=0.72,
+    mem_bytes_per_unit=64.0,
+    l3_bytes_per_unit=96.0,
+    l2_bytes_per_unit=120.0,
+    working_set_bytes_per_unit=56.0,
+    compute_efficiency=0.48,
+    heat=0.80,
+)
+
+COARSE_LEVELS_FACTOR = 1.0 / 7.0     # sum of (1/8)^k for k >= 1
+
+SMOOTH_COARSE = KernelModel(
+    name="hpgmgfv.smooth_coarse",
+    flops_per_unit=45.0,
+    simd_fraction=0.72,
+    mem_bytes_per_unit=50.0,          # streams until the level fits cache
+    l3_bytes_per_unit=110.0,
+    l2_bytes_per_unit=150.0,
+    working_set_bytes_per_unit=16.0,
+    compute_efficiency=0.40,          # shorter loops, more overhead
+    heat=0.80,
+)
+
+#: Halo-exchange rounds per level per V-cycle (pre/post smoothing plus
+#: residual/restriction ghost updates).
+HALO_ROUNDS = 4
+
+#: Ghost-layer depth exchanged per round (FV high-order stencils).
+GHOST_WIDTH = 4
+
+
+class Hpgmgfv(Benchmark):
+    """HPGMG-FV geometric multigrid."""
+
+    info = BenchmarkInfo(
+        name="hpgmgfv",
+        benchmark_id=34,
+        language="C",
+        loc=16700,
+        collective="Allreduce",
+        numerics=(
+            "Finite-volume geometric multigrid for variable-coefficient "
+            "elliptic problems on Cartesian grids"
+        ),
+        domain="Cosmology, astrophysics, combustion",
+        memory_bound=True,
+    )
+
+    workloads = {
+        "tiny": Workload(
+            suite="tiny",
+            params={"log2_box": 5, "log2_grid": 9, "n_side": 512},
+            steps=300,
+        ),
+        "small": Workload(
+            suite="small",
+            params={"log2_box": 5, "log2_grid": 10, "n_side": 1024},
+            steps=300,
+        ),
+        # modeled estimates for the 4 / 14.5 TB suites (see lbm.py note)
+        "medium": Workload(
+            suite="medium",
+            params={"log2_box": 5, "log2_grid": 11, "n_side": 2048},
+            steps=300,
+        ),
+        "large": Workload(
+            suite="large",
+            params={"log2_box": 5, "log2_grid": 12, "n_side": 4096},
+            steps=300,
+        ),
+    }
+
+    #: Grid levels whose halos are exchanged per V-cycle (finest first).
+    N_LEVELS = 6
+
+    def decompose(self, ctx: RunContext) -> tuple[int, int, int]:
+        return dims_create(ctx.nprocs, 3)  # type: ignore[return-value]
+
+    def local_units(self, ctx: RunContext, rank: int) -> float:
+        """Fine-level cells of this rank."""
+        n = ctx.workload.params["n_side"]
+        return float(n**3) / ctx.nprocs
+
+    def default_sim_steps(self, suite: str) -> int:
+        return 2
+
+    def make_body(self, ctx: RunContext) -> Callable[[Communicator], Generator]:
+        n = ctx.workload.params["n_side"]
+        dims = self.decompose(ctx)
+
+        def body(comm: Communicator) -> Generator:
+            rank = comm.rank
+            coords = grid_coords(rank, dims)
+            ext = [split_extent(n, d, c) for d, c in zip(dims, coords)]
+            units_fine = float(ext[0] * ext[1] * ext[2])
+            ranks_dom = ctx.ranks_in_domain(rank)
+            fine = ctx.exec_model.phase_cost(SMOOTH_FINE, units_fine, ranks_dom)
+            coarse = ctx.exec_model.phase_cost(
+                SMOOTH_COARSE, units_fine * COARSE_LEVELS_FACTOR, ranks_dom
+            )
+
+            neighbors = []
+            for axis in range(3):
+                area = 1
+                for other in range(3):
+                    if other != axis:
+                        area *= ext[other]
+                for delta in (-1, 1):
+                    nc = list(coords)
+                    nc[axis] += delta
+                    if 0 <= nc[axis] < dims[axis]:
+                        neighbors.append((grid_rank(nc, dims), area))
+
+            for _ in range(ctx.sim_steps):
+                # one V-cycle: fine smooth, then per-level halo exchanges
+                # with geometrically shrinking faces
+                yield self.compute_phase(ctx, comm, fine, label="compute")
+                for level in range(self.N_LEVELS):
+                    shrink = 4**level            # face area / 4 per level
+                    for _round in range(HALO_ROUNDS):
+                        for peer, area in neighbors:
+                            nbytes = max(64, GHOST_WIDTH * area * 8 // shrink)
+                            yield comm.sendrecv(peer, nbytes, peer, nbytes)
+                yield self.compute_phase(ctx, comm, coarse, label="compute")
+                yield comm.allreduce(8)          # residual norm
+
+        return body

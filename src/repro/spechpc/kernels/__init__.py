@@ -1,0 +1,55 @@
+"""Executable NumPy mini-kernels, one per SPEChpc 2021 benchmark.
+
+These are real (small-scale) implementations of each benchmark's numerical
+method, used to validate that the resource characterizations in
+:mod:`repro.spechpc` describe genuine algorithms and to serve as runnable
+examples.  They follow the vectorization idioms of the scientific-Python
+guides: whole-array operations, views over copies, contiguous access.
+
+The simulator always *times* the paper's full problem sizes; these kernels
+*compute* on laptop-scale grids (documented substitution, see DESIGN.md).
+
+=================  =======================================================
+Benchmark          Mini-kernel
+=================  =======================================================
+lbm                :mod:`~repro.spechpc.kernels.lbm_d2q9` (D2Q9 LBM)
+soma               :mod:`~repro.spechpc.kernels.mc_polymer` (MC polymers)
+tealeaf            :mod:`~repro.spechpc.kernels.cg` (5-pt CG heat)
+cloverleaf         :mod:`~repro.spechpc.kernels.hydro` (2D Euler FV)
+minisweep          :mod:`~repro.spechpc.kernels.sweep` (upwind sweep)
+pot3d              :mod:`~repro.spechpc.kernels.laplace_sph` (spherical CG)
+sph-exa            :mod:`~repro.spechpc.kernels.sph` (SPH density/force)
+hpgmgfv            :mod:`~repro.spechpc.kernels.multigrid` (V-cycle)
+weather            :mod:`~repro.spechpc.kernels.fv_weather` (FV advection)
+=================  =======================================================
+"""
+
+from repro.spechpc.kernels.cg import cg_solve, heat_conduction_step, laplacian_5pt
+from repro.spechpc.kernels.lbm_d2q9 import LbmD2Q9
+from repro.spechpc.kernels.hydro import HydroState, hydro_step, sod_initial_state
+from repro.spechpc.kernels.sweep import transport_sweep
+from repro.spechpc.kernels.multigrid import v_cycle, poisson_residual
+from repro.spechpc.kernels.sph import sph_density, sph_forces, cubic_lattice
+from repro.spechpc.kernels.mc_polymer import PolymerSystem
+from repro.spechpc.kernels.fv_weather import advect_2d, gaussian_blob
+from repro.spechpc.kernels.laplace_sph import solve_laplace_spherical
+
+__all__ = [
+    "cg_solve",
+    "heat_conduction_step",
+    "laplacian_5pt",
+    "LbmD2Q9",
+    "HydroState",
+    "hydro_step",
+    "sod_initial_state",
+    "transport_sweep",
+    "v_cycle",
+    "poisson_residual",
+    "sph_density",
+    "sph_forces",
+    "cubic_lattice",
+    "PolymerSystem",
+    "advect_2d",
+    "gaussian_blob",
+    "solve_laplace_spherical",
+]

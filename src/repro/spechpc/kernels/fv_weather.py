@@ -1,0 +1,81 @@
+"""Finite-volume atmospheric transport — the weather mini-kernel.
+
+miniWeather's core is a conservative finite-volume update of prognostic
+variables on an (x, z) grid.  This mini-kernel implements the
+dimensionally-split conservative advection operator with a monotonized
+central (MC) limiter — the flux/limiter structure whose temporaries drive
+the cache effects modeled in :mod:`repro.spechpc.weather` — plus a rising
+thermal initial condition.
+
+Validation: exact conservation of the advected quantity, second-order
+convergence on smooth profiles, and exact translation for constant wind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _mc_limiter(dq_left: np.ndarray, dq_right: np.ndarray) -> np.ndarray:
+    """Monotonized-central slope limiter."""
+    d_c = 0.5 * (dq_left + dq_right)
+    lim = np.minimum(np.abs(2 * dq_left), np.abs(2 * dq_right))
+    lim = np.minimum(lim, np.abs(d_c))
+    same_sign = (dq_left * dq_right) > 0
+    return np.where(same_sign, np.sign(d_c) * lim, 0.0)
+
+
+def _advect_1d(q: np.ndarray, u: float, dt_dx: float) -> np.ndarray:
+    """Conservative 1D advection along the last axis (periodic), MUSCL
+    with the MC limiter.  CFL must be <= 1."""
+    if abs(u) * dt_dx > 1.0:
+        raise ValueError("CFL violated")
+    qm = np.roll(q, 1, axis=-1)
+    qp = np.roll(q, -1, axis=-1)
+    slope = _mc_limiter(q - qm, qp - q)
+    if u >= 0:
+        # upwind cell is the left one: flux at i+1/2 uses cell i
+        q_face = q + 0.5 * (1.0 - u * dt_dx) * slope
+        flux = u * q_face
+    else:
+        q_face = q - 0.5 * (1.0 + u * dt_dx) * slope
+        flux = u * np.roll(q_face, -1, axis=-1)
+    return q - dt_dx * (flux - np.roll(flux, 1, axis=-1))
+
+
+def advect_2d(
+    q: np.ndarray, ux: float, uz: float, dx: float, dz: float, dt: float
+) -> np.ndarray:
+    """One Strang-split conservative advection step on a periodic (z, x)
+    grid."""
+    if q.ndim != 2:
+        raise ValueError("q must be 2D (z, x)")
+    half = 0.5 * dt
+    q = _advect_1d(q, ux, half / dx)                      # x half step
+    q = _advect_1d(q.T, uz, dt / dz).T                    # z full step
+    q = _advect_1d(q, ux, half / dx)                      # x half step
+    return q
+
+
+def gaussian_blob(
+    nx: int, nz: int, x0: float = 0.5, z0: float = 0.5, width: float = 0.1
+) -> np.ndarray:
+    """Smooth initial tracer on the unit square, shape (nz, nx)."""
+    x = (np.arange(nx) + 0.5) / nx
+    z = (np.arange(nz) + 0.5) / nz
+    xx, zz = np.meshgrid(x, z)
+    return np.exp(-((xx - x0) ** 2 + (zz - z0) ** 2) / (2 * width**2))
+
+
+def injection_scenario(
+    nx: int, nz: int, steps: int, ux: float = 1.0, uz: float = 0.3
+) -> tuple[np.ndarray, np.ndarray]:
+    """Table 1's model 6 ("Injection") stand-in: advect an injected plume
+    across the periodic domain.  Returns (initial, final)."""
+    q0 = gaussian_blob(nx, nz, x0=0.2, z0=0.3, width=0.07)
+    dx, dz = 1.0 / nx, 1.0 / nz
+    dt = 0.4 * min(dx / abs(ux) if ux else 1.0, dz / abs(uz) if uz else 1.0)
+    q = q0.copy()
+    for _ in range(steps):
+        q = advect_2d(q, ux, uz, dx, dz, dt)
+    return q0, q

@@ -1,0 +1,86 @@
+"""Laplace solver in spherical coordinates — the pot3d mini-kernel.
+
+POT3D computes potential magnetic fields by solving Laplace's equation in
+3D spherical coordinates (r, theta, phi) with a preconditioned CG solver.
+This mini-kernel discretizes the axisymmetric (r, theta) Laplacian in
+**conservative flux form**, which makes the operator symmetric positive
+definite (Laplace's operator is self-adjoint under the r^2 sin(theta)
+volume weight) so the same matrix-free CG as tealeaf's kernel applies.
+Validated against the analytic harmonic  u = r cos(theta).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spechpc.kernels.cg import cg_solve
+
+
+class SphericalGrid:
+    """Interior tensor grid in (r, theta) with Dirichlet boundaries."""
+
+    def __init__(
+        self,
+        nr: int,
+        nt: int,
+        r_inner: float = 1.0,
+        r_outer: float = 2.5,
+        theta_min: float = 0.15,
+        theta_max: float = np.pi - 0.15,
+    ) -> None:
+        if nr < 4 or nt < 4:
+            raise ValueError("grid too small")
+        if not (0 < theta_min < theta_max < np.pi):
+            raise ValueError("theta range must avoid the poles")
+        self.nr, self.nt = nr, nt
+        self.r_full = np.linspace(r_inner, r_outer, nr + 2)
+        self.t_full = np.linspace(theta_min, theta_max, nt + 2)
+        self.dr = self.r_full[1] - self.r_full[0]
+        self.dt = self.t_full[1] - self.t_full[0]
+        # face-centered coefficients of the flux-form operator
+        r_face = 0.5 * (self.r_full[:-1] + self.r_full[1:])      # nr+1 faces
+        t_face = 0.5 * (self.t_full[:-1] + self.t_full[1:])      # nt+1 faces
+        self.kr = (r_face**2)[:, None] * np.sin(self.t_full[1:-1])[None, :]
+        self.kt = np.sin(t_face)[None, :] * np.ones((nr, 1))
+
+    def weighted_neg_laplacian(self, u_full: np.ndarray) -> np.ndarray:
+        """-(sin t * d_r(r^2 d_r u) / dr^2 + d_t(sin t d_t u) / dt^2)
+        on interior points, given the full grid including boundaries.
+        Symmetric positive definite in the interior unknowns."""
+        du_r = np.diff(u_full[:, 1:-1], axis=0) / self.dr     # (nr+1, nt)
+        flux_r = self.kr * du_r
+        du_t = np.diff(u_full[1:-1, :], axis=1) / self.dt     # (nr, nt+1)
+        flux_t = self.kt * du_t
+        div = np.diff(flux_r, axis=0) / self.dr + np.diff(flux_t, axis=1) / self.dt
+        return -div
+
+
+def solve_laplace_spherical(
+    nr: int = 32,
+    nt: int = 32,
+    r_inner: float = 1.0,
+    r_outer: float = 2.5,
+    tol: float = 1e-10,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Solve Laplace u = 0 with u = r cos(theta) Dirichlet boundaries.
+
+    Returns ``(numerical, exact, cg_iterations)`` on the interior grid;
+    the flux-form discretization converges to the exact harmonic at
+    second order.
+    """
+    grid = SphericalGrid(nr, nt, r_inner, r_outer)
+    exact = grid.r_full[:, None] * np.cos(grid.t_full)[None, :]
+
+    # boundary-lifted RHS:  A u_int = -A_gb g  (g = boundary values)
+    g = exact.copy()
+    g[1:-1, 1:-1] = 0.0
+    b = -grid.weighted_neg_laplacian(g)
+
+    full = np.zeros((nr + 2, nt + 2))
+
+    def op(v: np.ndarray) -> np.ndarray:
+        full[1:-1, 1:-1] = v
+        return grid.weighted_neg_laplacian(full)
+
+    u, iters, _res = cg_solve(op, b, tol=tol, max_iter=20000)
+    return u, exact[1:-1, 1:-1], iters

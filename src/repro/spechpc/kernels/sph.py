@@ -1,0 +1,143 @@
+"""Smoothed-particle hydrodynamics — the sph-exa mini-kernel.
+
+Density summation and symmetric pressure forces with the cubic-spline
+kernel, grid-hashed neighbor search — the computational pattern of
+SPH-EXA's density/momentum kernels.  Validated on a periodic cubic
+lattice (uniform density recovery, force antisymmetry -> zero net
+momentum change).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Cubic-spline normalization in 3D.
+SIGMA_3D = 8.0 / np.pi
+
+
+def cubic_spline(q: np.ndarray, h: float) -> np.ndarray:
+    """The standard cubic-spline kernel W(q = r/h) in 3D."""
+    w = np.zeros_like(q)
+    m1 = q <= 0.5
+    m2 = (q > 0.5) & (q <= 1.0)
+    w[m1] = 6.0 * (q[m1] ** 3 - q[m1] ** 2) + 1.0
+    w[m2] = 2.0 * (1.0 - q[m2]) ** 3
+    return SIGMA_3D / h**3 * w
+
+
+def cubic_spline_grad(q: np.ndarray, h: float) -> np.ndarray:
+    """dW/dr (radial derivative) of the cubic spline."""
+    g = np.zeros_like(q)
+    m1 = (q > 0) & (q <= 0.5)
+    m2 = (q > 0.5) & (q <= 1.0)
+    g[m1] = 6.0 * (3.0 * q[m1] ** 2 - 2.0 * q[m1])
+    g[m2] = -6.0 * (1.0 - q[m2]) ** 2
+    return SIGMA_3D / h**4 * g
+
+
+def cubic_lattice(n_side: int, spacing: float = 1.0) -> np.ndarray:
+    """Periodic cubic particle lattice, shape (n^3, 3)."""
+    if n_side < 2:
+        raise ValueError("need at least 2 particles per side")
+    ax = np.arange(n_side) * spacing
+    grid = np.stack(np.meshgrid(ax, ax, ax, indexing="ij"), axis=-1)
+    return grid.reshape(-1, 3).astype(float)
+
+
+def _neighbor_pairs(
+    pos: np.ndarray, h: float, box: float | None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """All interacting pairs (i, j, r, unit vectors) within radius h via a
+    cell grid (O(N) like SPH-EXA's octree, not O(N^2))."""
+    n = pos.shape[0]
+    if box is not None:
+        ncell = max(1, int(box / h))
+        cell_size = box / ncell
+    else:
+        lo = pos.min(axis=0)
+        span = np.maximum(pos.max(axis=0) - lo, 1e-12)
+        ncell = max(1, int(span.max() / h))
+        cell_size = span.max() / ncell
+    coords = np.floor((pos - (0 if box is not None else pos.min(axis=0))) / cell_size).astype(int)
+    coords = np.clip(coords, 0, ncell - 1)
+    cell_id = (coords[:, 0] * ncell + coords[:, 1]) * ncell + coords[:, 2]
+    order = np.argsort(cell_id, kind="stable")
+
+    from collections import defaultdict
+
+    buckets: dict[int, list[int]] = defaultdict(list)
+    for idx in order:
+        buckets[int(cell_id[idx])].append(int(idx))
+
+    ii, jj = [], []
+    offs = [(a, b, c) for a in (-1, 0, 1) for b in (-1, 0, 1) for c in (-1, 0, 1)]
+    for cid, members in buckets.items():
+        cz = cid % ncell
+        cy = (cid // ncell) % ncell
+        cx = cid // (ncell * ncell)
+        # dedupe neighbor cells: with few cells per axis, periodic
+        # wrapping maps distinct offsets onto the same cell
+        neighbor_ids = set()
+        for dx, dy, dz in offs:
+            nx_, ny_, nz_ = cx + dx, cy + dy, cz + dz
+            if box is not None:
+                nx_, ny_, nz_ = nx_ % ncell, ny_ % ncell, nz_ % ncell
+            elif not (0 <= nx_ < ncell and 0 <= ny_ < ncell and 0 <= nz_ < ncell):
+                continue
+            neighbor_ids.add((nx_ * ncell + ny_) * ncell + nz_)
+        for nid in neighbor_ids:
+            if nid not in buckets:
+                continue
+            for i in members:
+                for j in buckets[nid]:
+                    if i < j:
+                        ii.append(i)
+                        jj.append(j)
+    if not ii:
+        return (np.empty(0, int), np.empty(0, int), np.empty(0), np.empty((0, 3)))
+    ii = np.asarray(ii)
+    jj = np.asarray(jj)
+    d = pos[ii] - pos[jj]
+    if box is not None:
+        d -= box * np.round(d / box)  # minimum image
+    r = np.linalg.norm(d, axis=1)
+    mask = (r < h) & (r > 0)
+    ii, jj, r, d = ii[mask], jj[mask], r[mask], d[mask]
+    unit = d / r[:, None]
+    return ii, jj, r, unit
+
+
+def sph_density(
+    pos: np.ndarray, mass: float, h: float, box: float | None = None
+) -> np.ndarray:
+    """SPH density summation over neighbors within radius ``h``."""
+    n = pos.shape[0]
+    rho = np.full(n, mass * cubic_spline(np.zeros(1), h)[0])  # self term
+    ii, jj, r, _unit = _neighbor_pairs(pos, h, box)
+    w = mass * cubic_spline(r / h, h)
+    np.add.at(rho, ii, w)
+    np.add.at(rho, jj, w)
+    return rho
+
+
+def sph_forces(
+    pos: np.ndarray,
+    rho: np.ndarray,
+    pressure: np.ndarray,
+    mass: float,
+    h: float,
+    box: float | None = None,
+) -> np.ndarray:
+    """Symmetric pressure-gradient accelerations (momentum-conserving)."""
+    n = pos.shape[0]
+    acc = np.zeros((n, 3))
+    ii, jj, r, unit = _neighbor_pairs(pos, h, box)
+    if len(ii) == 0:
+        return acc
+    coef = -mass * (
+        pressure[ii] / rho[ii] ** 2 + pressure[jj] / rho[jj] ** 2
+    ) * cubic_spline_grad(r / h, h)
+    contrib = coef[:, None] * unit
+    np.add.at(acc, ii, contrib)
+    np.add.at(acc, jj, -contrib)
+    return acc

@@ -1,0 +1,115 @@
+"""Upwind transport sweep — the minisweep mini-kernel.
+
+Solves the steady one-group discrete-ordinates transport equation
+
+    mu dpsi/dx + eta dpsi/dy + xi dpsi/dz + sigma psi = q
+
+by an upwind (step-differencing) wavefront sweep through a 3D grid, the
+computational pattern of Sweep3D/minisweep: each cell depends on its
+upwind neighbors, so cells on a diagonal wavefront can be processed
+together — exactly the dependency structure the KBA decomposition
+pipelines over MPI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def transport_sweep(
+    q: np.ndarray,
+    sigma: float,
+    direction: tuple[int, int, int] = (1, 1, 1),
+    weights: tuple[float, float, float] = (1.0, 1.0, 1.0),
+    inflow: float = 0.0,
+) -> np.ndarray:
+    """Sweep the grid in ``direction`` (each component +-1).
+
+    Step differencing: for positive mu,
+        psi[i] = (q + mu/dx psi[i-1] + ...) / (sigma + mu/dx + ...)
+    with ``inflow`` on the upwind boundary faces.  The returned array
+    satisfies the discrete transport equation exactly (tested by residual).
+    """
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    if any(d not in (-1, 1) for d in direction):
+        raise ValueError("direction components must be +-1")
+    if any(w <= 0 for w in weights):
+        raise ValueError("weights must be positive")
+    q = np.asarray(q, dtype=float)
+    if q.ndim != 3:
+        raise ValueError("q must be 3D")
+
+    # flip axes so the sweep always runs in +x,+y,+z
+    flips = [ax for ax, d in enumerate(direction) if d < 0]
+    qf = np.flip(q, axis=flips) if flips else q
+
+    nx, ny, nz = qf.shape
+    wx, wy, wz = weights
+    denom = sigma + wx + wy + wz
+    psi = np.empty_like(qf)
+
+    # wavefront order: cells with equal i+j+k are independent
+    prev_x = np.full((ny, nz), inflow)
+    for i in range(nx):
+        prev_y = np.full(nz, inflow)
+        # roll the y rows sequentially (dependency), vectorize over z
+        row_psi = np.empty((ny, nz))
+        for j in range(ny):
+            up_x = prev_x[j]
+            # z dependency is sequential too; vectorizing it needs a scan —
+            # use the exact recurrence via cumulative products
+            a = (qf[i, j] + wx * up_x + wy * prev_y) / denom
+            r = wz / denom
+            # psi[k] = a[k] + r * psi[k-1], psi[-1] = inflow  (linear scan)
+            psi_row = _linear_recurrence(a, r, inflow)
+            row_psi[j] = psi_row
+            prev_y = psi_row
+        psi[i] = row_psi
+        prev_x = row_psi
+
+    return np.flip(psi, axis=flips) if flips else psi
+
+
+def _linear_recurrence(a: np.ndarray, r: float, x0: float) -> np.ndarray:
+    """Solve x[k] = a[k] + r x[k-1] with x[-1] = x0, vectorized:
+    x[k] = r^{k+1} x0 + sum_{m<=k} r^{k-m} a[m]."""
+    n = a.shape[0]
+    powers = r ** np.arange(n + 1)            # r^0 .. r^n
+    # prefix sums of a[m] / r^m, guarded for tiny r^m via log-free scaling:
+    # with 0 < r < 1 the direct form is numerically fine for n ~ O(100).
+    scaled = a / powers[:n]
+    prefix = np.cumsum(scaled)
+    x = powers[1:] * x0 + powers[:n] * prefix
+    return x
+
+
+def sweep_residual(
+    psi: np.ndarray,
+    q: np.ndarray,
+    sigma: float,
+    direction: tuple[int, int, int] = (1, 1, 1),
+    weights: tuple[float, float, float] = (1.0, 1.0, 1.0),
+    inflow: float = 0.0,
+) -> float:
+    """Max-norm residual of the discrete transport equation — zero (to
+    roundoff) for the exact sweep solution."""
+    flips = [ax for ax, d in enumerate(direction) if d < 0]
+    pf = np.flip(psi, axis=flips) if flips else psi
+    qf = np.flip(q, axis=flips) if flips else q
+    wx, wy, wz = weights
+    denom = sigma + wx + wy + wz
+
+    up = np.empty_like(pf)
+    res = np.empty_like(pf)
+    for axis, w in ((0, wx), (1, wy), (2, wz)):
+        shifted = np.roll(pf, 1, axis=axis)
+        idx = [slice(None)] * 3
+        idx[axis] = 0
+        shifted[tuple(idx)] = inflow
+        if axis == 0:
+            up = w * shifted
+        else:
+            up = up + w * shifted
+    res = denom * pf - qf - up
+    return float(np.abs(res).max())

@@ -1,0 +1,193 @@
+"""505.lbm / 605.lbm — Lattice-Boltzmann D2Q37 2D CFD solver (C, ~6000 LOC).
+
+Resource characterization (Sect. 4.1.6): the *collide* kernel performs
+~6600 flops per lattice-site update at high SIMD efficiency (the most
+compute-intensive code of the suite), the *propagate* kernel is strongly
+memory-bound with sparse (latency-sensitive) accesses over 37 SoA
+population arrays.  Per-step communication is a wide halo exchange with
+nonblocking pairs plus an ``MPI_Barrier`` at the end of every iteration
+(Table 1's dominant collective) — the barrier is what turns one slow rank
+into everyone's waiting time (inset of Fig. 2(h)).
+
+The power-of-two lattice extents (4096 x 16384 tiny) make some local slab
+shapes pathological for the TLB/L1 (alignment model), producing the
+reproducible scaling fluctuations of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.model.alignment import alignment_penalty
+from repro.model.kernel import KernelModel
+from repro.smpi.comm import Communicator
+from repro.spechpc.base import (
+    Benchmark,
+    BenchmarkInfo,
+    RunContext,
+    Workload,
+    dims_create,
+    grid_coords,
+    grid_rank,
+    split_extent,
+)
+
+#: D2Q37 population count (37 SoA streams).
+N_POPULATIONS = 37
+
+COLLIDE = KernelModel(
+    name="lbm.collide",
+    flops_per_unit=6600.0,
+    simd_fraction=0.93,
+    mem_bytes_per_unit=60.0,
+    l3_bytes_per_unit=180.0,
+    l2_bytes_per_unit=650.0,
+    working_set_bytes_per_unit=N_POPULATIONS * 8.0 * 2,
+    compute_efficiency=0.45,
+    heat=0.92,
+)
+
+PROPAGATE = KernelModel(
+    name="lbm.propagate",
+    flops_per_unit=40.0,
+    simd_fraction=0.80,
+    mem_bytes_per_unit=180.0,
+    l3_bytes_per_unit=260.0,
+    l2_bytes_per_unit=320.0,
+    working_set_bytes_per_unit=N_POPULATIONS * 8.0 * 2,
+    compute_efficiency=0.40,
+    latency_bound_factor=1.25,
+    heat=0.88,
+)
+
+#: Halo width of the D2Q37 stencil (third-neighbor reach).
+HALO_WIDTH = 3
+
+
+class Lbm(Benchmark):
+    """Lattice-Boltzmann D2Q37.
+
+    ``use_barrier=False`` builds the variant without the per-iteration
+    ``MPI_Barrier`` — the paper notes the barrier "could be avoided
+    because it is only used to synchronize processes at the end of each
+    iteration"; the ablation bench quantifies what it costs.
+    """
+
+    def __init__(self, use_barrier: bool = True) -> None:
+        self.use_barrier = use_barrier
+
+    info = BenchmarkInfo(
+        name="lbm",
+        benchmark_id=5,
+        language="C",
+        loc=6000,
+        collective="Barrier",
+        numerics="Lattice-Boltzmann Method D2Q37",
+        domain="2D CFD solver",
+        memory_bound=False,
+    )
+
+    workloads = {
+        "tiny": Workload(
+            suite="tiny",
+            params={"nx": 4096, "ny": 16384, "seed": 13948},
+            steps=600,
+        ),
+        "small": Workload(
+            suite="small",
+            params={"nx": 12000, "ny": 48000, "seed": 13948},
+            steps=500,
+        ),
+        # medium/large parameters are modeled estimates scaled to the
+        # suites' 4 / 14.5 TB memory budgets (Table 1 lists tiny/small
+        # only; the paper evaluates only those)
+        "medium": Workload(
+            suite="medium",
+            params={"nx": 24000, "ny": 96000, "seed": 13948},
+            steps=400,
+        ),
+        "large": Workload(
+            suite="large",
+            params={"nx": 48000, "ny": 192000, "seed": 13948},
+            steps=300,
+        ),
+    }
+
+    # --- decomposition ------------------------------------------------------
+
+    def decompose(self, ctx: RunContext) -> tuple[int, int]:
+        """2D process grid (Px, Py), Px >= Py."""
+        return dims_create(ctx.nprocs, 2)  # type: ignore[return-value]
+
+    def local_shape(self, ctx: RunContext, rank: int) -> tuple[int, int]:
+        """Local lattice extent (lx, ly) of one rank."""
+        px, py = self.decompose(ctx)
+        cx, cy = grid_coords(rank, (px, py))
+        nx = ctx.workload.params["nx"]
+        ny = ctx.workload.params["ny"]
+        return split_extent(nx, px, cx), split_extent(ny, py, cy)
+
+    def local_units(self, ctx: RunContext, rank: int) -> float:
+        lx, ly = self.local_shape(ctx, rank)
+        return float(lx * ly)
+
+    def rank_penalty(self, ctx: RunContext, rank: int) -> float:
+        """Alignment/TLB penalty of this rank's slab shape."""
+        lx, ly = self.local_shape(ctx, rank)
+        return alignment_penalty(
+            local_rows=ly, row_elems=lx, n_streams=N_POPULATIONS
+        )
+
+    # --- program ------------------------------------------------------------
+
+    def default_sim_steps(self, suite: str) -> int:
+        return 3
+
+    def make_body(self, ctx: RunContext) -> Callable[[Communicator], Generator]:
+        px, py = self.decompose(ctx)
+        nx = ctx.workload.params["nx"]
+        ny = ctx.workload.params["ny"]
+
+        def body(comm: Communicator) -> Generator:
+            rank = comm.rank
+            cx, cy = grid_coords(rank, (px, py))
+            lx = split_extent(nx, px, cx)
+            ly = split_extent(ny, py, cy)
+            units = float(lx * ly)
+            ranks_dom = ctx.ranks_in_domain(rank)
+            penalty = self.rank_penalty(ctx, rank)
+            collide = ctx.exec_model.phase_cost(COLLIDE, units, ranks_dom, penalty)
+            propagate = ctx.exec_model.phase_cost(
+                PROPAGATE, units, ranks_dom, penalty
+            )
+
+            # periodic 2D neighbors
+            west = grid_rank(((cx - 1) % px, cy), (px, py))
+            east = grid_rank(((cx + 1) % px, cy), (px, py))
+            south = grid_rank((cx, (cy - 1) % py), (px, py))
+            north = grid_rank((cx, (cy + 1) % py), (px, py))
+            x_halo = HALO_WIDTH * ly * N_POPULATIONS * 8
+            y_halo = HALO_WIDTH * lx * N_POPULATIONS * 8
+
+            for _ in range(ctx.sim_steps):
+                reqs = []
+                if px > 1:
+                    reqs.append(comm.irecv(west, tag=10))
+                    reqs.append(comm.irecv(east, tag=11))
+                if py > 1:
+                    reqs.append(comm.irecv(south, tag=12))
+                    reqs.append(comm.irecv(north, tag=13))
+                if px > 1:
+                    reqs.append(comm.isend(east, x_halo, tag=10))
+                    reqs.append(comm.isend(west, x_halo, tag=11))
+                if py > 1:
+                    reqs.append(comm.isend(north, y_halo, tag=12))
+                    reqs.append(comm.isend(south, y_halo, tag=13))
+                yield self.compute_phase(ctx, comm, propagate, label="compute")
+                yield comm.waitall(reqs)
+                yield self.compute_phase(ctx, comm, collide, label="compute")
+                if self.use_barrier:
+                    # the paper notes this barrier is avoidable overhead
+                    yield comm.barrier()
+
+        return body

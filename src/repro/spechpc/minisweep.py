@@ -1,0 +1,182 @@
+"""521.miniswp / 621.miniswp — radiation-transport sweep (C, ~17500 LOC).
+
+A successor of Sweep3D: a KBA-style wavefront sweep over a 3D grid with 64
+energy groups and 32 angles per octant, decomposed over a 2D (y, z)
+process grid.  There is **no collective** (Table 1); all communication is
+blocking point-to-point along the sweep dependencies.
+
+Sect. 4.1.5's serialization bug is reproduced *by execution*, not by a
+formula: faces are large, so sends use the synchronous rendezvous mode,
+and the code sends to its upstream ("top") neighbor **before** posting its
+own receive.  With open boundary conditions only the head of the chain can
+receive immediately; completion then ripples down the chain one rendezvous
+at a time.  The damage grows with the chain length — which is the largest
+factor of the process count, so primes (e.g. 59 -> a 59-long chain) are
+catastrophic while neighboring counts (58 = 29 x 2) are merely bad:
+exactly the reproducible fluctuation pattern of Figs. 1-2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.model.kernel import KernelModel
+from repro.smpi.comm import Communicator
+from repro.spechpc.base import (
+    Benchmark,
+    BenchmarkInfo,
+    RunContext,
+    Workload,
+    dims_create,
+    grid_coords,
+    grid_rank,
+    split_extent,
+)
+
+SWEEP_CELL = KernelModel(
+    name="minisweep.sweep",
+    flops_per_unit=38.0,            # per (cell, group, angle) update
+    simd_fraction=0.55,
+    mem_bytes_per_unit=3.0,
+    l3_bytes_per_unit=6.0,
+    l2_bytes_per_unit=16.0,
+    working_set_bytes_per_unit=4.0,
+    compute_efficiency=0.42,
+    heat=0.86,
+)
+
+#: Octants actually simulated per step (of 8; results scale linearly).
+SIM_OCTANTS = 2
+TOTAL_OCTANTS = 8
+
+
+class Minisweep(Benchmark):
+    """KBA wavefront sweep with the send-before-recv rendezvous bug.
+
+    ``recv_first=True`` builds the *fixed* variant that posts the receive
+    before the blocking send — the ablation bench shows the serialization
+    ripple disappearing.
+    """
+
+    def __init__(self, recv_first: bool = False) -> None:
+        self.recv_first = recv_first
+
+    info = BenchmarkInfo(
+        name="minisweep",
+        benchmark_id=21,
+        language="C",
+        loc=17500,
+        collective="-",
+        numerics="Successor of the Sweep3D radiation transport benchmark",
+        domain="Radiation transport in nuclear engineering",
+        memory_bound=False,
+    )
+
+    workloads = {
+        "tiny": Workload(
+            suite="tiny",
+            params={
+                "nx": 96, "ny": 64, "nz": 64,
+                "groups": 64, "angles": 32, "blocks": 8,
+            },
+            steps=40,
+        ),
+        "small": Workload(
+            suite="small",
+            params={
+                "nx": 128, "ny": 64, "nz": 64,
+                "groups": 64, "angles": 32, "blocks": 8,
+            },
+            steps=80,
+        ),
+    }
+
+    def decompose(self, ctx: RunContext) -> tuple[int, int]:
+        """(Py, Pz) with Py >= Pz — the chain runs along y."""
+        return dims_create(ctx.nprocs, 2)  # type: ignore[return-value]
+
+    def chain_length(self, ctx: RunContext) -> int:
+        """Length of the serialized rendezvous chain."""
+        return self.decompose(ctx)[0]
+
+    def local_units(self, ctx: RunContext, rank: int) -> float:
+        p = ctx.workload.params
+        py, pz = self.decompose(ctx)
+        cy, cz = grid_coords(rank, (py, pz))
+        ny_l = split_extent(p["ny"], py, cy)
+        nz_l = split_extent(p["nz"], pz, cz)
+        return float(p["nx"] * ny_l * nz_l * p["groups"] * p["angles"])
+
+    def default_sim_steps(self, suite: str) -> int:
+        return 2
+
+    def make_body(self, ctx: RunContext) -> Callable[[Communicator], Generator]:
+        p = ctx.workload.params
+        py, pz = self.decompose(ctx)
+        nblocks = p["blocks"]
+
+        def body(comm: Communicator) -> Generator:
+            rank = comm.rank
+            cy, cz = grid_coords(rank, (py, pz))
+            ny_l = split_extent(p["ny"], py, cy)
+            nz_l = split_extent(p["nz"], pz, cz)
+            units_per_block = (
+                p["nx"] * ny_l * nz_l * p["groups"] * p["angles"] / nblocks
+            )
+            ranks_dom = ctx.ranks_in_domain(rank)
+            block_cost = ctx.exec_model.phase_cost(
+                SWEEP_CELL, units_per_block, ranks_dom
+            )
+            # outgoing y-face of one z-block: nx * nz_block cells carrying
+            # all groups and the quarter of angles pointing into this
+            # octant direction -> MB-scale (rendezvous) messages
+            face_bytes = int(
+                p["nx"] * max(1, nz_l // nblocks) * p["groups"] * p["angles"] * 8 // 4
+            )
+
+            up = grid_rank((cy - 1, cz), (py, pz)) if cy > 0 else None
+            down = grid_rank((cy + 1, cz), (py, pz)) if cy < py - 1 else None
+            zprev = grid_rank((cy, cz - 1), (py, pz)) if cz > 0 else None
+            znext = grid_rank((cy, cz + 1), (py, pz)) if cz < pz - 1 else None
+            z_face = int(
+                p["nx"] * max(1, ny_l // nblocks) * p["groups"] * p["angles"] * 8 // 4
+            )
+
+            for _ in range(ctx.sim_steps):
+                for octant in range(SIM_OCTANTS):
+                    # alternate sweep direction between octants
+                    send_peer, recv_peer = (up, down) if octant % 2 == 0 else (down, up)
+                    for _block in range(nblocks):
+                        if self.recv_first:
+                            # the FIXED ordering: pre-post the receive,
+                            # then send — no ripple
+                            rreq = (
+                                comm.irecv(recv_peer, tag=octant)
+                                if recv_peer is not None
+                                else None
+                            )
+                            if send_peer is not None:
+                                yield comm.send(send_peer, face_bytes, tag=octant)
+                            if rreq is not None:
+                                yield comm.wait(rreq, kind="MPI_Recv")
+                        else:
+                            # THE BUG: blocking (rendezvous) send posted
+                            # before the receive — the ripple starts at
+                            # the open end of the chain.
+                            if send_peer is not None:
+                                yield comm.send(send_peer, face_bytes, tag=octant)
+                            if recv_peer is not None:
+                                yield comm.recv(recv_peer, tag=octant)
+                        if zprev is not None:
+                            yield comm.sendrecv(
+                                zprev, z_face, zprev, z_face, tag=64 + octant
+                            )
+                        if znext is not None:
+                            yield comm.sendrecv(
+                                znext, z_face, znext, z_face, tag=64 + octant
+                            )
+                        yield self.compute_phase(
+                            ctx, comm, block_cost, label="compute"
+                        )
+
+        return body

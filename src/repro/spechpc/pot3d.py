@@ -1,0 +1,146 @@
+"""528.pot3d / 628.pot3d — potential-field solar physics solver
+(Fortran, ~495000 LOC including the bundled HDF5 library).
+
+A preconditioned conjugate-gradient sparse solver for the Laplace
+equation in 3D spherical coordinates (nr x nt x np grid).  Like tealeaf
+it is **strongly memory-bound and strongly saturating** on a ccNUMA
+domain, but (being regular Fortran loop nests) it vectorizes essentially
+completely (Sect. 4.1.3).  Its L3 traffic *exceeds* its L2 traffic on
+Ice Lake — the victim-cache signature the paper points out in Fig. 2(c-d)
+(124 GB/s L3 vs 80 GB/s L2).
+
+Multi-node (Sect. 5.1, case A on both clusters): the strong-scaled
+working set drops into the outer caches and the reduced memory traffic
+overcompensates the growing ``MPI_Allreduce``/halo overhead ->
+superlinear speedup.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.model.kernel import KernelModel
+from repro.smpi.comm import Communicator
+from repro.spechpc.base import (
+    Benchmark,
+    BenchmarkInfo,
+    RunContext,
+    Workload,
+    dims_create,
+    grid_coords,
+    grid_rank,
+    split_extent,
+)
+
+CG_ITER = KernelModel(
+    name="pot3d.pcg_iteration",
+    flops_per_unit=21.0,            # 7-pt stencil + preconditioner + axpys
+    simd_fraction=0.985,
+    mem_bytes_per_unit=90.0,
+    l3_bytes_per_unit=140.0,        # victim L3 sees L2 evictions on top
+    l2_bytes_per_unit=90.0,
+    working_set_bytes_per_unit=40.0,  # x, r, p, Ap, diag precond
+    compute_efficiency=0.50,
+    heat=0.76,
+)
+
+
+class Pot3d(Benchmark):
+    """POT3D preconditioned-CG Laplace solver."""
+
+    info = BenchmarkInfo(
+        name="pot3d",
+        benchmark_id=28,
+        language="Fortran",
+        loc=495000,
+        collective="Allreduce",
+        numerics=(
+            "Potential field solutions via preconditioned CG for the "
+            "Laplace equation in 3D spherical coordinates"
+        ),
+        domain="Solar physics",
+        memory_bound=True,
+    )
+
+    workloads = {
+        "tiny": Workload(
+            suite="tiny",
+            params={"nr": 173, "nt": 361, "np": 1171},
+            steps=10,
+            inner_iterations=200,   # PCG iterations per solve phase
+        ),
+        "small": Workload(
+            suite="small",
+            params={"nr": 325, "nt": 450, "np": 2050},
+            steps=10,
+            inner_iterations=250,
+        ),
+        # modeled estimates for the 4 / 14.5 TB suites (see lbm.py note)
+        "medium": Workload(
+            suite="medium",
+            params={"nr": 650, "nt": 900, "np": 4100},
+            steps=10,
+            inner_iterations=320,
+        ),
+        "large": Workload(
+            suite="large",
+            params={"nr": 1300, "nt": 1800, "np": 8200},
+            steps=10,
+            inner_iterations=400,
+        ),
+    }
+
+    def decompose(self, ctx: RunContext) -> tuple[int, int, int]:
+        return dims_create(ctx.nprocs, 3)  # type: ignore[return-value]
+
+    def local_units(self, ctx: RunContext, rank: int) -> float:
+        p = ctx.workload.params
+        dims = self.decompose(ctx)
+        coords = grid_coords(rank, dims)
+        ext = [
+            split_extent(n, d, c)
+            for n, d, c in zip((p["np"], p["nt"], p["nr"]), dims, coords)
+        ]
+        return float(ext[0] * ext[1] * ext[2])
+
+    def default_sim_steps(self, suite: str) -> int:
+        # simulated unit = one PCG iteration
+        return 4
+
+    def make_body(self, ctx: RunContext) -> Callable[[Communicator], Generator]:
+        p = ctx.workload.params
+        dims = self.decompose(ctx)
+
+        def body(comm: Communicator) -> Generator:
+            rank = comm.rank
+            coords = grid_coords(rank, dims)
+            ext = [
+                split_extent(n, d, c)
+                for n, d, c in zip((p["np"], p["nt"], p["nr"]), dims, coords)
+            ]
+            units = float(ext[0] * ext[1] * ext[2])
+            ranks_dom = ctx.ranks_in_domain(rank)
+            cg = ctx.exec_model.phase_cost(CG_ITER, units, ranks_dom)
+
+            # face neighbors in the 3D grid; face area = product of the
+            # other two local extents
+            neighbors: list[tuple[int, int]] = []
+            for axis in range(3):
+                area = 1
+                for other in range(3):
+                    if other != axis:
+                        area *= ext[other]
+                for delta in (-1, 1):
+                    nc = list(coords)
+                    nc[axis] += delta
+                    if 0 <= nc[axis] < dims[axis]:
+                        neighbors.append((grid_rank(nc, dims), area * 8))
+
+            for _ in range(ctx.sim_steps):
+                for peer, nbytes in neighbors:
+                    yield comm.sendrecv(peer, nbytes, peer, nbytes)
+                yield self.compute_phase(ctx, comm, cg, label="compute")
+                yield comm.allreduce(8)
+                yield comm.allreduce(8)
+
+        return body

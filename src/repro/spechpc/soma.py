@@ -1,0 +1,123 @@
+"""513.soma / 613.soma — Monte-Carlo soft coarse-grained polymers (C, ~9500 LOC).
+
+The paper's most unusual case (Sect. 5.1.2): soma keeps a **replicated
+density field** on every rank.  Polymer Monte-Carlo moves are distributed
+(scalar, branchy, essentially unvectorized — 2.2 % SIMD in Sect. 4.1.3),
+but every rank updates and re-reads the *whole* field each step and the
+field is combined with a large ``MPI_Allreduce``.  Consequences the model
+reproduces:
+
+* aggregate memory traffic grows linearly with rank count (replication);
+* per-node memory bandwidth *rises* with node count (the distributed MC
+  work shrinks while the replicated field traffic per rank is constant)
+  up to a plateau far below the machine limit, at which point scaling
+  stops entirely;
+* time is dominated by MPI reductions beyond a few nodes;
+* "cool" chip power (scalar arithmetic) but a DRAM floor near the
+  idle value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.model.kernel import KernelModel
+from repro.smpi.comm import Communicator
+from repro.spechpc.base import (
+    Benchmark,
+    BenchmarkInfo,
+    RunContext,
+    Workload,
+    split_extent,
+)
+
+MC_MOVE = KernelModel(
+    name="soma.mc_move",
+    flops_per_unit=420.0,          # per polymer per step (64 monomers)
+    simd_fraction=0.022,
+    mem_bytes_per_unit=180.0,
+    l3_bytes_per_unit=260.0,
+    l2_bytes_per_unit=420.0,
+    working_set_bytes_per_unit=260.0,
+    compute_efficiency=0.22,       # branchy RNG-driven scalar code
+    latency_bound_factor=1.3,      # random field lookups
+    heat=0.80,
+    cache_sharpness=3.5,
+    # the hot set is the replicated density field each polymer's random
+    # lookups hit — constant per rank, fitting ClusterB's larger outer
+    # caches at full occupancy but missing on ClusterA (the cache
+    # sensitivity behind soma's 1.35x B/A factor, Sect. 4.1.2)
+    fixed_working_set_bytes=3.4e6,
+    # dependent random loads serialize with the instruction stream
+    mem_overlap=0.0,
+)
+
+FIELD_UPDATE = KernelModel(
+    name="soma.field",
+    flops_per_unit=12.0,           # per field cell (replicated on every rank)
+    simd_fraction=0.10,
+    mem_bytes_per_unit=40.0,
+    l3_bytes_per_unit=32.0,
+    l2_bytes_per_unit=40.0,
+    working_set_bytes_per_unit=16.0,
+    compute_efficiency=0.35,
+    heat=0.78,
+)
+
+
+class Soma(Benchmark):
+    """Monte-Carlo polymer simulation with a replicated density field."""
+
+    info = BenchmarkInfo(
+        name="soma",
+        benchmark_id=13,
+        language="C",
+        loc=9500,
+        collective="Allreduce",
+        numerics="Monte-Carlo acceleration for soft coarse grained polymers",
+        domain="Physics / polymeric systems",
+        memory_bound=False,
+    )
+
+    workloads = {
+        "tiny": Workload(
+            suite="tiny",
+            params={"polymers": 14_000_000, "field_cells": 600_000, "seed": 42},
+            steps=200,
+        ),
+        "small": Workload(
+            suite="small",
+            params={"polymers": 25_000_000, "field_cells": 1_000_000, "seed": 42},
+            steps=400,
+        ),
+    }
+
+    def local_units(self, ctx: RunContext, rank: int) -> float:
+        """Distributed MC moves only (the replicated field is not 'work')."""
+        return float(
+            split_extent(ctx.workload.params["polymers"], ctx.nprocs, rank)
+        )
+
+    def default_sim_steps(self, suite: str) -> int:
+        return 3
+
+    def make_body(self, ctx: RunContext) -> Callable[[Communicator], Generator]:
+        polymers = ctx.workload.params["polymers"]
+        field_cells = ctx.workload.params["field_cells"]
+        field_bytes = field_cells * 8  # DP density values, fully reduced
+
+        def body(comm: Communicator) -> Generator:
+            rank = comm.rank
+            my_polymers = split_extent(polymers, ctx.nprocs, rank)
+            ranks_dom = ctx.ranks_in_domain(rank)
+            mc = ctx.exec_model.phase_cost(MC_MOVE, float(my_polymers), ranks_dom)
+            # replicated: every rank walks the WHOLE field, independent of P
+            field = ctx.exec_model.phase_cost(
+                FIELD_UPDATE, float(field_cells), ranks_dom
+            )
+            for _ in range(ctx.sim_steps):
+                yield self.compute_phase(ctx, comm, mc, label="compute")
+                yield self.compute_phase(ctx, comm, field, label="compute")
+                yield comm.allreduce(field_bytes)
+
+        return body

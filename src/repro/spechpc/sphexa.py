@@ -1,0 +1,161 @@
+"""532.sph_exa / 632.sph_exa — Smoothed Particle Hydrodynamics
+(C++14, ~3400 LOC).
+
+A meshless Lagrangian astrophysics code: per step, each particle gathers
+~100 neighbors and evaluates density/force kernels — the **hottest** code
+of the suite (98 % of socket TDP on both CPUs, Sect. 4.2.1) and strongly
+compute-dominated, with an irregular (gather-heavy) memory side that
+benefits from ClusterB's larger caches (acceleration factor 1.48 in
+Sect. 4.1.2, above the 1.2 peak-performance ratio).
+
+Communication per step: halo-particle exchange with spatial neighbor
+ranks plus several small ``MPI_Allreduce`` calls (timestep, energies).
+The data set is comparatively small, so under strong scaling
+communication takes over quickly — one of the "poor scaling" codes of
+Sect. 5.1 (and 47 % faster single-node performance on ClusterB makes its
+scaling *efficiency* there look even worse, Sect. 5.1.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.model.kernel import KernelModel
+from repro.smpi.comm import Communicator
+from repro.spechpc.base import (
+    Benchmark,
+    BenchmarkInfo,
+    RunContext,
+    Workload,
+    dims_create,
+    grid_coords,
+    grid_rank,
+    split_extent,
+)
+
+FORCE = KernelModel(
+    name="sphexa.density_force",
+    flops_per_unit=5200.0,           # ~100 neighbors x ~50 flops
+    simd_fraction=0.75,
+    mem_bytes_per_unit=90.0,
+    l3_bytes_per_unit=380.0,
+    l2_bytes_per_unit=900.0,
+    working_set_bytes_per_unit=250.0,
+    compute_efficiency=0.55,
+    heat=1.0,                        # the hottest code of the suite
+)
+
+NEIGHBOR_GATHER = KernelModel(
+    name="sphexa.neighbor_gather",
+    flops_per_unit=100.0,
+    simd_fraction=0.30,
+    mem_bytes_per_unit=800.0,        # octree walk + scattered reads
+    l3_bytes_per_unit=900.0,
+    l2_bytes_per_unit=1000.0,
+    working_set_bytes_per_unit=250.0,
+    compute_efficiency=0.35,
+    latency_bound_factor=1.35,
+    heat=0.92,
+    cache_sharpness=3.5,
+    # hot set: neighbor lists + octree caches — a constant few MB per rank
+    # that fit ClusterB's outer caches at full node occupancy but miss on
+    # ClusterA (part of the 1.48x acceleration factor of Sect. 4.1.2)
+    fixed_working_set_bytes=3.4e6,
+)
+
+TREE_BUILD = KernelModel(
+    name="sphexa.tree_build",
+    flops_per_unit=300.0,
+    simd_fraction=0.05,
+    mem_bytes_per_unit=40.0,
+    l3_bytes_per_unit=80.0,
+    l2_bytes_per_unit=120.0,
+    working_set_bytes_per_unit=60.0,
+    compute_efficiency=0.35,
+    heat=0.85,
+)
+
+#: Fraction of all particles whose octree bookkeeping every rank repeats
+#: (the replicated top of the global tree) — a serial-fraction overhead.
+TREE_REPLICATED_FRACTION = 0.012
+
+#: Allreduce calls per step (dt, total energy, gravitational energy).
+REDUCTIONS_PER_STEP = 3
+
+
+class SphExa(Benchmark):
+    """SPH-EXA smoothed particle hydrodynamics."""
+
+    info = BenchmarkInfo(
+        name="sph-exa",
+        benchmark_id=32,
+        language="C++14",
+        loc=3400,
+        collective="Allreduce",
+        numerics="Smoothed Particle Hydrodynamics, meshless Lagrangian method",
+        domain="Astrophysics and cosmology",
+        memory_bound=False,
+    )
+
+    workloads = {
+        "tiny": Workload(
+            suite="tiny",
+            params={"n_side": 210, "particles": 210**3},
+            steps=80,
+        ),
+        "small": Workload(
+            suite="small",
+            params={"n_side": 350, "particles": 350**3},
+            steps=100,
+        ),
+    }
+
+    def decompose(self, ctx: RunContext) -> tuple[int, int, int]:
+        return dims_create(ctx.nprocs, 3)  # type: ignore[return-value]
+
+    def local_units(self, ctx: RunContext, rank: int) -> float:
+        return float(
+            split_extent(ctx.workload.params["particles"], ctx.nprocs, rank)
+        )
+
+    def default_sim_steps(self, suite: str) -> int:
+        return 3
+
+    def make_body(self, ctx: RunContext) -> Callable[[Communicator], Generator]:
+        particles = ctx.workload.params["particles"]
+        dims = self.decompose(ctx)
+
+        def body(comm: Communicator) -> Generator:
+            rank = comm.rank
+            mine = split_extent(particles, ctx.nprocs, rank)
+            ranks_dom = ctx.ranks_in_domain(rank)
+            force = ctx.exec_model.phase_cost(FORCE, float(mine), ranks_dom)
+            gather = ctx.exec_model.phase_cost(
+                NEIGHBOR_GATHER, float(mine), ranks_dom
+            )
+            tree = ctx.exec_model.phase_cost(
+                TREE_BUILD, particles * TREE_REPLICATED_FRACTION, ranks_dom
+            )
+
+            # halo particles cross the faces of the rank's spatial box:
+            # surface ~ (local count)^(2/3), ~60 bytes per halo particle
+            halo_bytes = int(max(1.0, float(mine)) ** (2 / 3) * 60)
+            coords = grid_coords(rank, dims)
+            neighbors = []
+            for axis in range(3):
+                for delta in (-1, 1):
+                    nc = list(coords)
+                    nc[axis] += delta
+                    if 0 <= nc[axis] < dims[axis]:
+                        neighbors.append(grid_rank(nc, dims))
+
+            for _ in range(ctx.sim_steps):
+                for peer in neighbors:
+                    yield comm.sendrecv(peer, halo_bytes, peer, halo_bytes)
+                yield self.compute_phase(ctx, comm, tree, label="compute")
+                yield self.compute_phase(ctx, comm, gather, label="compute")
+                yield self.compute_phase(ctx, comm, force, label="compute")
+                for _r in range(REDUCTIONS_PER_STEP):
+                    yield comm.allreduce(8)
+
+        return body

@@ -1,0 +1,66 @@
+"""Suite registry (paper order: Table 1)."""
+
+from __future__ import annotations
+
+from repro.spechpc.base import Benchmark
+from repro.spechpc.cloverleaf import Cloverleaf
+from repro.spechpc.hpgmgfv import Hpgmgfv
+from repro.spechpc.lbm import Lbm
+from repro.spechpc.minisweep import Minisweep
+from repro.spechpc.pot3d import Pot3d
+from repro.spechpc.soma import Soma
+from repro.spechpc.sphexa import SphExa
+from repro.spechpc.tealeaf import Tealeaf
+from repro.spechpc.weather import Weather
+
+#: Benchmarks in Table 1 order.
+SUITE_ORDER = (
+    "lbm",
+    "soma",
+    "tealeaf",
+    "cloverleaf",
+    "minisweep",
+    "pot3d",
+    "sph-exa",
+    "hpgmgfv",
+    "weather",
+)
+
+SUITE: dict[str, Benchmark] = {
+    b.info.name: b
+    for b in (
+        Lbm(),
+        Soma(),
+        Tealeaf(),
+        Cloverleaf(),
+        Minisweep(),
+        Pot3d(),
+        SphExa(),
+        Hpgmgfv(),
+        Weather(),
+    )
+}
+
+#: Aliases for SPEC-style ids.
+_ALIASES = {
+    "sphexa": "sph-exa",
+    "sph_exa": "sph-exa",
+    "clvleaf": "cloverleaf",
+    "miniswp": "minisweep",
+}
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up a benchmark by name (accepts SPEC-style aliases)."""
+    key = _ALIASES.get(name.lower(), name.lower())
+    try:
+        return SUITE[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; valid: {sorted(SUITE)}"
+        ) from None
+
+
+def all_benchmarks() -> list[Benchmark]:
+    """All nine benchmarks in Table 1 order."""
+    return [SUITE[name] for name in SUITE_ORDER]

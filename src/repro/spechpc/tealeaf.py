@@ -1,0 +1,132 @@
+"""518.tealeaf / 618.tealeaf — implicit 2D heat conduction (C, ~5400 LOC).
+
+A conjugate-gradient solver over a 5-point stencil on a regular 2D grid:
+the canonical *strongly memory-bound, strongly saturating* code of the
+suite (Fig. 2(a-b)) with poor vectorization (8.8 %, Sect. 4.1.3 — the
+sparse-ish CG kernels resist the compiler).  Each CG iteration does one
+SpMV-like stencil application plus vector updates and two dot-product
+reductions (``MPI_Allreduce`` every iteration, Table 1), and a halo
+exchange with the four 2D neighbors.
+
+Multi-node (Sect. 5.1, case B): superlinear cache gains and growing
+reduction overhead balance out to roughly linear scaling on both systems.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.model.kernel import KernelModel
+from repro.smpi.comm import Communicator
+from repro.spechpc.base import (
+    Benchmark,
+    BenchmarkInfo,
+    RunContext,
+    Workload,
+    dims_create,
+    grid_coords,
+    grid_rank,
+    split_extent,
+)
+
+CG_ITER = KernelModel(
+    name="tealeaf.cg_iteration",
+    flops_per_unit=16.0,            # stencil + 3 axpy + 2 dot per cell
+    simd_fraction=0.088,
+    mem_bytes_per_unit=88.0,        # ~11 DP streams per cell per iteration
+    l3_bytes_per_unit=104.0,
+    l2_bytes_per_unit=120.0,
+    working_set_bytes_per_unit=110.0,  # u, r, p, w, Kx, Ky + coefficients
+    compute_efficiency=0.50,
+    heat=0.75,
+)
+
+
+class Tealeaf(Benchmark):
+    """TeaLeaf: CG-based linear heat conduction."""
+
+    info = BenchmarkInfo(
+        name="tealeaf",
+        benchmark_id=18,
+        language="C",
+        loc=5400,
+        collective="Allreduce",
+        numerics=(
+            "Linear heat conduction on a 2D regular grid, 5-point stencil "
+            "with implicit (CG) solver"
+        ),
+        domain="Physics / high energy physics",
+        memory_bound=True,
+    )
+
+    workloads = {
+        "tiny": Workload(
+            suite="tiny",
+            params={"nx": 8192, "ny": 8192, "solver": "CG", "eps": 1e-15},
+            steps=20,
+            inner_iterations=150,   # CG iterations per outer step (cap 5000)
+        ),
+        "small": Workload(
+            suite="small",
+            params={"nx": 16384, "ny": 16384, "solver": "CG", "eps": 1e-15},
+            steps=20,
+            inner_iterations=180,
+        ),
+        # modeled estimates for the 4 / 14.5 TB suites (see lbm.py note)
+        "medium": Workload(
+            suite="medium",
+            params={"nx": 32768, "ny": 32768, "solver": "CG", "eps": 1e-15},
+            steps=20,
+            inner_iterations=220,
+        ),
+        "large": Workload(
+            suite="large",
+            params={"nx": 65536, "ny": 65536, "solver": "CG", "eps": 1e-15},
+            steps=20,
+            inner_iterations=260,
+        ),
+    }
+
+    def decompose(self, ctx: RunContext) -> tuple[int, int]:
+        return dims_create(ctx.nprocs, 2)  # type: ignore[return-value]
+
+    def local_units(self, ctx: RunContext, rank: int) -> float:
+        px, py = self.decompose(ctx)
+        cx, cy = grid_coords(rank, (px, py))
+        nx, ny = ctx.workload.params["nx"], ctx.workload.params["ny"]
+        return float(split_extent(nx, px, cx) * split_extent(ny, py, cy))
+
+    def default_sim_steps(self, suite: str) -> int:
+        # simulated unit = one CG iteration
+        return 4
+
+    def make_body(self, ctx: RunContext) -> Callable[[Communicator], Generator]:
+        px, py = self.decompose(ctx)
+        nx, ny = ctx.workload.params["nx"], ctx.workload.params["ny"]
+
+        def body(comm: Communicator) -> Generator:
+            rank = comm.rank
+            cx, cy = grid_coords(rank, (px, py))
+            lx = split_extent(nx, px, cx)
+            ly = split_extent(ny, py, cy)
+            ranks_dom = ctx.ranks_in_domain(rank)
+            cg = ctx.exec_model.phase_cost(CG_ITER, float(lx * ly), ranks_dom)
+
+            neighbors = []
+            if cx > 0:
+                neighbors.append((grid_rank((cx - 1, cy), (px, py)), ly))
+            if cx < px - 1:
+                neighbors.append((grid_rank((cx + 1, cy), (px, py)), ly))
+            if cy > 0:
+                neighbors.append((grid_rank((cx, cy - 1), (px, py)), lx))
+            if cy < py - 1:
+                neighbors.append((grid_rank((cx, cy + 1), (px, py)), lx))
+
+            for _ in range(ctx.sim_steps):
+                # one CG iteration: halo, stencil+updates, two reductions
+                for peer, edge in neighbors:
+                    yield comm.sendrecv(peer, edge * 8, peer, edge * 8)
+                yield self.compute_phase(ctx, comm, cg, label="compute")
+                yield comm.allreduce(8)   # r.w dot
+                yield comm.allreduce(8)   # convergence check
+        return body

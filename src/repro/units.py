@@ -1,0 +1,96 @@
+"""Unit helpers and formatting used across the library.
+
+All internal quantities use SI base units: seconds, bytes, flops, watts,
+joules, hertz.  Decimal prefixes (GB = 1e9 bytes) follow the convention of
+bandwidth/volume reporting in the paper; binary prefixes (GiB = 2**30) are
+used for capacities, matching Table 3 of the paper.
+"""
+
+from __future__ import annotations
+
+# --- decimal (used for bandwidths, data volumes, flop rates) ---------------
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+
+# --- binary (used for cache and memory capacities) --------------------------
+KiB = 2**10
+MiB = 2**20
+GiB = 2**30
+TiB = 2**40
+
+GHz = 1e9
+MHz = 1e6
+
+GFLOP = 1e9
+
+
+def fmt_bytes(n: float, binary: bool = False) -> str:
+    """Format a byte count with an appropriate prefix.
+
+    >>> fmt_bytes(2.5e9)
+    '2.50 GB'
+    >>> fmt_bytes(54 * MiB, binary=True)
+    '54.00 MiB'
+    """
+    if binary:
+        units = [("TiB", TiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)]
+    else:
+        units = [("TB", TB), ("GB", GB), ("MB", MB), ("kB", KB)]
+    for name, scale in units:
+        if abs(n) >= scale:
+            return f"{n / scale:.2f} {name}"
+    return f"{n:.0f} B"
+
+
+def fmt_rate(n: float, unit: str = "B/s") -> str:
+    """Format a per-second rate (bandwidth, flop rate) with SI prefix.
+
+    >>> fmt_rate(102.4e9)
+    '102.40 GB/s'
+    >>> fmt_rate(4.2e9, "flop/s")
+    '4.20 Gflop/s'
+    """
+    for prefix, scale in [("T", TERA), ("G", GIGA), ("M", MEGA), ("k", KILO)]:
+        if abs(n) >= scale:
+            if unit == "flop/s":
+                return f"{n / scale:.2f} {prefix}flop/s"
+            return f"{n / scale:.2f} {prefix}{unit}"
+    return f"{n:.2f} {unit}"
+
+
+def fmt_time(t: float) -> str:
+    """Format a duration in seconds with sensible sub-second units.
+
+    >>> fmt_time(0.0042)
+    '4.20 ms'
+    """
+    if abs(t) >= 1.0:
+        return f"{t:.3f} s"
+    if abs(t) >= 1e-3:
+        return f"{t * 1e3:.2f} ms"
+    if abs(t) >= 1e-6:
+        return f"{t * 1e6:.2f} us"
+    return f"{t * 1e9:.2f} ns"
+
+
+def fmt_power(p: float) -> str:
+    """Format power in watts (kW above 1000 W)."""
+    if abs(p) >= 1e3:
+        return f"{p / 1e3:.2f} kW"
+    return f"{p:.1f} W"
+
+
+def fmt_energy(e: float) -> str:
+    """Format energy in joules (kJ/MJ above thresholds)."""
+    if abs(e) >= 1e6:
+        return f"{e / 1e6:.2f} MJ"
+    if abs(e) >= 1e3:
+        return f"{e / 1e3:.2f} kJ"
+    return f"{e:.1f} J"

@@ -1,0 +1,99 @@
+"""Tests for the alignment-penalty model and the unit helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.alignment import alignment_penalty
+from repro.units import (
+    GB,
+    GiB,
+    KiB,
+    MiB,
+    fmt_bytes,
+    fmt_energy,
+    fmt_power,
+    fmt_rate,
+    fmt_time,
+)
+
+
+# --- alignment model ---------------------------------------------------------
+
+
+def test_penalty_at_least_one():
+    assert alignment_penalty(100, 100) >= 1.0
+
+
+@given(
+    rows=st.integers(min_value=1, max_value=65536),
+    elems=st.integers(min_value=1, max_value=65536),
+)
+def test_penalty_bounded_and_deterministic(rows, elems):
+    p1 = alignment_penalty(rows, elems)
+    p2 = alignment_penalty(rows, elems)
+    assert p1 == p2
+    assert 1.0 <= p1 <= 2.5
+
+
+def test_power_of_two_slabs_penalized():
+    """A 2^22-byte-aligned slab is worse than a nearby odd one."""
+    aligned = alignment_penalty(1024, 4096)      # 1024*4096*8 = 2^25
+    odd = alignment_penalty(1021, 4093)
+    assert aligned > odd
+
+
+def test_penalty_varies_across_local_sizes():
+    """Different decompositions hit different penalties — the source of
+    lbm's fluctuating scaling curve."""
+    values = {alignment_penalty(16384 // p + 1, 4096) for p in range(40, 72)}
+    assert len(values) > 1
+
+
+def test_penalty_validation():
+    with pytest.raises(ValueError):
+        alignment_penalty(0, 10)
+    with pytest.raises(ValueError):
+        alignment_penalty(10, 0)
+
+
+def test_tlb_pressure_for_wide_rows():
+    wide = alignment_penalty(11, 1_000_001, n_streams=37)
+    narrow = alignment_penalty(11, 13, n_streams=37)
+    assert wide >= narrow
+
+
+# --- units ----------------------------------------------------------------------
+
+
+def test_byte_constants():
+    assert KiB == 1024
+    assert MiB == 1024**2
+    assert GiB == 1024**3
+    assert GB == 1e9
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(2.5e9) == "2.50 GB"
+    assert fmt_bytes(54 * MiB, binary=True) == "54.00 MiB"
+    assert fmt_bytes(10) == "10 B"
+
+
+def test_fmt_rate():
+    assert fmt_rate(102.4e9) == "102.40 GB/s"
+    assert fmt_rate(4.2e9, "flop/s") == "4.20 Gflop/s"
+
+
+def test_fmt_time():
+    assert fmt_time(1.5) == "1.500 s"
+    assert fmt_time(0.0042) == "4.20 ms"
+    assert fmt_time(3e-6) == "3.00 us"
+    assert fmt_time(5e-9) == "5.00 ns"
+
+
+def test_fmt_power_and_energy():
+    assert fmt_power(250.0) == "250.0 W"
+    assert fmt_power(8000.0) == "8.00 kW"
+    assert fmt_energy(500.0) == "500.0 J"
+    assert fmt_energy(21_950.0) == "21.95 kJ"
+    assert fmt_energy(3.2e6) == "3.20 MJ"

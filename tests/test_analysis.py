@@ -1,0 +1,175 @@
+"""Analysis-layer tests: speedup metrics, case classifier, energy, comparison."""
+
+import pytest
+
+from repro.analysis import (
+    ScalingCase,
+    acceleration_factor,
+    classify_scaling,
+    domain_efficiency,
+    race_to_idle_holds,
+    saturation_ratio,
+    speedup_table,
+    tdp_fraction,
+    zplot,
+)
+from repro.analysis.comparison import (
+    dram_power_per_socket,
+    expected_acceleration_band,
+    is_hot,
+)
+from repro.analysis.energy import (
+    ZPoint,
+    concurrency_throttling_saves,
+    edp_minimum,
+    energy_minimum,
+)
+from repro.harness import run, scaling_sweep
+from repro.machine import CLUSTER_A, CLUSTER_B
+from repro.spechpc import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def tealeaf_sweep():
+    return scaling_sweep(get_benchmark("tealeaf"), CLUSTER_A, [1, 4, 9, 18, 36, 72])
+
+
+@pytest.fixture(scope="module")
+def multinode_pot3d():
+    cores = CLUSTER_A.node.cores
+    return scaling_sweep(
+        get_benchmark("pot3d"), CLUSTER_A, [cores, 4 * cores, 16 * cores],
+        suite="small",
+    )
+
+
+@pytest.fixture(scope="module")
+def multinode_soma():
+    cores = CLUSTER_A.node.cores
+    return scaling_sweep(
+        get_benchmark("soma"), CLUSTER_A, [cores, 4 * cores, 16 * cores],
+        suite="small",
+    )
+
+
+# --- speedup ----------------------------------------------------------------
+
+
+def test_domain_efficiency_near_one_for_tealeaf():
+    r_dom = run(get_benchmark("tealeaf"), CLUSTER_A, 18)
+    r_full = run(get_benchmark("tealeaf"), CLUSTER_A, 72)
+    assert domain_efficiency(r_dom, r_full, 4) == pytest.approx(1.0, abs=0.08)
+
+
+def test_domain_efficiency_validation():
+    r = run(get_benchmark("tealeaf"), CLUSTER_A, 2)
+    with pytest.raises(ValueError):
+        domain_efficiency(r, r, 0)
+
+
+def test_saturation_ratio_low_for_memory_bound(tealeaf_sweep):
+    assert saturation_ratio(tealeaf_sweep, 18) < 0.5
+
+
+def test_saturation_ratio_requires_domain_points(tealeaf_sweep):
+    with pytest.raises(ValueError):
+        saturation_ratio(tealeaf_sweep, 0)
+
+
+def test_speedup_table_structure(tealeaf_sweep):
+    rows = speedup_table(tealeaf_sweep)
+    assert [r[0] for r in rows] == [1, 4, 9, 18, 36, 72]
+    for _, lo, avg, hi in rows:
+        assert lo <= avg <= hi
+
+
+# --- classifier ------------------------------------------------------------------
+
+
+def test_classify_pot3d_case_a(multinode_pot3d):
+    ev = classify_scaling(multinode_pot3d)
+    assert ev.case is ScalingCase.A
+    assert ev.cache_effect
+    assert ev.volume_ratio < 0.95
+
+
+def test_classify_soma_poor(multinode_soma):
+    ev = classify_scaling(multinode_soma)
+    assert ev.case is ScalingCase.POOR
+    assert ev.volume_ratio > 2.0  # replication grows the traffic
+    assert ev.comm_fraction > 0.2
+
+
+def test_classify_needs_increasing_counts(tealeaf_sweep):
+    from repro.harness.results import ScalingSeries
+
+    single = ScalingSeries(
+        "x", "A", "tiny", (tealeaf_sweep.points[0],)
+    )
+    with pytest.raises((ValueError, IndexError)):
+        classify_scaling(single)
+
+
+# --- energy --------------------------------------------------------------------------
+
+
+def test_zplot_points_monotone_energy(tealeaf_sweep):
+    pts = zplot(tealeaf_sweep)
+    assert len(pts) == 6
+    # high idle power: more speedup -> less energy (race-to-idle)
+    by_speedup = sorted(pts, key=lambda p: p.speedup)
+    assert by_speedup[0].energy > by_speedup[-1].energy
+    assert race_to_idle_holds(pts)
+
+
+def test_energy_and_edp_minima_coincide(tealeaf_sweep):
+    pts = zplot(tealeaf_sweep)
+    emin, edpmin = energy_minimum(pts), edp_minimum(pts)
+    assert emin.nprocs == edpmin.nprocs == 72
+
+
+def test_throttling_saves_little(tealeaf_sweep):
+    assert concurrency_throttling_saves(zplot(tealeaf_sweep)) < 0.1
+
+
+def test_zpoint_validation():
+    with pytest.raises(ValueError):
+        ZPoint(nprocs=1, speedup=0.0, energy=1.0, edp=1.0)
+    with pytest.raises(ValueError):
+        energy_minimum([])
+    with pytest.raises(ValueError):
+        edp_minimum([])
+    with pytest.raises(ValueError):
+        race_to_idle_holds([])
+
+
+# --- comparison --------------------------------------------------------------------------
+
+
+def test_acceleration_factor_guards():
+    ra = run(get_benchmark("lbm"), CLUSTER_A, 72)
+    rb = run(get_benchmark("soma"), CLUSTER_B, 104)
+    with pytest.raises(ValueError):
+        acceleration_factor(ra, rb)
+
+
+def test_expected_band_matches_table3():
+    lo, hi = expected_acceleration_band(CLUSTER_A, CLUSTER_B)
+    assert lo == pytest.approx(1.20, abs=0.02)
+    assert hi == pytest.approx(1.56, abs=0.03)
+
+
+def test_tdp_fraction_and_hotness():
+    r_hot = run(get_benchmark("sph-exa"), CLUSTER_A, 72)
+    r_cool = run(get_benchmark("tealeaf"), CLUSTER_A, 72)
+    assert tdp_fraction(r_hot, CLUSTER_A) > tdp_fraction(r_cool, CLUSTER_A)
+    assert not is_hot(r_cool, CLUSTER_A)
+    assert 0 < tdp_fraction(r_cool, CLUSTER_A) < 1
+
+
+def test_dram_power_highest_for_memory_bound():
+    r_mem = run(get_benchmark("pot3d"), CLUSTER_A, 72)
+    r_cpu = run(get_benchmark("soma"), CLUSTER_A, 72)
+    assert dram_power_per_socket(r_mem, CLUSTER_A) > dram_power_per_socket(
+        r_cpu, CLUSTER_A
+    )

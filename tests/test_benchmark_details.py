@@ -1,0 +1,165 @@
+"""Per-benchmark structural tests: decompositions, communication
+footprints, workload memory estimates, kernel sanity."""
+
+import pytest
+
+from repro.machine import CLUSTER_A, CLUSTER_B
+from repro.model.execution import ExecutionModel
+from repro.spechpc import RunContext, all_benchmarks, get_benchmark
+from repro.spechpc.base import dims_create
+from repro.spechpc.lbm import COLLIDE, PROPAGATE, Lbm
+from repro.spechpc.minisweep import Minisweep
+from repro.spechpc.pot3d import CG_ITER as POT3D_CG
+from repro.spechpc.soma import FIELD_UPDATE, MC_MOVE
+from repro.spechpc.tealeaf import CG_ITER as TEALEAF_CG
+from repro.units import GB
+
+
+def make_ctx(bench, nprocs=72, suite="tiny", cluster=CLUSTER_A):
+    return RunContext(
+        cluster=cluster,
+        nprocs=nprocs,
+        workload=bench.workload(suite),
+        exec_model=ExecutionModel(cluster.node.cpu),
+    )
+
+
+# --- load balance -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("bench_name", [b.name for b in all_benchmarks()])
+@pytest.mark.parametrize("nprocs", [7, 64, 72])
+def test_local_units_sum_close_to_total(bench_name, nprocs):
+    """The decomposition assigns (almost) all the work, with bounded
+    imbalance."""
+    bench = get_benchmark(bench_name)
+    ctx = make_ctx(bench, nprocs)
+    units = [bench.local_units(ctx, r) for r in range(nprocs)]
+    assert min(units) > 0
+    # imbalance within 2x even at awkward counts (prime decompositions)
+    assert max(units) <= 2.0 * min(units) + 1e-9
+
+
+def test_lbm_decomposition_covers_grid():
+    lbm = get_benchmark("lbm")
+    ctx = make_ctx(lbm, 72)
+    total = sum(lbm.local_units(ctx, r) for r in range(72))
+    assert total == pytest.approx(4096 * 16384)
+
+
+def test_pot3d_3d_decomposition():
+    pot3d = get_benchmark("pot3d")
+    ctx = make_ctx(pot3d, 64)
+    assert pot3d.decompose(ctx) == (4, 4, 4)
+    total = sum(pot3d.local_units(ctx, r) for r in range(64))
+    assert total == pytest.approx(173 * 361 * 1171)
+
+
+def test_minisweep_chain_length_tracks_largest_factor():
+    ms = Minisweep()
+    assert ms.chain_length(make_ctx(ms, 59)) == 59
+    assert ms.chain_length(make_ctx(ms, 58)) == 29
+    assert ms.chain_length(make_ctx(ms, 64)) == 8
+    assert ms.chain_length(make_ctx(ms, 72)) == 9
+
+
+def test_lbm_rank_penalties_deterministic_and_bounded():
+    lbm = Lbm()
+    ctx = make_ctx(lbm, 71)
+    penalties = [lbm.rank_penalty(ctx, r) for r in range(71)]
+    assert penalties == [lbm.rank_penalty(ctx, r) for r in range(71)]
+    assert all(1.0 <= p <= 2.5 for p in penalties)
+
+
+# --- workload memory footprints ----------------------------------------------------------
+
+
+def test_tiny_workloads_fit_64gb_budget():
+    """Table 1: tiny uses 0-64 GB.  Estimate per-benchmark state from the
+    kernels' working-set coefficients."""
+    estimates = {
+        "lbm": 4096 * 16384 * COLLIDE.working_set_bytes_per_unit,
+        "tealeaf": 8192 * 8192 * TEALEAF_CG.working_set_bytes_per_unit,
+        "pot3d": 173 * 361 * 1171 * POT3D_CG.working_set_bytes_per_unit,
+        "soma": 14_000_000 * MC_MOVE.working_set_bytes_per_unit,
+    }
+    for name, bytes_ in estimates.items():
+        assert bytes_ < 64 * 1e9, (name, bytes_ / 1e9)
+        assert bytes_ > 0.5e9, (name, "suspiciously small")
+
+
+def test_working_sets_exceed_llc_tenfold():
+    """Sect. 3: working sets are at least 10x the node LLC, so the tiny
+    suite cannot trivially fit into cache."""
+    llc = CLUSTER_A.node.llc_bytes
+    ws_tealeaf = 8192 * 8192 * TEALEAF_CG.working_set_bytes_per_unit
+    ws_lbm = 4096 * 16384 * COLLIDE.working_set_bytes_per_unit
+    assert ws_tealeaf > 10 * llc
+    assert ws_lbm > 10 * llc
+
+
+# --- kernel characterization sanity ---------------------------------------------------------
+
+
+def test_lbm_collide_is_compute_bound_propagate_memory_bound():
+    em = ExecutionModel(CLUSTER_A.node.cpu)
+    assert not em.memory_bound(COLLIDE, 18)
+    assert em.memory_bound(PROPAGATE, 18)
+
+
+def test_memory_bound_benchmark_kernels_are_memory_bound():
+    em = ExecutionModel(CLUSTER_A.node.cpu)
+    assert em.memory_bound(TEALEAF_CG, 18)
+    assert em.memory_bound(POT3D_CG, 18)
+
+
+def test_soma_mc_is_scalar_and_slow():
+    em = ExecutionModel(CLUSTER_A.node.cpu)
+    assert MC_MOVE.simd_fraction < 0.05
+    # per-move time far above one SIMD kernel's
+    t = em.phase_cost(MC_MOVE, 1000, 1).seconds / 1000
+    assert t > 100e-9
+
+
+def test_soma_field_units_independent_of_rank_count():
+    """The replication invariant: the field work per rank is the same at
+    any process count (the aggregate grows linearly)."""
+    soma = get_benchmark("soma")
+    cells = soma.workload("tiny").params["field_cells"]
+    assert cells == 600_000  # constant, not divided by nprocs anywhere
+
+
+def test_intensity_ordering_matches_classification():
+    """Memory-bound benchmarks have low arithmetic intensity, the
+    compute-bound ones high."""
+    low = [TEALEAF_CG.intensity, POT3D_CG.intensity]
+    high = [COLLIDE.intensity]
+    assert max(low) < 1.0
+    assert min(high) > 10.0
+
+
+# --- step scaling ----------------------------------------------------------------------------
+
+
+def test_workload_total_iterations():
+    tealeaf = get_benchmark("tealeaf")
+    wl = tealeaf.workload("tiny")
+    assert wl.total_iterations == wl.steps * wl.inner_iterations
+    lbm = get_benchmark("lbm")
+    assert lbm.workload("tiny").total_iterations == 600
+
+
+def test_default_sim_steps_positive():
+    for b in all_benchmarks():
+        for suite in ("tiny", "small"):
+            assert b.default_sim_steps(suite) >= 1
+
+
+def test_dims_create_minisweep_bad_counts_from_paper():
+    """The paper lists {9, 26, 34, 51, 69} and primes as detrimental —
+    all of them decompose into long chains (largest factor >= 3x the
+    balanced value)."""
+    for n in (9, 26, 34, 51, 69, 59, 53):
+        chain = dims_create(n, 2)[0]
+        balanced = n**0.5
+        assert chain >= 3 or chain >= 2.5 * balanced, (n, chain)

@@ -1,0 +1,62 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "lbm" in out and "weather" in out
+    assert "ClusterA" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "tealeaf", "-n", "18"]) == 0
+    out = capsys.readouterr().out
+    assert "tealeaf" in out
+    assert "Gflop/s" in out
+    assert "energy" in out
+
+
+def test_run_with_trace(capsys):
+    assert main(["run", "soma", "-n", "4", "--trace"]) == 0
+    out = capsys.readouterr().out
+    assert "timeline" in out
+
+
+def test_run_on_cluster_b(capsys):
+    assert main(["run", "lbm", "-c", "B", "-n", "13"]) == 0
+    out = capsys.readouterr().out
+    assert "ClusterB" in out
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "pot3d", "--counts", "1,4,18"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "18" in out
+
+
+def test_sweep_nodes(capsys):
+    # keep it small: ClusterB sweep reuses the same machinery; use tealeaf
+    assert main(["sweep", "tealeaf", "--nodes"]) == 0
+    out = capsys.readouterr().out
+    assert "scaling case" in out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "cloverleaf"]) == 0
+    out = capsys.readouterr().out
+    assert "acceleration factor" in out
+
+
+def test_unknown_benchmark_raises():
+    with pytest.raises(KeyError):
+        main(["run", "nonesuch"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

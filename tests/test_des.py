@@ -1,0 +1,217 @@
+"""Unit tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.des import DeadlockError, Delay, Signal, Simulator, Wait
+
+
+def test_single_process_delay():
+    sim = Simulator()
+    log = []
+
+    def body():
+        yield Delay(1.5)
+        log.append(sim.now)
+        yield Delay(0.5)
+        log.append(sim.now)
+
+    sim.spawn("p", body())
+    end = sim.run()
+    assert log == [1.5, 2.0]
+    assert end == 2.0
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    order = []
+
+    def worker(name, dt):
+        yield Delay(dt)
+        order.append((name, sim.now))
+
+    sim.spawn("a", worker("a", 2.0))
+    sim.spawn("b", worker("b", 1.0))
+    sim.run()
+    assert order == [("b", 1.0), ("a", 2.0)]
+
+
+def test_signal_wakes_waiter_with_value():
+    sim = Simulator()
+    sig = Signal("test")
+    got = []
+
+    def waiter():
+        value = yield Wait(sig)
+        got.append((value, sim.now))
+
+    def firer():
+        yield Delay(3.0)
+        sig.fire(42)
+
+    sim.spawn("w", waiter())
+    sim.spawn("f", firer())
+    sim.run()
+    assert got == [(42, 3.0)]
+
+
+def test_wait_on_already_fired_signal_is_immediate():
+    sim = Simulator()
+    sig = Signal()
+    sig.fire("x")
+    got = []
+
+    def waiter():
+        value = yield Wait(sig)
+        got.append((value, sim.now))
+
+    sim.spawn("w", waiter())
+    sim.run()
+    assert got == [("x", 0.0)]
+
+
+def test_signal_fires_once():
+    sig = Signal("once")
+    sig.fire(1)
+    with pytest.raises(RuntimeError):
+        sig.fire(2)
+
+
+def test_subcoroutine_return_value():
+    sim = Simulator()
+    results = []
+
+    def inner():
+        yield Delay(1.0)
+        return "inner-result"
+
+    def outer():
+        val = yield inner()
+        results.append((val, sim.now))
+
+    sim.spawn("o", outer())
+    sim.run()
+    assert results == [("inner-result", 1.0)]
+
+
+def test_nested_subcoroutines():
+    sim = Simulator()
+
+    def leaf():
+        yield Delay(0.25)
+        return 1
+
+    def mid():
+        a = yield leaf()
+        b = yield leaf()
+        return a + b
+
+    def top():
+        total = yield mid()
+        return total * 10
+
+    proc = sim.spawn("t", top())
+    sim.run()
+    assert proc.result == 20
+    assert sim.now == 0.5
+
+
+def test_deadlock_detection():
+    sim = Simulator()
+    sig = Signal("never")
+
+    def stuck():
+        yield Wait(sig)
+
+    sim.spawn("s", stuck())
+    with pytest.raises(DeadlockError):
+        sim.run()
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Delay(-0.1)
+
+
+def test_bad_yield_type_rejected():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.spawn("bad", bad())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_call_at_callback():
+    sim = Simulator()
+    fired = []
+
+    def body():
+        yield Delay(5.0)
+
+    sim.spawn("p", body())
+    sim.call_at(2.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [2.5]
+
+
+def test_call_at_in_past_rejected():
+    sim = Simulator()
+
+    def body():
+        yield Delay(1.0)
+        sim.call_at(0.5, lambda: None)
+
+    sim.spawn("p", body())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_run_until_pauses():
+    sim = Simulator()
+    log = []
+
+    def body():
+        for _ in range(5):
+            yield Delay(1.0)
+            log.append(sim.now)
+
+    sim.spawn("p", body())
+    sim.run(until=2.5)
+    assert log == [1.0, 2.0]
+    assert sim.now == 2.5
+    sim.run()
+    assert log == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_process_exception_propagates():
+    sim = Simulator()
+
+    def boom():
+        yield Delay(1.0)
+        raise ValueError("boom")
+
+    sim.spawn("b", boom())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+
+
+def test_many_processes_scale():
+    sim = Simulator()
+    done = []
+
+    def body(i):
+        yield Delay(float(i % 7) * 0.1)
+        done.append(i)
+
+    for i in range(500):
+        sim.spawn(f"p{i}", body(i))
+    sim.run()
+    assert len(done) == 500
+
+
+def test_spawn_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.spawn("notgen", lambda: None)  # type: ignore[arg-type]

@@ -1,0 +1,195 @@
+"""Distributed real-numerics on the simulated MPI: correctness vs the
+sequential kernels, and payload-carrying message semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import CLUSTER_A
+from repro.smpi import MpiRuntime
+from repro.spechpc.distributed import (
+    _row_slabs,
+    advection_body,
+    solve_heat_distributed,
+)
+from repro.spechpc.kernels import heat_conduction_step
+from repro.spechpc.kernels.fv_weather import _advect_1d
+
+
+# --- payload plumbing -----------------------------------------------------------
+
+
+def test_payload_travels_with_message():
+    got = {}
+
+    def body(comm):
+        if comm.rank == 0:
+            yield comm.send(1, nbytes=800, payload=np.arange(100.0))
+        else:
+            data = yield comm.recv(0)
+            got["data"] = data
+
+    MpiRuntime(CLUSTER_A, 2).launch(body)
+    assert np.array_equal(got["data"], np.arange(100.0))
+
+
+def test_payload_travels_on_rendezvous_path():
+    got = {}
+    big = 5 * 1024 * 1024
+
+    def body(comm):
+        if comm.rank == 0:
+            yield comm.send(1, nbytes=big, payload="rendezvous-data")
+        else:
+            got["data"] = yield comm.recv(0)
+
+    MpiRuntime(CLUSTER_A, 2).launch(body)
+    assert got["data"] == "rendezvous-data"
+
+
+def test_sendrecv_returns_payload():
+    got = {}
+
+    def body(comm):
+        peer = 1 - comm.rank
+        received = yield comm.sendrecv(
+            peer, 64, peer, payload=f"from-{comm.rank}"
+        )
+        got[comm.rank] = received
+
+    MpiRuntime(CLUSTER_A, 2).launch(body)
+    assert got == {0: "from-1", 1: "from-0"}
+
+
+def test_allreduce_data_sums_scalars():
+    got = {}
+
+    def body(comm):
+        total = yield comm.allreduce_data(float(comm.rank + 1))
+        got[comm.rank] = total
+
+    MpiRuntime(CLUSTER_A, 4).launch(body)
+    assert all(v == pytest.approx(10.0) for v in got.values())
+
+
+def test_allreduce_data_sums_arrays():
+    got = {}
+
+    def body(comm):
+        local = np.full(5, float(comm.rank))
+        red = yield comm.allreduce_data(local)
+        got[comm.rank] = red
+
+    MpiRuntime(CLUSTER_A, 3).launch(body)
+    for v in got.values():
+        assert np.array_equal(v, np.full(5, 3.0))
+
+
+def test_allreduce_data_custom_op():
+    got = {}
+
+    def body(comm):
+        red = yield comm.allreduce_data(float(comm.rank), op=np.maximum)
+        got[comm.rank] = red
+
+    MpiRuntime(CLUSTER_A, 5).launch(body)
+    assert all(v == 4.0 for v in got.values())
+
+
+def test_send_without_payload_receives_none():
+    got = {}
+
+    def body(comm):
+        if comm.rank == 0:
+            yield comm.send(1, nbytes=16)
+        else:
+            got["data"] = yield comm.recv(0)
+
+    MpiRuntime(CLUSTER_A, 2).launch(body)
+    assert got["data"] is None
+
+
+# --- decomposition helper ---------------------------------------------------------
+
+
+@given(
+    ny=st.integers(min_value=1, max_value=500),
+    p=st.integers(min_value=1, max_value=32),
+)
+def test_row_slabs_partition(ny, p):
+    if p > ny:
+        p = ny
+    slabs = _row_slabs(ny, p)
+    assert slabs[0][0] == 0
+    assert sum(ext for _, ext in slabs) == ny
+    for (s1, e1), (s2, _e2) in zip(slabs, slabs[1:]):
+        assert s2 == s1 + e1
+
+
+# --- distributed heat CG ---------------------------------------------------------------
+
+
+def test_distributed_heat_matches_sequential():
+    u0 = np.zeros((40, 32))
+    u0[15:25, 10:22] = 2.0
+    seq, _ = heat_conduction_step(u0, dt=0.3, tol=1e-12)
+    dist, elapsed = solve_heat_distributed(u0, 0.3, CLUSTER_A, nprocs=5,
+                                           iterations=400)
+    assert np.abs(seq - dist).max() < 1e-10
+    assert elapsed > 0
+
+
+def test_distributed_heat_independent_of_rank_count():
+    rng = np.random.default_rng(3)
+    u0 = rng.random((36, 24))
+    d2, _ = solve_heat_distributed(u0, 0.2, CLUSTER_A, 2, iterations=300)
+    d6, _ = solve_heat_distributed(u0, 0.2, CLUSTER_A, 6, iterations=300)
+    assert np.abs(d2 - d6).max() < 1e-9
+
+
+def test_distributed_heat_conserves_energy():
+    u0 = np.zeros((30, 30))
+    u0[10:20, 10:20] = 1.0
+    dist, _ = solve_heat_distributed(u0, 0.5, CLUSTER_A, 3, iterations=400)
+    assert dist.sum() == pytest.approx(u0.sum(), rel=1e-9)
+
+
+def test_distributed_heat_validation():
+    u0 = np.zeros((4, 4))
+    with pytest.raises(ValueError):
+        solve_heat_distributed(u0, 0.1, CLUSTER_A, nprocs=8)
+    with pytest.raises(ValueError):
+        solve_heat_distributed(np.zeros(4), 0.1, CLUSTER_A, nprocs=2)
+
+
+# --- distributed advection -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4, 8])
+def test_distributed_advection_bit_exact(nprocs):
+    rng = np.random.default_rng(7)
+    q0 = rng.random((10, 64))
+    dt_dx, steps = 0.4, 7
+    seq = q0.copy()
+    for _ in range(steps):
+        seq = _advect_1d(seq, 1.0, dt_dx)
+    results = {}
+    MpiRuntime(CLUSTER_A, nprocs).launch(
+        advection_body(q0, 1.0, dt_dx, steps, results)
+    )
+    dist = np.hstack([results[r] for r in range(nprocs)])
+    assert np.array_equal(seq, dist)
+
+
+def test_distributed_advection_conserves():
+    q0 = np.ones((6, 32)) + np.arange(32) / 32.0
+    results = {}
+    MpiRuntime(CLUSTER_A, 4).launch(advection_body(q0, 1.0, 0.3, 10, results))
+    dist = np.hstack([results[r] for r in range(4)])
+    assert dist.sum() == pytest.approx(q0.sum(), rel=1e-12)
+
+
+def test_distributed_advection_rejects_negative_wind():
+    with pytest.raises(ValueError):
+        advection_body(np.ones((4, 8)), -1.0, 0.1, 1, {})

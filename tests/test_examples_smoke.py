@@ -1,0 +1,88 @@
+"""Smoke tests: the example scripts run end to end.
+
+Each example's ``main`` is imported and driven with small arguments so
+the whole gallery stays executable as the library evolves.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def run_main(name, argv, capsys):
+    mod = load_example(name)
+    old = sys.argv
+    sys.argv = [name] + argv
+    try:
+        mod.main()
+    finally:
+        sys.argv = old
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_main("quickstart.py", ["soma", "8"], capsys)
+    assert "performance" in out
+    assert "energy to solution" in out
+
+
+def test_mini_kernels_demo(capsys):
+    out = run_main("mini_kernels_demo.py", [], capsys)
+    assert "lbm" in out and "pot3d" in out and "weather" in out
+
+
+def test_distributed_numerics(capsys):
+    out = run_main("distributed_numerics.py", ["3"], capsys)
+    assert "max |distributed - sequential|" in out
+
+
+def test_multinode_study(capsys):
+    out = run_main("multinode_study.py", ["A", "soma"], capsys)
+    assert "case" in out
+
+
+def test_energy_study_runs(capsys):
+    out = run_main("energy_study.py", [], capsys)
+    assert "race-to-idle holds: True" in out
+
+
+def test_minisweep_serialization_example(capsys):
+    out = run_main("minisweep_serialization.py", [], capsys)
+    assert "chain length" in out
+    assert "59" in out
+
+
+def test_node_scaling_study(capsys):
+    mod = load_example("node_scaling_study.py")
+    mod.study("tealeaf")
+    out = capsys.readouterr().out
+    assert "saturation ratio" in out
+
+
+def test_cluster_design_study(capsys):
+    out = run_main("cluster_design_study.py", [], capsys)
+    assert "DDR5" in out
+
+
+def test_make_artifact(tmp_path, capsys):
+    mod = load_example("make_artifact.py")
+    old = sys.argv
+    sys.argv = ["make_artifact.py", str(tmp_path), "--fast"]
+    try:
+        mod.main()
+    finally:
+        sys.argv = old
+    assert (tmp_path / "all_runs.csv").exists()
+    assert any(p.name.startswith("tiny_lbm") for p in tmp_path.iterdir())

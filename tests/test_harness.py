@@ -1,0 +1,141 @@
+"""Harness tests: runner, sweeps, result records, reporting."""
+
+import json
+
+import pytest
+
+from repro.harness import (
+    ascii_plot,
+    ascii_table,
+    domain_fill_counts,
+    fmt_float,
+    node_counts,
+    run,
+    scaling_sweep,
+)
+from repro.harness.results import ScalingPoint, ScalingSeries
+from repro.machine import CLUSTER_A, CLUSTER_B
+from repro.spechpc import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def tealeaf_series():
+    return scaling_sweep(
+        get_benchmark("tealeaf"), CLUSTER_A, [1, 4, 9, 18], repeats=2,
+        noise_sigma=0.02,
+    )
+
+
+def test_run_result_fields():
+    r = run(get_benchmark("tealeaf"), CLUSTER_A, 4)
+    assert r.benchmark == "tealeaf"
+    assert r.cluster == "ClusterA"
+    assert r.suite == "tiny"
+    assert r.nprocs == 4 and r.nnodes == 1
+    assert r.elapsed > 0 and r.sim_elapsed > 0
+    assert r.gflops > 0
+    assert 0 <= r.mpi_fraction < 1
+    assert r.total_energy > 0
+    assert r.edp == pytest.approx(r.total_energy * r.elapsed)
+
+
+def test_run_result_json_roundtrip():
+    r = run(get_benchmark("soma"), CLUSTER_A, 2)
+    d = json.loads(r.to_json())
+    assert d["benchmark"] == "soma"
+    assert d["nprocs"] == 2
+    assert d["energy_kj"] > 0
+
+
+def test_sweep_statistics_ordering(tealeaf_series):
+    for p in tealeaf_series.points:
+        assert p.elapsed_min <= p.elapsed_avg <= p.elapsed_max
+        assert p.best.elapsed == p.elapsed_min
+
+
+def test_sweep_speedup_baseline(tealeaf_series):
+    sp = tealeaf_series.speedups()
+    assert sp[1] == pytest.approx(1.0)
+    assert sp[18] > sp[4] > sp[1]
+
+
+def test_speedup_stats_bracket_average(tealeaf_series):
+    stats = tealeaf_series.speedup_stats()
+    for n, (lo, avg, hi) in stats.items():
+        assert lo <= avg <= hi
+
+
+def test_series_point_lookup(tealeaf_series):
+    assert tealeaf_series.point(9).nprocs == 9
+    with pytest.raises(KeyError):
+        tealeaf_series.point(999)
+
+
+def test_sweep_validation():
+    with pytest.raises(ValueError):
+        scaling_sweep(get_benchmark("lbm"), CLUSTER_A, [1], repeats=0)
+    with pytest.raises(ValueError):
+        ScalingPoint(nprocs=1, runs=())
+    with pytest.raises(ValueError):
+        ScalingSeries("x", "A", "tiny", ())
+
+
+def test_domain_fill_and_node_counts():
+    assert domain_fill_counts(CLUSTER_A)[:3] == [1, 2, 3]
+    assert domain_fill_counts(CLUSTER_A)[-1] == 72
+    assert node_counts(CLUSTER_B) == [1, 2, 4, 8, 16]
+    assert node_counts(CLUSTER_A, max_nodes=5) == [1, 2, 4]
+
+
+def test_sim_steps_override_changes_resolution():
+    b = get_benchmark("cloverleaf")
+    r2 = run(b, CLUSTER_A, 4, sim_steps=2)
+    r4 = run(b, CLUSTER_A, 4, sim_steps=4)
+    # scaled results agree regardless of the simulated step count
+    assert r2.elapsed == pytest.approx(r4.elapsed, rel=1e-6)
+    assert r2.counters["flops"] == pytest.approx(r4.counters["flops"], rel=1e-6)
+
+
+def test_counters_scale_with_steps():
+    b = get_benchmark("tealeaf")
+    r = run(b, CLUSTER_A, 4)
+    wl = b.workload("tiny")
+    per_iter_flops = r.counters["flops"] / wl.total_iterations
+    # 16 flops per cell per CG iteration over the whole grid
+    assert per_iter_flops == pytest.approx(16 * 8192 * 8192, rel=0.01)
+
+
+# --- reporting helpers ------------------------------------------------------------
+
+
+def test_ascii_table_alignment():
+    out = ascii_table(["a", "bb"], [(1, 22), (333, 4)], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert len({len(l) for l in lines[1:]}) == 1  # all rows equal width
+
+
+def test_ascii_plot_basic():
+    out = ascii_plot([1, 2, 3], {"s": [1.0, 2.0, 3.0]}, width=20, height=5)
+    assert "s=s" not in out  # legend well-formed
+    assert "o" in out
+
+
+def test_ascii_plot_log_scale():
+    out = ascii_plot([1, 2], {"s": [1.0, 1000.0]}, width=10, height=4, logy=True)
+    assert "1000" in out
+
+
+def test_ascii_plot_log_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        ascii_plot([1], {"s": [0.0]}, logy=True)
+
+
+def test_ascii_plot_empty():
+    assert ascii_plot([], {}, width=10, height=3) == "(no data)"
+
+
+def test_fmt_float_widths():
+    assert len(fmt_float(1.2345)) == 8
+    assert "e" in fmt_float(1.23e12)
+    assert fmt_float(0.0).strip() == "0.00"

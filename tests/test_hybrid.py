@@ -1,0 +1,100 @@
+"""Hybrid MPI+OpenMP execution mode (the paper's future-work direction)."""
+
+import pytest
+
+from repro.harness import run
+from repro.machine import CLUSTER_A, ICE_LAKE_8360Y
+from repro.model import ExecutionModel, KernelModel
+from repro.smpi import MpiRuntime
+from repro.spechpc import get_benchmark
+
+EM = ExecutionModel(ICE_LAKE_8360Y)
+
+STREAM = KernelModel("s", 2.0, 0.9, 24.0, 24.0, 24.0, 24.0)
+COMPUTE = KernelModel("c", 5000.0, 0.9, 4.0, 8.0, 16.0, 8.0, compute_efficiency=0.6)
+
+
+# --- model level -----------------------------------------------------------
+
+
+def test_hybrid_cost_compute_bound_scales_with_threads():
+    units = 1_000_000
+    t1 = EM.phase_cost(COMPUTE, units, 1).seconds
+    t4 = EM.hybrid_phase_cost(COMPUTE, units, 1, threads=4).seconds
+    assert t4 == pytest.approx(t1 / 4, rel=1e-6)
+
+
+def test_hybrid_cost_counters_are_rank_totals():
+    units = 1_000_000
+    c = EM.hybrid_phase_cost(COMPUTE, units, 1, threads=4)
+    assert c.flops == pytest.approx(COMPUTE.flops_per_unit * units)
+    assert c.busy_seconds > c.seconds  # core-seconds across 4 threads
+
+
+def test_hybrid_memory_bound_hits_same_bandwidth_wall():
+    """4 threads of one rank contend like 4 ranks: same saturated time."""
+    units = 40_000_000
+    t_ranks = EM.phase_cost(STREAM, units // 4, 4).seconds
+    t_hybrid = EM.hybrid_phase_cost(STREAM, units, 1, threads=4).seconds
+    assert t_hybrid == pytest.approx(t_ranks, rel=1e-6)
+
+
+def test_hybrid_thread_validation():
+    with pytest.raises(ValueError):
+        EM.hybrid_phase_cost(STREAM, 10, 1, threads=0)
+
+
+# --- runtime placement ------------------------------------------------------------
+
+
+def test_hybrid_placement_reserves_core_blocks():
+    rt = MpiRuntime(CLUSTER_A, 18, threads_per_rank=4)
+    assert rt.nnodes == 1
+    # rank 5 sits at core 20 -> domain 1 of node 0
+    assert rt.domain_of(5) == 1
+    # ranks per domain: 18 cores / 4 threads -> 4-5 ranks
+    assert 4 <= rt.ranks_in_domain(0) <= 5
+
+
+def test_hybrid_capacity_check():
+    with pytest.raises(ValueError):
+        MpiRuntime(CLUSTER_A, CLUSTER_A.max_ranks() // 2 + 1, threads_per_rank=2)
+    with pytest.raises(ValueError):
+        MpiRuntime(CLUSTER_A, 4, threads_per_rank=0)
+
+
+# --- end to end ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["tealeaf", "cloverleaf", "minisweep"])
+def test_hybrid_run_comparable_to_pure_mpi(name):
+    """At the same core count, hybrid and pure MPI land within ~25 % for
+    the non-replicating codes (same work, same bandwidth walls)."""
+    b = get_benchmark(name)
+    pure = run(b, CLUSTER_A, 72)
+    hybrid = run(b, CLUSTER_A, 18, threads_per_rank=4)
+    assert hybrid.elapsed == pytest.approx(pure.elapsed, rel=0.25)
+    assert hybrid.counters["flops"] == pytest.approx(
+        pure.counters["flops"], rel=0.01
+    )
+
+
+def test_hybrid_reduces_soma_replication():
+    """The emergent payoff the paper hints at: fewer MPI ranks means
+    fewer copies of soma's replicated field -> less aggregate memory
+    traffic."""
+    b = get_benchmark("soma")
+    pure = run(b, CLUSTER_A, 72)
+    hybrid = run(b, CLUSTER_A, 18, threads_per_rank=4)
+    assert hybrid.mem_volume < 0.7 * pure.mem_volume
+
+
+def test_hybrid_shrinks_collective_population():
+    """18 ranks reduce the allreduce tree versus 72 ranks."""
+    b = get_benchmark("soma")
+    pure = run(b, CLUSTER_A, 72)
+    hybrid = run(b, CLUSTER_A, 18, threads_per_rank=4)
+    assert (
+        hybrid.time_by_kind.get("MPI_Allreduce", 0.0)
+        < pure.time_by_kind.get("MPI_Allreduce", 1.0)
+    )

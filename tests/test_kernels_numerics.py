@@ -1,0 +1,409 @@
+"""Validation tests for the executable NumPy mini-kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spechpc.kernels import (
+    LbmD2Q9,
+    PolymerSystem,
+    advect_2d,
+    cg_solve,
+    cubic_lattice,
+    gaussian_blob,
+    heat_conduction_step,
+    laplacian_5pt,
+    hydro_step,
+    sod_initial_state,
+    solve_laplace_spherical,
+    sph_density,
+    sph_forces,
+    transport_sweep,
+)
+from repro.spechpc.kernels.fv_weather import injection_scenario
+from repro.spechpc.kernels.multigrid import poisson_residual, solve_poisson, v_cycle
+from repro.spechpc.kernels.sweep import sweep_residual
+
+
+# --- tealeaf: CG heat conduction ------------------------------------------------
+
+
+def test_cg_solves_spd_system():
+    rng = np.random.default_rng(0)
+    m = rng.random((20, 20))
+    a = m @ m.T + 20 * np.eye(20)
+    b = rng.random(20)
+    x, iters, res = cg_solve(lambda v: a @ v, b, tol=1e-12)
+    assert np.allclose(a @ x, b, atol=1e-8)
+    assert iters <= 20 + 1
+
+
+def test_cg_rejects_indefinite_operator():
+    with pytest.raises(RuntimeError, match="positive definite"):
+        cg_solve(lambda v: -v, np.ones(4))
+
+
+def test_heat_step_conserves_energy():
+    u = np.zeros((24, 24))
+    u[8:16, 8:16] = 3.0
+    u2, _ = heat_conduction_step(u, dt=0.25)
+    assert u2.sum() == pytest.approx(u.sum(), rel=1e-10)
+
+
+def test_heat_step_smooths_peaks():
+    u = np.zeros((24, 24))
+    u[12, 12] = 1.0
+    u2, _ = heat_conduction_step(u, dt=1.0)
+    assert u2.max() < u.max()
+    assert u2.min() >= -1e-10
+
+
+def test_heat_uniform_field_is_fixed_point():
+    u = np.full((16, 16), 2.5)
+    u2, iters = heat_conduction_step(u, dt=0.7)
+    assert np.allclose(u2, u)
+
+
+def test_variable_conductivity_shape_checked():
+    u = np.zeros((8, 8))
+    with pytest.raises(ValueError):
+        heat_conduction_step(u, 0.1, conductivity=np.ones((4, 4)))
+
+
+def test_laplacian_zero_flux_rows_sum_zero():
+    """Neumann: the operator conserves the mean (row sums of A are 0)."""
+    rng = np.random.default_rng(1)
+    u = rng.random((12, 12))
+    kx = np.ones((12, 13))
+    ky = np.ones((13, 12))
+    assert laplacian_5pt(u, kx, ky).sum() == pytest.approx(0.0, abs=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(dt=st.floats(min_value=0.01, max_value=2.0))
+def test_heat_conservation_property(dt):
+    rng = np.random.default_rng(7)
+    u = rng.random((12, 12))
+    u2, _ = heat_conduction_step(u, dt=dt)
+    assert u2.sum() == pytest.approx(u.sum(), rel=1e-9)
+
+
+# --- lbm ---------------------------------------------------------------------------
+
+
+def test_lbm_mass_conservation():
+    lbm = LbmD2Q9(24, 24)
+    lbm.taylor_green_init()
+    m0 = lbm.total_mass()
+    lbm.step(40)
+    assert lbm.total_mass() == pytest.approx(m0, rel=1e-12)
+
+
+def test_lbm_taylor_green_decay_rate():
+    """KE of the Taylor-Green vortex decays ~exp(-4 nu k^2 t)."""
+    lbm = LbmD2Q9(48, 48, tau=0.8)
+    lbm.taylor_green_init(u0=0.01)
+    e0 = lbm.kinetic_energy()
+    steps = 200
+    lbm.step(steps)
+    e1 = lbm.kinetic_energy()
+    k = 2 * np.pi / 48
+    expected = np.exp(-4 * lbm.viscosity * k**2 * steps)
+    assert e1 / e0 == pytest.approx(expected, rel=0.05)
+
+
+def test_lbm_equilibrium_is_steady():
+    lbm = LbmD2Q9(16, 16)
+    rho0, ux0, uy0 = lbm.macroscopic()
+    lbm.step(10)
+    rho1, ux1, uy1 = lbm.macroscopic()
+    assert np.allclose(rho0, rho1)
+    assert np.allclose(ux1, 0.0, atol=1e-12)
+
+
+def test_lbm_validation_checks():
+    with pytest.raises(ValueError):
+        LbmD2Q9(2, 2)
+    with pytest.raises(ValueError):
+        LbmD2Q9(16, 16, tau=0.5)
+
+
+# --- cloverleaf: hydro ---------------------------------------------------------------
+
+
+def test_hydro_conservation():
+    s = sod_initial_state(96)
+    t0 = s.totals()
+    for _ in range(25):
+        s, _ = hydro_step(s, 1.0 / 96)
+    for a, b in zip(s.totals(), t0):
+        assert a == pytest.approx(b, abs=1e-9)
+
+
+def test_hydro_sod_shock_structure():
+    """After the diaphragm breaks, a right-moving shock raises the
+    density in the initially low-density half."""
+    n = 256
+    s = sod_initial_state(n)
+    t = 0.0
+    while t < 0.12:
+        s, dt = hydro_step(s, 1.0 / n)
+        t += dt
+    right = s.rho[0, n // 2 : int(0.85 * n)]
+    assert right.max() > 0.2           # compressed above initial 0.125
+    assert s.rho.min() > 0.0
+    # pressure stays between the initial extremes
+    p = s.pressure()
+    assert p.max() <= 1.0 + 1e-6
+
+
+def test_hydro_uniform_state_is_steady():
+    ny, nx = 8, 8
+    s = sod_initial_state(nx, ny)
+    s.rho[:] = 1.0
+    s.energy[:] = 2.5
+    s2, _ = hydro_step(s, 0.01)
+    assert np.allclose(s2.rho, 1.0)
+    assert np.allclose(s2.mom_x, 0.0, atol=1e-12)
+
+
+def test_hydro_rejects_negative_density():
+    with pytest.raises(ValueError):
+        from repro.spechpc.kernels.hydro import HydroState
+
+        HydroState(
+            np.full((4, 4), -1.0),
+            np.zeros((4, 4)),
+            np.zeros((4, 4)),
+            np.ones((4, 4)),
+        )
+
+
+# --- minisweep: transport sweep -------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "direction",
+    [(1, 1, 1), (-1, 1, 1), (1, -1, 1), (1, 1, -1), (-1, -1, -1)],
+)
+def test_sweep_satisfies_transport_equation(direction):
+    rng = np.random.default_rng(3)
+    q = rng.random((9, 8, 7))
+    psi = transport_sweep(q, sigma=1.5, direction=direction)
+    assert sweep_residual(psi, q, 1.5, direction) < 1e-12
+
+
+def test_sweep_positivity():
+    """Positive source + positive inflow -> positive flux everywhere."""
+    q = np.ones((6, 6, 6))
+    psi = transport_sweep(q, sigma=2.0, inflow=0.5)
+    assert (psi > 0).all()
+
+
+def test_sweep_uniform_limit():
+    """For an infinite uniform medium psi -> q / sigma; deep inside the
+    grid the sweep approaches that limit."""
+    q = np.full((30, 30, 30), 2.0)
+    sigma = 1.0
+    psi = transport_sweep(q, sigma=sigma, inflow=2.0 / sigma)
+    assert psi[-1, -1, -1] == pytest.approx(2.0 / sigma, rel=1e-6)
+
+
+def test_sweep_validation():
+    q = np.ones((4, 4, 4))
+    with pytest.raises(ValueError):
+        transport_sweep(q, sigma=0.0)
+    with pytest.raises(ValueError):
+        transport_sweep(q, sigma=1.0, direction=(1, 2, 1))
+    with pytest.raises(ValueError):
+        transport_sweep(np.ones((4, 4)), sigma=1.0)
+
+
+# --- hpgmgfv: multigrid -----------------------------------------------------------------
+
+
+def test_multigrid_contracts_residual():
+    n, h = 63, 1.0 / 64
+    x = np.linspace(h, 1 - h, n)
+    f = 2 * np.pi**2 * np.outer(np.sin(np.pi * x), np.sin(np.pi * x))
+    u = np.zeros_like(f)
+    r0 = np.linalg.norm(poisson_residual(u, f, h))
+    u = v_cycle(u, f, h)
+    r1 = np.linalg.norm(poisson_residual(u, f, h))
+    assert r1 < 0.25 * r0  # textbook V-cycle contraction
+
+
+def test_multigrid_solves_poisson_to_discretization_error():
+    n, h = 63, 1.0 / 64
+    x = np.linspace(h, 1 - h, n)
+    exact = np.outer(np.sin(np.pi * x), np.sin(np.pi * x))
+    f = 2 * np.pi**2 * exact
+    u, hist = solve_poisson(f, h, cycles=15)
+    assert np.abs(u - exact).max() < 5e-4
+    assert hist[-1] < 1e-6 * hist[0]
+
+
+def test_multigrid_contraction_grid_independent():
+    rates = []
+    for n in (31, 63):
+        h = 1.0 / (n + 1)
+        rng = np.random.default_rng(5)
+        f = rng.random((n, n))
+        u = np.zeros_like(f)
+        r0 = np.linalg.norm(poisson_residual(u, f, h))
+        u = v_cycle(u, f, h)
+        u2 = v_cycle(u, f, h)
+        r2 = np.linalg.norm(poisson_residual(u2, f, h))
+        rates.append((r2 / r0) ** 0.5)
+    assert abs(rates[0] - rates[1]) < 0.15
+
+
+# --- sph-exa ----------------------------------------------------------------------------
+
+
+def test_sph_uniform_lattice_density():
+    pos = cubic_lattice(6)
+    rho = sph_density(pos, mass=1.0, h=2.2, box=6.0)
+    assert rho.std() / rho.mean() < 1e-10
+    assert rho.mean() == pytest.approx(1.0, rel=0.05)  # ~1 particle/volume
+
+
+def test_sph_forces_conserve_momentum():
+    rng = np.random.default_rng(11)
+    pos = cubic_lattice(5) + 0.05 * rng.standard_normal((125, 3))
+    rho = sph_density(pos, 1.0, 2.0, box=5.0)
+    p = rho**1.4
+    acc = sph_forces(pos, rho, p, 1.0, 2.0, box=5.0)
+    assert np.abs(acc.sum(axis=0)).max() < 1e-9
+
+
+def test_sph_perturbed_particle_pushed_back():
+    """A particle squeezed toward a neighbor feels a repulsive pressure
+    force along the separation axis."""
+    pos = cubic_lattice(4).astype(float)
+    pos[0, 0] += 0.4  # push particle 0 toward its +x neighbor
+    rho = sph_density(pos, 1.0, 1.8, box=4.0)
+    p = np.full_like(rho, 1.0)
+    acc = sph_forces(pos, rho, p, 1.0, 1.8, box=4.0)
+    assert acc[0, 0] < 0  # pushed back in -x
+
+
+def test_cubic_lattice_validation():
+    with pytest.raises(ValueError):
+        cubic_lattice(1)
+
+
+# --- soma: MC polymers -------------------------------------------------------------------
+
+
+def test_polymer_acceptance_in_sane_band():
+    ps = PolymerSystem(100, 12, seed=1)
+    for _ in range(20):
+        ps.mc_sweep()
+    assert 0.3 < ps.acceptance_ratio < 0.95
+
+
+def test_polymer_bond_statistics_match_theory():
+    """Equilibrium <b^2> of harmonic bonds = 3/k (detailed balance)."""
+    ps = PolymerSystem(300, 12, bond_k=2.0, seed=2)
+    for _ in range(80):
+        ps.mc_sweep()
+    samples = []
+    for _ in range(40):
+        ps.mc_sweep()
+        samples.append(ps.mean_squared_bond())
+    assert np.mean(samples) == pytest.approx(ps.theoretical_msd_bond(), rel=0.1)
+
+
+def test_polymer_density_field_counts_all_monomers():
+    ps = PolymerSystem(50, 8, seed=3)
+    ps.mc_sweep()
+    assert ps.density_field().sum() == 50 * 8
+
+
+def test_polymer_validation():
+    with pytest.raises(ValueError):
+        PolymerSystem(0, 8)
+    with pytest.raises(ValueError):
+        PolymerSystem(5, 1)
+
+
+def test_polymer_reproducible_by_seed():
+    a = PolymerSystem(20, 6, seed=9)
+    b = PolymerSystem(20, 6, seed=9)
+    a.mc_sweep()
+    b.mc_sweep()
+    assert np.array_equal(a.pos, b.pos)
+
+
+# --- weather: FV advection ------------------------------------------------------------------
+
+
+def test_advection_conserves_tracer():
+    q0 = gaussian_blob(48, 48)
+    q = q0.copy()
+    for _ in range(30):
+        q = advect_2d(q, 1.0, -0.5, 1 / 48, 1 / 48, 0.005)
+    assert q.sum() == pytest.approx(q0.sum(), rel=1e-12)
+
+
+def test_advection_no_new_extrema():
+    """The MC limiter keeps the scheme monotone."""
+    q0 = gaussian_blob(48, 48)
+    q = q0.copy()
+    for _ in range(50):
+        q = advect_2d(q, 0.7, 0.7, 1 / 48, 1 / 48, 0.008)
+    assert q.max() <= q0.max() + 1e-12
+    assert q.min() >= q0.min() - 1e-12
+
+
+def test_advection_translates_blob():
+    """Constant wind moves the tracer's center of mass at wind speed."""
+    nx = nz = 64
+    q0 = gaussian_blob(nx, nz, x0=0.3, z0=0.5, width=0.08)
+    dt = 0.004
+    steps = 25
+    q = q0.copy()
+    for _ in range(steps):
+        q = advect_2d(q, 1.0, 0.0, 1 / nx, 1 / nz, dt)
+    x = (np.arange(nx) + 0.5) / nx
+    com0 = (q0.sum(axis=0) * x).sum() / q0.sum()
+    com1 = (q.sum(axis=0) * x).sum() / q.sum()
+    assert com1 - com0 == pytest.approx(steps * dt * 1.0, abs=2e-3)
+
+
+def test_advection_cfl_guard():
+    q = gaussian_blob(16, 16)
+    with pytest.raises(ValueError, match="CFL"):
+        advect_2d(q, 10.0, 0.0, 1 / 16, 1 / 16, 0.1)
+
+
+def test_injection_scenario_runs():
+    q0, q = injection_scenario(32, 32, steps=10)
+    assert q.shape == q0.shape
+    assert q.sum() == pytest.approx(q0.sum(), rel=1e-12)
+
+
+# --- pot3d: spherical Laplace -----------------------------------------------------------------
+
+
+def test_spherical_laplace_matches_analytic_harmonic():
+    u, exact, iters = solve_laplace_spherical(24, 24)
+    assert np.abs(u - exact).max() < 2e-3
+    assert iters < 5000
+
+
+def test_spherical_laplace_second_order_convergence():
+    e1 = np.abs(np.subtract(*solve_laplace_spherical(16, 16)[:2])).max()
+    e2 = np.abs(np.subtract(*solve_laplace_spherical(32, 32)[:2])).max()
+    assert e1 / e2 > 3.0  # ~4x for 2nd order
+
+
+def test_spherical_grid_validation():
+    from repro.spechpc.kernels.laplace_sph import SphericalGrid
+
+    with pytest.raises(ValueError):
+        SphericalGrid(2, 2)
+    with pytest.raises(ValueError):
+        SphericalGrid(8, 8, theta_min=-0.1)

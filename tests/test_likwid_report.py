@@ -1,0 +1,51 @@
+"""Tests for the likwid-style formatted reports."""
+
+from repro.harness import run
+from repro.machine import CLUSTER_A
+from repro.perfmon.likwid_report import (
+    cache_report,
+    energy_report,
+    full_report,
+    mem_dp_report,
+)
+from repro.spechpc import get_benchmark
+
+
+def _result():
+    return run(get_benchmark("pot3d"), CLUSTER_A, 18)
+
+
+def test_mem_dp_report_contents():
+    text = mem_dp_report(_result(), CLUSTER_A)
+    assert "Group MEM_DP" in text
+    assert "DP [MFLOP/s]" in text
+    assert "Vectorization ratio" in text
+    assert "pot3d" in text
+
+
+def test_cache_report_contents():
+    text = cache_report(_result())
+    assert "L3 bandwidth" in text
+    assert "L2 data volume" in text
+
+
+def test_energy_report_contents():
+    text = energy_report(_result())
+    assert "Energy PKG [J]" in text
+    assert "Power DRAM [W]" in text
+
+
+def test_full_report_is_three_boxes():
+    text = full_report(_result(), CLUSTER_A)
+    assert text.count("Group MEM_DP") == 1
+    assert text.count("Group ENERGY") == 1
+    # box borders align (every line starts with | or +)
+    for line in text.splitlines():
+        if line:
+            assert line[0] in "+|"
+
+
+def test_report_box_alignment():
+    text = mem_dp_report(_result(), CLUSTER_A)
+    widths = {len(line) for line in text.splitlines() if line}
+    assert len(widths) == 1

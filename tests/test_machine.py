@@ -1,0 +1,203 @@
+"""Machine-model unit tests (Table 3 consistency)."""
+
+import pytest
+
+from repro.machine import (
+    CLUSTER_A,
+    CLUSTER_B,
+    ICE_LAKE_8360Y,
+    SANDY_BRIDGE_NODE,
+    SAPPHIRE_RAPIDS_8470,
+    CacheLevel,
+    MemoryHierarchy,
+    get_cluster,
+)
+from repro.machine.registry import theoretical_ratio_summary
+from repro.units import GB, KiB, MiB
+
+
+# --- CPU spec ------------------------------------------------------------------
+
+
+def test_ice_lake_table3_values():
+    cpu = ICE_LAKE_8360Y
+    assert cpu.cores == 36
+    assert cpu.base_clock_hz == 2.4e9
+    assert cpu.numa_domains == 2
+    assert cpu.cores_per_domain == 18
+    assert cpu.tdp_w == 250.0
+    # 8 channels DDR4-3200 x 8 B = 204.8 GB/s per socket
+    assert cpu.theoretical_memory_bw == pytest.approx(204.8 * GB)
+
+
+def test_sapphire_rapids_table3_values():
+    cpu = SAPPHIRE_RAPIDS_8470
+    assert cpu.cores == 52
+    assert cpu.base_clock_hz == 2.0e9
+    assert cpu.numa_domains == 4
+    assert cpu.cores_per_domain == 13
+    assert cpu.tdp_w == 350.0
+    # 8 channels DDR5-4800 x 8 B = 307.2 GB/s per socket
+    assert cpu.theoretical_memory_bw == pytest.approx(307.2 * GB)
+
+
+def test_peak_flops_per_core_avx512():
+    # 2.4 GHz * 8 DP lanes * 2 FMA units * 2 flops = 76.8 Gflop/s
+    assert ICE_LAKE_8360Y.peak_flops_per_core == pytest.approx(76.8e9)
+
+
+def test_domain_bandwidth_matches_paper_saturation():
+    # Paper: 75-78 GB/s per ccNUMA domain on ClusterA
+    assert 75e9 <= ICE_LAKE_8360Y.domain_memory_bw <= 78e9
+    # Paper: 58-62 GB/s per ccNUMA domain on ClusterB
+    assert 58e9 <= SAPPHIRE_RAPIDS_8470.domain_memory_bw <= 62e9
+
+
+def test_idle_power_fractions_match_paper():
+    # ~40 % of 250 W TDP on Ice Lake, ~50 % of 350 W on Sapphire Rapids
+    a = ICE_LAKE_8360Y.idle_power_w / ICE_LAKE_8360Y.tdp_w
+    b = SAPPHIRE_RAPIDS_8470.idle_power_w / SAPPHIRE_RAPIDS_8470.tdp_w
+    assert 0.35 <= a <= 0.45
+    assert 0.45 <= b <= 0.55
+    # Sandy Bridge: below 20 %
+    sb = SANDY_BRIDGE_NODE.cpu
+    assert sb.idle_power_w / sb.tdp_w < 0.20
+
+
+def test_headline_hardware_ratios():
+    r = theoretical_ratio_summary()
+    assert r["peak_flops"] == pytest.approx(1.204, abs=0.01)
+    assert r["memory_bw"] == pytest.approx(1.5, abs=0.01)
+    assert r["l2_per_core"] == pytest.approx(1.6, abs=0.01)
+    assert r["l3_per_core"] > 1.3
+
+
+def test_cpu_validation_rejects_bad_values():
+    with pytest.raises(ValueError):
+        ICE_LAKE_8360Y.__class__(
+            name="x",
+            model="y",
+            base_clock_hz=2e9,
+            cores=7,
+            numa_domains=2,  # 7 doesn't divide by 2
+            hierarchy=ICE_LAKE_8360Y.hierarchy,
+        )
+
+
+# --- cache hierarchy ---------------------------------------------------------------
+
+
+def test_cache_capacities():
+    h = ICE_LAKE_8360Y.hierarchy
+    assert h.l1.capacity_bytes == 48 * KiB
+    assert h.l2.capacity_bytes == 1.25 * MiB
+    assert h.l3.capacity_bytes == 54 * MiB
+    assert h.l3.victim
+
+
+def test_effective_llc_grows_with_cores():
+    h = SAPPHIRE_RAPIDS_8470.hierarchy
+    assert h.effective_llc_bytes(1) < h.effective_llc_bytes(13)
+    assert h.effective_llc_bytes(13) < h.effective_llc_bytes(52)
+
+
+def test_effective_llc_caps_at_socket():
+    h = ICE_LAKE_8360Y.hierarchy
+    assert h.effective_llc_bytes(36) == h.effective_llc_bytes(100)
+
+
+def test_cluster_b_more_cache_per_core():
+    a = ICE_LAKE_8360Y.hierarchy.per_core_llc_bytes()
+    b = SAPPHIRE_RAPIDS_8470.hierarchy.per_core_llc_bytes()
+    assert b > 1.3 * a
+
+
+def test_cache_level_validation():
+    with pytest.raises(ValueError):
+        CacheLevel("L1", -1.0)
+    with pytest.raises(ValueError):
+        CacheLevel("L1", 100.0, shared_by_cores=0)
+    with pytest.raises(ValueError):
+        MemoryHierarchy(
+            l1=CacheLevel("L1", 1024 * KiB),
+            l2=CacheLevel("L2", 1 * KiB),
+            l3=CacheLevel("L3", 1 * MiB),
+        )
+
+
+# --- node topology -----------------------------------------------------------------
+
+
+def test_node_core_counts():
+    assert CLUSTER_A.node.cores == 72
+    assert CLUSTER_A.node.numa_domains == 4
+    assert CLUSTER_B.node.cores == 104
+    assert CLUSTER_B.node.numa_domains == 8
+
+
+def test_consecutive_pinning_fills_domains_in_order():
+    node = CLUSTER_A.node
+    # 18 cores per domain: core 17 in domain 0, core 18 in domain 1
+    assert node.locate(17).domain == 0
+    assert node.locate(18).domain == 1
+    assert node.locate(35).domain == 1
+    assert node.locate(36).socket == 1
+    assert node.locate(36).domain == 2
+
+
+def test_active_cores_per_domain():
+    node = CLUSTER_A.node
+    assert node.active_cores_per_domain(18) == [18, 0, 0, 0]
+    assert node.active_cores_per_domain(20) == [18, 2, 0, 0]
+    assert node.active_cores_per_domain(72) == [18, 18, 18, 18]
+    assert node.domains_in_use(19) == 2
+
+
+def test_node_locate_bounds():
+    with pytest.raises(ValueError):
+        CLUSTER_A.node.locate(72)
+    with pytest.raises(ValueError):
+        CLUSTER_A.node.locate(-1)
+
+
+# --- cluster placement ----------------------------------------------------------------
+
+
+def test_cluster_placement_compact():
+    c = CLUSTER_A
+    assert c.nodes_for(72) == 1
+    assert c.nodes_for(73) == 2
+    node, loc = c.place(72)
+    assert node == 1 and loc.core == 0
+    assert c.same_node(0, 71)
+    assert not c.same_node(71, 72)
+
+
+def test_ranks_per_node():
+    assert CLUSTER_A.ranks_per_node(100) == [72, 28]
+    assert CLUSTER_B.ranks_per_node(104) == [104]
+
+
+def test_cluster_capacity_enforced():
+    with pytest.raises(ValueError):
+        CLUSTER_B.place(CLUSTER_B.max_ranks())
+
+
+def test_get_cluster_lookup():
+    assert get_cluster("A") is CLUSTER_A
+    assert get_cluster("ClusterB") is CLUSTER_B
+    with pytest.raises(KeyError):
+        get_cluster("C")
+
+
+def test_network_protocol_threshold():
+    net = CLUSTER_A.network
+    assert net.is_eager(1024)
+    assert not net.is_eager(10 * 1024 * 1024)
+    assert net.ptp_time(10**6, intra_node=False) > net.ptp_time(10**6, intra_node=True)
+
+
+def test_describe_strings():
+    text = CLUSTER_A.describe()
+    assert "Ice Lake" in text and "ClusterA" in text
+    assert "104" in CLUSTER_B.node.describe()

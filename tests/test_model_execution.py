@@ -1,0 +1,259 @@
+"""Execution-model unit and property tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import ICE_LAKE_8360Y, SAPPHIRE_RAPIDS_8470
+from repro.model import ExecutionModel, KernelModel, cache_fit_factor
+from repro.model.kernel import PhaseCost
+
+EM_A = ExecutionModel(ICE_LAKE_8360Y)
+EM_B = ExecutionModel(SAPPHIRE_RAPIDS_8470)
+
+STREAM = KernelModel(
+    name="stream-like",
+    flops_per_unit=2.0,
+    simd_fraction=0.9,
+    mem_bytes_per_unit=24.0,
+    l3_bytes_per_unit=24.0,
+    l2_bytes_per_unit=24.0,
+    working_set_bytes_per_unit=24.0,
+)
+
+COMPUTE = KernelModel(
+    name="dgemm-like",
+    flops_per_unit=5000.0,
+    simd_fraction=0.95,
+    mem_bytes_per_unit=8.0,
+    l3_bytes_per_unit=16.0,
+    l2_bytes_per_unit=64.0,
+    working_set_bytes_per_unit=8.0,
+    compute_efficiency=0.7,
+)
+
+
+# --- cache_fit_factor -------------------------------------------------------
+
+
+def test_cache_fit_limits():
+    assert cache_fit_factor(1.0, 1e9) == pytest.approx(0.08, abs=0.02)
+    assert cache_fit_factor(1e12, 1e6) == pytest.approx(1.0, abs=0.02)
+
+
+def test_cache_fit_midpoint():
+    f = cache_fit_factor(1e6, 1e6)
+    assert 0.4 < f < 0.7
+
+
+@given(
+    ws=st.floats(min_value=1.0, max_value=1e15),
+    cache=st.floats(min_value=1.0, max_value=1e12),
+)
+def test_cache_fit_bounded(ws, cache):
+    f = cache_fit_factor(ws, cache)
+    assert 0.0 < f <= 1.0
+
+
+@given(
+    cache=st.floats(min_value=1e3, max_value=1e12),
+    ws1=st.floats(min_value=1.0, max_value=1e15),
+    ws2=st.floats(min_value=1.0, max_value=1e15),
+)
+def test_cache_fit_monotone_in_working_set(cache, ws1, ws2):
+    lo, hi = sorted((ws1, ws2))
+    assert cache_fit_factor(lo, cache) <= cache_fit_factor(hi, cache) + 1e-12
+
+
+# --- bandwidth sharing --------------------------------------------------------
+
+
+def test_single_rank_gets_single_core_bw():
+    assert EM_A.memory_bw_share(1) == pytest.approx(16e9)
+
+
+def test_full_domain_shares_saturated_bw():
+    n = ICE_LAKE_8360Y.cores_per_domain
+    share = EM_A.memory_bw_share(n)
+    assert share * n == pytest.approx(ICE_LAKE_8360Y.domain_memory_bw)
+
+
+def test_saturation_knee_around_five_cores():
+    assert 4.0 < EM_A.saturation_cores() < 6.0
+    assert 4.0 < EM_B.saturation_cores() < 6.0
+
+
+@given(n=st.integers(min_value=1, max_value=64))
+def test_aggregate_bw_never_exceeds_domain_bw(n):
+    agg = EM_A.memory_bw_share(n) * n
+    assert agg <= ICE_LAKE_8360Y.domain_memory_bw * (1 + 1e-12)
+
+
+@given(n1=st.integers(min_value=1, max_value=64), n2=st.integers(min_value=1, max_value=64))
+def test_per_rank_share_monotone_decreasing(n1, n2):
+    lo, hi = sorted((n1, n2))
+    assert EM_A.memory_bw_share(lo) >= EM_A.memory_bw_share(hi)
+
+
+# --- phase cost ------------------------------------------------------------------
+
+
+def test_memory_bound_kernel_time_scales_with_contention():
+    units = 50_000_000  # 1.2 GB working set, far out of cache
+    t1 = EM_A.phase_cost(STREAM, units, ranks_in_domain=1).seconds
+    t18 = EM_A.phase_cost(STREAM, units, ranks_in_domain=18).seconds
+    # with 18 ranks the per-rank share drops 16 -> 4.25 GB/s
+    assert t18 > 3 * t1
+
+
+def test_compute_bound_kernel_immune_to_contention():
+    units = 1_000_000
+    t1 = EM_A.phase_cost(COMPUTE, units, 1).seconds
+    t18 = EM_A.phase_cost(COMPUTE, units, 18).seconds
+    assert t18 == pytest.approx(t1, rel=1e-9)
+
+
+def test_cache_fit_reduces_memory_traffic_and_time():
+    # small working set: fits into the outer cache of one rank
+    small_units = 10_000       # 240 kB
+    large_units = 100_000_000  # 2.4 GB
+    c_small = EM_A.phase_cost(STREAM, small_units, 1)
+    c_large = EM_A.phase_cost(STREAM, large_units, 1)
+    frac_small = c_small.mem_bytes / (STREAM.mem_bytes_per_unit * small_units)
+    frac_large = c_large.mem_bytes / (STREAM.mem_bytes_per_unit * large_units)
+    assert frac_small < 0.25
+    assert frac_large > 0.9
+
+
+def test_traffic_moves_inward_when_cached():
+    units = 10_000
+    c = EM_A.phase_cost(STREAM, units, 1)
+    nominal_l3 = STREAM.l3_bytes_per_unit * units
+    nominal_l2 = STREAM.l2_bytes_per_unit * units
+    # what left DRAM shows up in the caches instead
+    assert c.l3_bytes + c.l2_bytes > nominal_l3 + nominal_l2 * 0.99
+
+
+def test_zero_units_zero_cost():
+    c = EM_A.phase_cost(STREAM, 0, 1)
+    assert c == PhaseCost.zero()
+
+
+def test_penalty_multiplies_time_only():
+    units = 1_000_000
+    base = EM_A.phase_cost(STREAM, units, 4)
+    slow = EM_A.phase_cost(STREAM, units, 4, penalty=1.5)
+    assert slow.seconds == pytest.approx(1.5 * base.seconds)
+    assert slow.flops == base.flops
+    assert slow.mem_bytes == base.mem_bytes
+
+
+def test_penalty_below_one_rejected():
+    with pytest.raises(ValueError):
+        EM_A.phase_cost(STREAM, 10, 1, penalty=0.5)
+
+
+def test_latency_bound_factor_slows_memory():
+    sparse = KernelModel(
+        name="sparse",
+        flops_per_unit=STREAM.flops_per_unit,
+        simd_fraction=STREAM.simd_fraction,
+        mem_bytes_per_unit=STREAM.mem_bytes_per_unit,
+        l3_bytes_per_unit=STREAM.l3_bytes_per_unit,
+        l2_bytes_per_unit=STREAM.l2_bytes_per_unit,
+        working_set_bytes_per_unit=STREAM.working_set_bytes_per_unit,
+        latency_bound_factor=2.0,
+    )
+    units = 50_000_000
+    assert (
+        EM_A.phase_cost(sparse, units, 1).seconds
+        > 1.8 * EM_A.phase_cost(STREAM, units, 1).seconds
+    )
+
+
+def test_simd_fraction_controls_counters():
+    c = EM_A.phase_cost(COMPUTE, 1000, 1)
+    assert c.simd_flops == pytest.approx(c.flops * COMPUTE.simd_fraction)
+
+
+def test_scalar_code_much_slower_than_simd():
+    scalar = KernelModel(
+        name="scalar",
+        flops_per_unit=COMPUTE.flops_per_unit,
+        simd_fraction=0.0,
+        mem_bytes_per_unit=COMPUTE.mem_bytes_per_unit,
+        l3_bytes_per_unit=COMPUTE.l3_bytes_per_unit,
+        l2_bytes_per_unit=COMPUTE.l2_bytes_per_unit,
+        working_set_bytes_per_unit=COMPUTE.working_set_bytes_per_unit,
+        compute_efficiency=COMPUTE.compute_efficiency,
+    )
+    t_simd = EM_A.phase_cost(COMPUTE, 1000, 1).seconds
+    t_scalar = EM_A.phase_cost(scalar, 1000, 1).seconds
+    assert t_scalar > 5 * t_simd
+
+
+@settings(max_examples=50)
+@given(
+    units=st.integers(min_value=1, max_value=10**9),
+    ranks=st.integers(min_value=1, max_value=18),
+)
+def test_phase_cost_always_positive(units, ranks):
+    c = EM_A.phase_cost(STREAM, units, ranks)
+    assert c.seconds > 0
+    assert c.flops == pytest.approx(STREAM.flops_per_unit * units)
+
+
+@settings(max_examples=30)
+@given(ranks=st.integers(min_value=1, max_value=18))
+def test_phase_time_monotone_in_contention(ranks):
+    units = 10_000_000
+    t = EM_A.phase_cost(STREAM, units, ranks).seconds
+    t_next = EM_A.phase_cost(STREAM, units, min(18, ranks + 1)).seconds
+    assert t_next >= t - 1e-12
+
+
+# --- classification & utilization ------------------------------------------------
+
+
+def test_memory_bound_classification():
+    assert EM_A.memory_bound(STREAM, ranks_in_domain=18)
+    assert not EM_A.memory_bound(COMPUTE, ranks_in_domain=18)
+
+
+def test_utilization_low_for_memory_bound():
+    u = EM_A.compute_utilization(STREAM, 50_000_000, 18)
+    assert u < 0.4
+
+
+def test_utilization_one_for_compute_bound():
+    u = EM_A.compute_utilization(COMPUTE, 1_000_000, 18)
+    assert u == pytest.approx(1.0)
+
+
+def test_phase_cost_addition_and_scaling():
+    a = EM_A.phase_cost(STREAM, 1000, 1)
+    b = EM_A.phase_cost(COMPUTE, 1000, 1)
+    s = a + b
+    assert s.seconds == pytest.approx(a.seconds + b.seconds)
+    assert s.flops == pytest.approx(a.flops + b.flops)
+    doubled = a.scaled(2.0)
+    assert doubled.mem_bytes == pytest.approx(2 * a.mem_bytes)
+
+
+def test_kernel_validation():
+    with pytest.raises(ValueError):
+        KernelModel("bad", -1, 0.5, 1, 1, 1, 1)
+    with pytest.raises(ValueError):
+        KernelModel("bad", 1, 1.5, 1, 1, 1, 1)
+    with pytest.raises(ValueError):
+        KernelModel("bad", 1, 0.5, 1, 1, 1, 1, compute_efficiency=0.0)
+    with pytest.raises(ValueError):
+        KernelModel("bad", 1, 0.5, 1, 1, 1, 1, heat=0.0)
+
+
+def test_kernel_intensity():
+    assert STREAM.intensity == pytest.approx(2.0 / 24.0)
+    nomem = KernelModel("x", 10, 0.5, 0, 1, 1, 1)
+    assert math.isinf(nomem.intensity)

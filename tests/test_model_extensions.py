@@ -1,0 +1,133 @@
+"""Tests for the kernel-model extension fields: fixed working sets,
+non-overlapped memory time, per-kernel cache sharpness."""
+
+import dataclasses
+
+import pytest
+
+from repro.machine import ICE_LAKE_8360Y, SAPPHIRE_RAPIDS_8470
+from repro.model import ExecutionModel, KernelModel
+
+EM_A = ExecutionModel(ICE_LAKE_8360Y)
+EM_B = ExecutionModel(SAPPHIRE_RAPIDS_8470)
+
+BASE = KernelModel(
+    name="base",
+    flops_per_unit=50.0,
+    simd_fraction=0.5,
+    mem_bytes_per_unit=100.0,
+    l3_bytes_per_unit=120.0,
+    l2_bytes_per_unit=140.0,
+    working_set_bytes_per_unit=40.0,
+)
+
+
+def test_fixed_working_set_overrides_per_unit():
+    fixed = dataclasses.replace(BASE, fixed_working_set_bytes=1e3)
+    # tiny fixed set: cached regardless of unit count
+    few = EM_A.phase_cost(fixed, 100, 1)
+    many = EM_A.phase_cost(fixed, 10_000_000, 1)
+    frac_few = few.mem_bytes / (BASE.mem_bytes_per_unit * 100)
+    frac_many = many.mem_bytes / (BASE.mem_bytes_per_unit * 10_000_000)
+    assert frac_few == pytest.approx(frac_many, rel=1e-6)
+    assert frac_many < 0.15
+
+
+def test_fixed_working_set_is_cache_sensitive_not_scalable():
+    """A 3.4 MB fixed hot set fits ClusterB's per-rank outer cache at
+    full occupancy but not ClusterA's — the sph-exa/soma mechanism."""
+    k = dataclasses.replace(
+        BASE, fixed_working_set_bytes=3.4e6, cache_sharpness=3.5
+    )
+    a = EM_A.phase_cost(k, 10_000, 18)  # A: 18 ranks/domain
+    b = EM_B.phase_cost(k, 10_000, 13)  # B: 13 ranks/domain
+    assert b.mem_bytes < 0.62 * a.mem_bytes
+
+
+def test_mem_overlap_zero_serializes():
+    """With no overlap, memory time adds to compute time even when the
+    kernel is nominally compute-bound."""
+    compute_heavy = dataclasses.replace(
+        BASE, flops_per_unit=5000.0, mem_overlap=1.0
+    )
+    serialized = dataclasses.replace(
+        BASE, flops_per_unit=5000.0, mem_overlap=0.0
+    )
+    units = 1_000_000
+    t_overlap = EM_A.phase_cost(compute_heavy, units, 18).seconds
+    t_serial = EM_A.phase_cost(serialized, units, 18).seconds
+    assert t_serial > t_overlap
+
+
+def test_mem_overlap_partial_between_extremes():
+    units = 1_000_000
+    heavy = dataclasses.replace(BASE, flops_per_unit=5000.0)
+    t = {
+        ov: EM_A.phase_cost(
+            dataclasses.replace(heavy, mem_overlap=ov), units, 18
+        ).seconds
+        for ov in (0.0, 0.5, 1.0)
+    }
+    assert t[1.0] <= t[0.5] <= t[0.0]
+
+
+def test_cache_sharpness_controls_transition():
+    """Sharper kernels transition faster around the capacity point."""
+    soft = dataclasses.replace(BASE, cache_sharpness=1.0)
+    sharp = dataclasses.replace(BASE, cache_sharpness=6.0)
+    # working set ~2x the outer share: sharp kernel -> nearly full traffic,
+    # soft kernel -> still partially cached
+    share = EM_A.outer_cache_share_bytes(18)
+    units = 2.0 * share / BASE.working_set_bytes_per_unit
+    f_soft = EM_A.phase_cost(soft, units, 18).mem_bytes
+    f_sharp = EM_A.phase_cost(sharp, units, 18).mem_bytes
+    assert f_sharp > f_soft
+
+
+def test_validation_of_new_fields():
+    with pytest.raises(ValueError):
+        dataclasses.replace(BASE, fixed_working_set_bytes=-1.0)
+    with pytest.raises(ValueError):
+        dataclasses.replace(BASE, mem_overlap=1.5)
+    with pytest.raises(ValueError):
+        dataclasses.replace(BASE, cache_sharpness=0.0)
+
+
+def test_phase_cost_heat_weighted_addition():
+    from repro.model.kernel import PhaseCost
+
+    a = PhaseCost(1.0, 10, 5, 0, 0, 0, busy_seconds=1.0, heat=1.0)
+    b = PhaseCost(3.0, 10, 5, 0, 0, 0, busy_seconds=3.0, heat=0.6)
+    s = a + b
+    assert s.heat == pytest.approx((1.0 * 1.0 + 0.6 * 3.0) / 4.0)
+    assert s.busy_seconds == pytest.approx(4.0)
+
+
+def test_phase_cost_busy_may_exceed_duration_for_hybrid():
+    """busy_seconds is in core-seconds: a 4-thread phase can execute 4
+    core-seconds per wall second."""
+    from repro.model.kernel import PhaseCost
+
+    c = PhaseCost(1.0, 0, 0, 0, 0, 0, busy_seconds=4.0)
+    assert c.busy_seconds == 4.0
+
+
+def test_busy_seconds_default_is_duration():
+    from repro.model.kernel import PhaseCost
+
+    c = PhaseCost(2.0, 0, 0, 0, 0, 0)
+    assert c.busy_seconds == 2.0
+
+
+def test_utilization_feeds_power_model():
+    """A memory-bound phase reports low busy fraction -> lower chip
+    power than a compute-bound phase of the same duration."""
+    mem_k = dataclasses.replace(BASE, flops_per_unit=1.0)
+    cpu_k = dataclasses.replace(
+        BASE, flops_per_unit=50_000.0, mem_bytes_per_unit=1.0
+    )
+    units = 1_000_000
+    c_mem = EM_A.phase_cost(mem_k, units, 18)
+    c_cpu = EM_A.phase_cost(cpu_k, units, 18)
+    assert c_mem.busy_seconds / c_mem.seconds < 0.3
+    assert c_cpu.busy_seconds / c_cpu.seconds > 0.95

@@ -1,0 +1,159 @@
+"""Power-model tests against the paper's RAPL observations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine import (
+    CLUSTER_A,
+    CLUSTER_B,
+    ICE_LAKE_8360Y,
+    SANDY_BRIDGE_NODE,
+    SAPPHIRE_RAPIDS_8470,
+)
+from repro.model import ChipPowerModel, DramPowerModel, NodePowerModel
+
+CHIP_A = ChipPowerModel(ICE_LAKE_8360Y)
+CHIP_B = ChipPowerModel(SAPPHIRE_RAPIDS_8470)
+DRAM_A = DramPowerModel(ICE_LAKE_8360Y)
+DRAM_B = DramPowerModel(SAPPHIRE_RAPIDS_8470)
+
+
+def test_zero_core_power_is_idle_baseline():
+    assert CHIP_A.socket_power(0) == pytest.approx(98.0)
+    assert CHIP_B.socket_power(0) == pytest.approx(178.0)
+
+
+def test_hot_code_reaches_98_percent_tdp():
+    # sph-exa: 244 W on A (98 % of 250), 333 W on B (97 % of 350)
+    p_a = CHIP_A.socket_power(36, heat=1.0, utilization=1.0)
+    p_b = CHIP_B.socket_power(52, heat=1.0, utilization=1.0)
+    assert p_a / 250.0 == pytest.approx(0.98, abs=0.01)
+    assert p_b / 350.0 == pytest.approx(0.98, abs=0.015)
+
+
+def test_cool_code_well_below_tdp():
+    # soma: 89 % on A, 85 % on B
+    p_a = CHIP_A.socket_power(36, heat=0.80, utilization=1.0)
+    p_b = CHIP_B.socket_power(52, heat=0.80, utilization=1.0)
+    assert 0.82 <= p_a / 250.0 <= 0.92
+    assert 0.80 <= p_b / 350.0 <= 0.92
+
+
+def test_power_grows_linearly_with_cores():
+    p10 = CHIP_A.socket_power(10)
+    p20 = CHIP_A.socket_power(20)
+    slope1 = p10 - CHIP_A.socket_power(0)
+    slope2 = p20 - p10
+    assert slope1 == pytest.approx(slope2, rel=1e-9)
+
+
+def test_stalled_cores_burn_less_but_not_nothing():
+    busy = CHIP_A.core_power(heat=1.0, utilization=1.0)
+    stalled = CHIP_A.core_power(heat=1.0, utilization=0.0)
+    assert 0.4 * busy < stalled < 0.7 * busy
+
+
+def test_memory_bound_socket_power_below_hot():
+    hot = CHIP_A.socket_power(36, heat=1.0, utilization=1.0)
+    membound = CHIP_A.socket_power(36, heat=0.75, utilization=0.25)
+    assert membound < hot
+    assert membound > ICE_LAKE_8360Y.idle_power_w  # but far above idle
+
+
+def test_idle_fraction_matches_paper_claims():
+    assert CHIP_A.idle_fraction_of_tdp() == pytest.approx(0.40, abs=0.03)
+    assert CHIP_B.idle_fraction_of_tdp() == pytest.approx(0.50, abs=0.03)
+    sandy = ChipPowerModel(SANDY_BRIDGE_NODE.cpu)
+    assert sandy.idle_fraction_of_tdp() < 0.20
+
+
+def test_tdp_cap_enforced():
+    # even absurd inputs cannot exceed TDP
+    assert CHIP_A.socket_power(36, heat=1.0, utilization=1.0) <= 250.0
+
+
+@given(
+    n=st.integers(min_value=0, max_value=36),
+    heat=st.floats(min_value=0.1, max_value=1.0),
+    util=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_socket_power_bounded(n, heat, util):
+    p = CHIP_A.socket_power(n, heat, util)
+    assert ICE_LAKE_8360Y.idle_power_w <= p <= ICE_LAKE_8360Y.tdp_w
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        CHIP_A.socket_power(37)
+    with pytest.raises(ValueError):
+        CHIP_A.core_power(heat=0.0, utilization=0.5)
+    with pytest.raises(ValueError):
+        CHIP_A.core_power(heat=1.0, utilization=1.5)
+    with pytest.raises(ValueError):
+        DRAM_A.socket_power(-1.0)
+
+
+# --- DRAM ---------------------------------------------------------------------
+
+
+def test_dram_one_saturated_domain_matches_paper():
+    # Paper: 16 W DRAM reading with one saturated ccNUMA domain on A,
+    # 10-13 W on B.
+    dom_a = ICE_LAKE_8360Y.domain_memory_bw
+    dom_b = SAPPHIRE_RAPIDS_8470.domain_memory_bw
+    assert DRAM_A.socket_power(dom_a) == pytest.approx(16.0, abs=1.0)
+    assert 10.0 <= DRAM_B.socket_power(dom_b) <= 13.0
+
+
+def test_dram_power_floor_for_compute_bound():
+    # soma reads ~9.5 W on A: the 8 W floor plus its modest bandwidth
+    assert DRAM_A.socket_power(0.0) == pytest.approx(8.0)
+    assert DRAM_A.socket_power(15e9) == pytest.approx(9.5, abs=0.3)
+
+
+def test_dram_power_clamps_at_sustained_bw():
+    over = DRAM_A.socket_power(10 * ICE_LAKE_8360Y.sustained_memory_bw)
+    assert over == pytest.approx(DRAM_A.saturated_power())
+
+
+def test_ddr5_cooler_per_byte():
+    """DDR5 (B) contributes a smaller share of node power than DDR4 (A)."""
+    node_a = NodePowerModel(CLUSTER_A.node)
+    node_b = NodePowerModel(CLUSTER_B.node)
+    bw_a = ICE_LAKE_8360Y.sustained_memory_bw
+    bw_b = SAPPHIRE_RAPIDS_8470.sustained_memory_bw
+    chip_a, dram_a = node_a.power([36, 36], 0.75, 0.25, [bw_a, bw_a])
+    chip_b, dram_b = node_b.power([52, 52], 0.75, 0.25, [bw_b, bw_b])
+    assert dram_b / (chip_b + dram_b) < dram_a / (chip_a + dram_a)
+
+
+# --- node model --------------------------------------------------------------------
+
+
+def test_node_idle_and_max_power():
+    node = NodePowerModel(CLUSTER_A.node)
+    assert node.idle_power() == pytest.approx(2 * (98.0 + 8.0))
+    assert node.max_power() > 2 * 250.0
+
+
+def test_node_power_both_sockets_idle_counted():
+    node = NodePowerModel(CLUSTER_A.node)
+    # ranks only on socket 0: socket 1 still contributes idle power
+    chip, dram = node.power([18, 0], 1.0, 1.0, [50e9, 0.0])
+    assert chip > ICE_LAKE_8360Y.idle_power_w * 2
+
+
+def test_node_power_input_validation():
+    node = NodePowerModel(CLUSTER_A.node)
+    with pytest.raises(ValueError):
+        node.power([36], 1.0, 1.0, [0.0, 0.0])
+    with pytest.raises(ValueError):
+        node.power([36, 36], 1.0, 1.0, [0.0])
+
+
+def test_one_ccnuma_domain_cpu_dominates_dram():
+    """Paper: with one domain populated, CPU takes 90-95 % of node power."""
+    node_a = NodePowerModel(CLUSTER_A.node)
+    chip, dram = node_a.power([18, 0], 0.85, 0.5, [76e9, 0.0])
+    assert chip / (chip + dram) > 0.85

@@ -1,0 +1,66 @@
+"""Time-resolved Roofline sampling (ClusterCockpit-style monitoring)."""
+
+import pytest
+
+from repro.harness import run
+from repro.machine import CLUSTER_A
+from repro.perfmon import TraceCollector
+from repro.perfmon.roofline import RooflineSample, timeline_samples
+from repro.smpi import MpiRuntime
+from repro.spechpc import get_benchmark
+
+
+def test_samples_capture_phase_structure():
+    """A job alternating hot-compute and idle-MPI phases shows the
+    alternation in its Roofline time series."""
+    tc = TraceCollector()
+    rt = MpiRuntime(CLUSTER_A, 2, trace=tc)
+
+    def body(comm):
+        for _ in range(3):
+            yield comm.compute(0.1, flops=1e9, mem_bytes=1e8)
+            yield comm.compute(0.1, flops=0.0, mem_bytes=2e9)
+
+    rt.launch(body)
+    samples = timeline_samples(tc, buckets=12)
+    assert len(samples) == 12
+    g = [s.gflops for s in samples]
+    # hot and cold buckets alternate: spread between them is large
+    assert max(g) > 3 * (min(g) + 1e-9)
+
+
+def test_samples_conserve_totals():
+    tc = TraceCollector()
+    rt = MpiRuntime(CLUSTER_A, 3, trace=tc)
+
+    def body(comm):
+        yield comm.compute(0.2, flops=5e8, mem_bytes=1e9)
+        yield comm.barrier()
+
+    rt.launch(body)
+    samples = timeline_samples(tc, buckets=7)
+    total_flops = sum(s.gflops * (s.t1 - s.t0) * 1e9 for s in samples)
+    total_mem = sum(s.mem_bw * (s.t1 - s.t0) for s in samples)
+    assert total_flops == pytest.approx(3 * 5e8, rel=1e-6)
+    assert total_mem == pytest.approx(3 * 1e9, rel=1e-6)
+
+
+def test_samples_from_real_benchmark():
+    r = run(get_benchmark("tealeaf"), CLUSTER_A, 8, trace=True)
+    samples = timeline_samples(r.trace, buckets=20)
+    assert len(samples) == 20
+    # a memory-bound code: intensity below 1 flop/B everywhere it computes
+    busy = [s for s in samples if s.mem_bw > 0]
+    assert busy
+    assert all(s.intensity < 1.0 for s in busy)
+
+
+def test_sample_intensity_and_validation():
+    s = RooflineSample(0.0, 1.0, gflops=2.0, mem_bw=1e9)
+    assert s.intensity == pytest.approx(2.0)
+    s0 = RooflineSample(0.0, 1.0, gflops=2.0, mem_bw=0.0)
+    assert s0.intensity == float("inf")
+    tc = TraceCollector()
+    with pytest.raises(ValueError):
+        timeline_samples(tc, buckets=0)
+    assert timeline_samples(tc, buckets=5) == []

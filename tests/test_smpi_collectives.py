@@ -1,0 +1,155 @@
+"""Collective semantics and cost-model behavior."""
+
+import math
+
+import pytest
+
+from repro.machine import CLUSTER_A, CLUSTER_B
+from repro.machine.network import NetworkSpec
+from repro.smpi import MpiRuntime
+from repro.smpi.collectives import (
+    allgather_cost,
+    allreduce_cost,
+    barrier_cost,
+    bcast_cost,
+    reduce_cost,
+)
+
+NET = NetworkSpec()
+
+
+def run_job(nprocs, factory, cluster=CLUSTER_A):
+    return MpiRuntime(cluster, nprocs).launch(factory)
+
+
+# --- cost-model unit tests ------------------------------------------------------
+
+
+def test_single_rank_collectives_free():
+    assert barrier_cost(NET, 1, 1) == 0.0
+    assert allreduce_cost(NET, 1, 1, 8) == 0.0
+    assert bcast_cost(NET, 1, 1, 8) == 0.0
+    assert reduce_cost(NET, 1, 1, 8) == 0.0
+    assert allgather_cost(NET, 1, 1, 8) == 0.0
+
+
+def test_allreduce_cost_grows_logarithmically():
+    c4 = allreduce_cost(NET, 4, 1, 8)
+    c16 = allreduce_cost(NET, 16, 1, 8)
+    c256 = allreduce_cost(NET, 256, 4, 8)
+    assert c4 < c16 < c256
+    # log growth: doubling rounds, not doubling per rank
+    assert c16 < 3 * c4
+
+
+def test_internode_rounds_cost_more():
+    intra = allreduce_cost(NET, 64, 1, 8)
+    inter = allreduce_cost(NET, 64, 8, 8)
+    assert inter > intra
+
+
+def test_allreduce_cost_grows_with_bytes():
+    small = allreduce_cost(NET, 16, 2, 8)
+    big = allreduce_cost(NET, 16, 2, 8 * 1024 * 1024)
+    assert big > small * 10
+
+
+def test_barrier_cheaper_than_allreduce_payload():
+    assert barrier_cost(NET, 64, 4) <= allreduce_cost(NET, 64, 4, 1024)
+
+
+def test_allgather_scales_linearly_in_ranks():
+    c8 = allgather_cost(NET, 8, 1, 8 * 1024)
+    c64 = allgather_cost(NET, 64, 1, 64 * 1024)
+    assert c64 > c8
+
+
+# --- runtime semantics ------------------------------------------------------------
+
+
+def test_barrier_synchronizes_all_ranks():
+    arrivals = {}
+    departures = {}
+
+    def body(comm):
+        yield comm.compute(0.1 * comm.rank)
+        arrivals[comm.rank] = comm.now
+        yield comm.barrier()
+        departures[comm.rank] = comm.now
+
+    run_job(4, body)
+    # nobody leaves before the last arrival
+    latest_arrival = max(arrivals.values())
+    assert all(d >= latest_arrival for d in departures.values())
+    # all leave at the same instant
+    assert len({round(d, 12) for d in departures.values()}) == 1
+
+
+def test_barrier_wait_time_reflects_skew():
+    def body(comm):
+        yield comm.compute(1.0 if comm.rank == 0 else 0.0)
+        yield comm.barrier()
+
+    job = run_job(4, body)
+    # rank 0 arrives last: nearly zero barrier time
+    assert job.stats[0].time_by_kind.get("MPI_Barrier", 0.0) < 0.01
+    # the others waited ~1 s
+    for r in (1, 2, 3):
+        assert job.stats[r].time_by_kind["MPI_Barrier"] == pytest.approx(1.0, rel=0.05)
+
+
+def test_allreduce_every_iteration():
+    iters = 5
+
+    def body(comm):
+        for _ in range(iters):
+            yield comm.compute(0.01)
+            yield comm.allreduce(8)
+
+    job = run_job(8, body)
+    for s in job.stats:
+        assert s.time_by_kind.get("MPI_Allreduce", 0.0) > 0.0
+    assert job.elapsed > iters * 0.01
+
+
+def test_collective_sequence_mismatch_detected():
+    def body(comm):
+        if comm.rank == 0:
+            yield comm.barrier()
+            yield comm.barrier()
+        else:
+            yield comm.barrier()
+
+    with pytest.raises(Exception):
+        run_job(2, body)
+
+
+def test_bcast_and_reduce_complete():
+    def body(comm):
+        yield comm.bcast(4096, root=0)
+        yield comm.reduce(4096, root=0)
+        yield comm.allgather(8 * comm.size)
+
+    job = run_job(6, body)
+    kinds = set(job.breakdown())
+    assert {"MPI_Bcast", "MPI_Reduce", "MPI_Allgather"} <= kinds
+
+
+def test_multinode_allreduce_slower_than_single_node(cluster=CLUSTER_B):
+    def body(comm):
+        yield comm.allreduce(8)
+
+    cores = cluster.node.cores
+    t_single = run_job(cores, body, cluster).elapsed
+    t_multi = run_job(2 * cores, body, cluster).elapsed
+    assert t_multi > t_single
+
+
+def test_elapsed_equals_max_rank_total():
+    def body(comm):
+        yield comm.compute(0.2 + 0.05 * comm.rank)
+        yield comm.barrier()
+
+    job = run_job(4, body)
+    slowest = max(s.total_time for s in job.stats)
+    assert job.elapsed == pytest.approx(slowest, rel=1e-9)

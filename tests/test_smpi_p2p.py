@@ -1,0 +1,220 @@
+"""Point-to-point semantics of the simulated MPI runtime."""
+
+import pytest
+
+from repro.machine import CLUSTER_A
+from repro.smpi import MpiRuntime
+
+
+def run_job(nprocs, factory, cluster=CLUSTER_A, trace=None):
+    rt = MpiRuntime(cluster, nprocs, trace=trace)
+    return rt.launch(factory)
+
+
+def test_eager_send_recv_completes():
+    def body(comm):
+        if comm.rank == 0:
+            yield comm.send(1, nbytes=1024)
+        else:
+            yield comm.recv(0)
+
+    job = run_job(2, body)
+    assert job.elapsed > 0
+    # eager: the sender does not wait for the receiver
+    assert job.stats[0].time_by_kind.get("MPI_Send", 0.0) < 1e-5
+
+
+def test_rendezvous_sender_blocks_until_recv_posted():
+    big = 10 * 1024 * 1024  # well above eager threshold
+    recv_delay = 0.5
+
+    def body(comm):
+        if comm.rank == 0:
+            yield comm.send(1, nbytes=big)
+        else:
+            yield comm.compute(recv_delay)
+            yield comm.recv(0)
+
+    job = run_job(2, body)
+    # the sender was stuck in MPI_Send for at least the receiver's delay
+    assert job.stats[0].time_by_kind["MPI_Send"] >= recv_delay
+    # both finish at the same transfer-end time
+    assert job.elapsed > recv_delay
+
+
+def test_eager_message_before_recv_is_buffered():
+    def body(comm):
+        if comm.rank == 0:
+            yield comm.send(1, nbytes=64)
+        else:
+            yield comm.compute(1.0)
+            yield comm.recv(0)
+
+    job = run_job(2, body)
+    # receiver picks the buffered message up immediately after computing
+    assert job.elapsed == pytest.approx(1.0, abs=1e-4)
+    assert job.stats[1].time_by_kind.get("MPI_Recv", 0.0) < 1e-4
+
+
+def test_recv_waits_for_late_sender():
+    def body(comm):
+        if comm.rank == 0:
+            yield comm.compute(2.0)
+            yield comm.send(1, nbytes=64)
+        else:
+            yield comm.recv(0)
+
+    job = run_job(2, body)
+    assert job.stats[1].time_by_kind["MPI_Recv"] >= 2.0
+
+
+def test_message_ordering_fifo_same_tag():
+    order = []
+
+    def body(comm):
+        if comm.rank == 0:
+            yield comm.send(1, nbytes=10, tag=7)
+            yield comm.send(1, nbytes=20, tag=7)
+        else:
+            r1 = comm.irecv(0, tag=7)
+            r2 = comm.irecv(0, tag=7)
+            yield comm.wait(r1)
+            order.append(r1.done_signal.value)
+            yield comm.wait(r2)
+            order.append(r2.done_signal.value)
+
+    run_job(2, body)
+    assert order[0] <= order[1]
+
+
+def test_tag_matching_selects_correct_message():
+    done = []
+
+    def body(comm):
+        if comm.rank == 0:
+            yield comm.send(1, nbytes=10, tag=1)
+            yield comm.send(1, nbytes=10, tag=2)
+        else:
+            # receive tag 2 first: must match the second message
+            yield comm.recv(0, tag=2)
+            yield comm.recv(0, tag=1)
+            done.append(True)
+
+    run_job(2, body)
+    assert done == [True]
+
+
+def test_any_source_wildcard():
+    def body(comm):
+        if comm.rank == 0:
+            yield comm.recv()  # ANY_SOURCE
+            yield comm.recv()
+        else:
+            yield comm.send(0, nbytes=8)
+
+    run_job(3, body)
+
+
+def test_isend_wait_overlap_with_compute():
+    big = 5 * 1024 * 1024
+
+    def body(comm):
+        if comm.rank == 0:
+            req = comm.isend(1, nbytes=big)
+            yield comm.compute(1.0)  # overlap
+            yield comm.wait(req)
+        else:
+            yield comm.recv(0)
+
+    job = run_job(2, body)
+    # with overlap, total time ~ max(compute, transfer), not the sum
+    assert job.elapsed < 1.0 + 0.5
+
+
+def test_sendrecv_pair_no_deadlock():
+    def body(comm):
+        peer = 1 - comm.rank
+        big = 1024 * 1024
+        for _ in range(3):
+            yield comm.sendrecv(peer, big, peer, big)
+
+    job = run_job(2, body)
+    assert job.elapsed > 0
+
+
+def test_ring_exchange_many_ranks():
+    n = 8
+
+    def body(comm):
+        right = (comm.rank + 1) % n
+        left = (comm.rank - 1) % n
+        yield comm.sendrecv(right, 4096, left, 4096)
+
+    job = run_job(n, body)
+    assert job.elapsed > 0
+    assert all(s.counters["messages"] >= 1 for s in job.stats)
+
+
+def test_unmatched_send_detected_at_finalize():
+    def body(comm):
+        if comm.rank == 0:
+            yield comm.send(1, nbytes=16)  # eager, never received
+        else:
+            yield comm.compute(0.1)
+
+    with pytest.raises(RuntimeError, match="unmatched"):
+        run_job(2, body)
+
+
+def test_self_send_rejected():
+    def body(comm):
+        yield comm.send(comm.rank, nbytes=8)
+
+    with pytest.raises(ValueError, match="self-send"):
+        run_job(2, body)
+
+
+def test_invalid_dest_rejected():
+    def body(comm):
+        yield comm.send(99, nbytes=8)
+
+    with pytest.raises(ValueError, match="invalid destination"):
+        run_job(2, body)
+
+
+def test_intra_vs_inter_node_latency():
+    """A message between nodes must be slower than within a node."""
+    nbytes = 16 * 1024
+
+    def make(recvr):
+        def body(comm):
+            if comm.rank == 0:
+                yield comm.send(recvr, nbytes=nbytes)
+            elif comm.rank == recvr:
+                yield comm.recv(0)
+            else:
+                return
+                yield  # pragma: no cover
+
+        return body
+
+    cores = CLUSTER_A.node.cores
+    job_intra = run_job(2, make(1))
+    job_inter = run_job(cores + 1, make(cores))
+    t_intra = job_intra.elapsed
+    t_inter = job_inter.elapsed
+    assert t_inter > t_intra
+
+
+def test_counters_accumulate_messages():
+    def body(comm):
+        if comm.rank == 0:
+            yield comm.send(1, nbytes=100)
+            yield comm.send(1, nbytes=200)
+        else:
+            yield comm.recv(0)
+            yield comm.recv(0)
+
+    job = run_job(2, body)
+    assert job.stats[0].counters["messages"] == 2
+    assert job.stats[0].counters["msg_bytes"] == 300

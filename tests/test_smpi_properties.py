@@ -1,0 +1,172 @@
+"""Property-based tests of the simulation and MPI layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Delay, Simulator
+from repro.machine import CLUSTER_A
+from repro.smpi import MpiRuntime
+from repro.smpi.mailbox import ANY_SOURCE, Mailbox, SendArrival
+
+
+# --- simulator time properties --------------------------------------------------
+
+
+@settings(max_examples=40)
+@given(
+    delays=st.lists(
+        st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=5),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_simulated_time_is_sum_of_longest_chain(delays):
+    """The makespan equals the longest per-process delay sum."""
+    sim = Simulator()
+
+    def body(ds):
+        for d in ds:
+            yield Delay(d)
+
+    for i, ds in enumerate(delays):
+        sim.spawn(f"p{i}", body(ds))
+    end = sim.run()
+    assert end == pytest.approx(max(sum(ds) for ds in delays))
+
+
+@settings(max_examples=30)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n=st.integers(min_value=2, max_value=12),
+)
+def test_observed_times_never_decrease(seed, n):
+    """Every process observes monotonically non-decreasing virtual time."""
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    observations = []
+
+    def body(i):
+        for d in rng.random(4) * 2:
+            yield Delay(float(d))
+            observations.append(sim.now)
+
+    for i in range(n):
+        sim.spawn(f"p{i}", body(i))
+    sim.run()
+    # the global observation sequence is sorted (event order == time order)
+    assert observations == sorted(observations)
+
+
+# --- mailbox matching properties ----------------------------------------------------
+
+
+def _arrival(src, tag, t=0.0):
+    return SendArrival(
+        src=src, tag=tag, nbytes=10, arrival_time=t,
+        rendezvous=False, intra_node=True,
+    )
+
+
+@settings(max_examples=50)
+@given(tags=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=10))
+def test_mailbox_fifo_per_tag(tags):
+    """Matching respects arrival order within each (src, tag) class."""
+    mbox = Mailbox(rank=0)
+    for i, tag in enumerate(tags):
+        mbox.deliver(_arrival(src=1, tag=tag, t=float(i)))
+    for tag in tags:
+        # post receives in the same tag order: each must match the
+        # earliest remaining arrival with that tag
+        arr, _post = mbox.post_recv(src=1, tag=tag, now=100.0)
+        assert arr is not None
+        assert arr.tag == tag
+    assert mbox.idle()
+
+
+@settings(max_examples=50)
+@given(
+    srcs=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=12)
+)
+def test_mailbox_any_source_drains_everything(srcs):
+    mbox = Mailbox(rank=9)
+    for i, s in enumerate(srcs):
+        mbox.deliver(_arrival(src=s, tag=0, t=float(i)))
+    seen = []
+    for _ in srcs:
+        arr, _ = mbox.post_recv(src=ANY_SOURCE, tag=0, now=50.0)
+        assert arr is not None
+        seen.append(arr.arrival_time)
+    assert seen == sorted(seen)  # FIFO across sources by arrival order
+    assert mbox.idle()
+
+
+def test_mailbox_post_before_arrival_matches_on_delivery():
+    mbox = Mailbox(rank=0)
+    _, post = mbox.post_recv(src=1, tag=7, now=0.0)
+    assert mbox.pending_posts == 1
+    matched = mbox.deliver(_arrival(src=1, tag=7))
+    assert matched is post
+    assert mbox.idle()
+
+
+# --- end-to-end conservation properties ----------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    nprocs=st.integers(min_value=2, max_value=10),
+    nbytes=st.integers(min_value=8, max_value=2_000_000),
+)
+def test_every_send_is_received(nprocs, nbytes):
+    """Ring exchange: total messages sent == total received, any size
+    (eager and rendezvous paths)."""
+    rt = MpiRuntime(CLUSTER_A, nprocs)
+
+    def body(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        rreq = comm.irecv(left, tag=0)
+        yield comm.send(right, nbytes, tag=0)
+        yield comm.wait(rreq)
+
+    job = rt.launch(body)
+    assert job.total_counter("messages") == nprocs
+    assert job.total_counter("msg_bytes") == nprocs * nbytes
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    nprocs=st.integers(min_value=2, max_value=8),
+)
+def test_compute_time_accounted_exactly(seed, nprocs):
+    rng = np.random.default_rng(seed)
+    durations = rng.random(nprocs)
+    rt = MpiRuntime(CLUSTER_A, nprocs)
+
+    def body(comm):
+        yield comm.compute(float(durations[comm.rank]))
+        yield comm.barrier()
+
+    job = rt.launch(body)
+    for r, s in enumerate(job.stats):
+        assert s.compute_time == pytest.approx(durations[r])
+    # job elapsed >= slowest compute
+    assert job.elapsed >= max(durations) - 1e-12
+
+
+@settings(max_examples=10, deadline=None)
+@given(nprocs=st.integers(min_value=2, max_value=16))
+def test_collective_finish_identical_for_all_ranks(nprocs):
+    rt = MpiRuntime(CLUSTER_A, nprocs)
+    finishes = []
+
+    def body(comm):
+        yield comm.compute(0.01 * comm.rank)
+        yield comm.allreduce(64)
+        finishes.append(comm.now)
+
+    rt.launch(body)
+    assert len(set(round(f, 12) for f in finishes)) == 1

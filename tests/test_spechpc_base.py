@@ -1,0 +1,164 @@
+"""Tests for suite base machinery: decomposition, workloads, registry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spechpc import (
+    SUITE_ORDER,
+    Workload,
+    all_benchmarks,
+    dims_create,
+    get_benchmark,
+    grid_coords,
+    grid_rank,
+    split_extent,
+)
+
+
+# --- dims_create ---------------------------------------------------------------
+
+
+def test_dims_create_balanced():
+    assert dims_create(12, 2) == (4, 3)
+    assert dims_create(72, 2) == (9, 8)
+    assert dims_create(64, 2) == (8, 8)
+    assert dims_create(64, 3) == (4, 4, 4)
+
+
+def test_dims_create_prime_degenerates_to_chain():
+    assert dims_create(59, 2) == (59, 1)
+    assert dims_create(13, 2) == (13, 1)
+
+
+def test_dims_create_one():
+    assert dims_create(1, 2) == (1, 1)
+    assert dims_create(7, 1) == (7,)
+
+
+@given(n=st.integers(min_value=1, max_value=2000), d=st.integers(min_value=1, max_value=4))
+def test_dims_create_product_invariant(n, d):
+    dims = dims_create(n, d)
+    prod = 1
+    for x in dims:
+        prod *= x
+    assert prod == n
+    assert list(dims) == sorted(dims, reverse=True)
+
+
+def test_dims_create_invalid():
+    with pytest.raises(ValueError):
+        dims_create(0, 2)
+    with pytest.raises(ValueError):
+        dims_create(4, 0)
+
+
+# --- split_extent ---------------------------------------------------------------
+
+
+@given(
+    total=st.integers(min_value=1, max_value=10**6),
+    parts=st.integers(min_value=1, max_value=500),
+)
+def test_split_extent_partitions_exactly(total, parts):
+    chunks = [split_extent(total, parts, i) for i in range(parts)]
+    assert sum(chunks) == total
+    assert max(chunks) - min(chunks) <= 1
+
+
+def test_split_extent_bounds():
+    with pytest.raises(ValueError):
+        split_extent(10, 3, 3)
+    with pytest.raises(ValueError):
+        split_extent(10, 3, -1)
+
+
+# --- grid coords ------------------------------------------------------------------
+
+
+@given(
+    dims=st.tuples(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+    )
+)
+def test_grid_rank_roundtrip(dims):
+    total = dims[0] * dims[1] * dims[2]
+    for rank in range(0, total, max(1, total // 17)):
+        coords = grid_coords(rank, dims)
+        assert grid_rank(coords, dims) == rank
+        assert all(0 <= c < d for c, d in zip(coords, dims))
+
+
+def test_grid_rank_out_of_range():
+    with pytest.raises(ValueError):
+        grid_rank((3, 0), (3, 2))
+
+
+# --- workloads -------------------------------------------------------------------
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        Workload(suite="gigantic")
+    with pytest.raises(ValueError):
+        Workload(suite="tiny", steps=0)
+
+
+def test_all_benchmarks_present_in_paper_order():
+    names = [b.name for b in all_benchmarks()]
+    assert names == list(SUITE_ORDER)
+    assert len(names) == 9
+
+
+def test_every_benchmark_has_tiny_and_small():
+    for b in all_benchmarks():
+        assert b.supports("tiny")
+        assert b.supports("small")
+        assert b.workload("tiny").suite == "tiny"
+
+
+def test_get_benchmark_aliases():
+    assert get_benchmark("sphexa").name == "sph-exa"
+    assert get_benchmark("clvleaf").name == "cloverleaf"
+    assert get_benchmark("miniswp").name == "minisweep"
+    assert get_benchmark("LBM").name == "lbm"
+    with pytest.raises(KeyError):
+        get_benchmark("nonesuch")
+
+
+def test_unknown_workload_raises():
+    # soma is one of the three benchmarks without medium/large suites
+    with pytest.raises(KeyError, match="medium"):
+        get_benchmark("soma").workload("medium")
+
+
+def test_table1_metadata():
+    lbm = get_benchmark("lbm")
+    assert lbm.info.language == "C"
+    assert lbm.info.collective == "Barrier"
+    assert get_benchmark("pot3d").info.language == "Fortran"
+    assert get_benchmark("pot3d").info.loc == 495000
+    assert get_benchmark("minisweep").info.collective == "-"
+    assert get_benchmark("weather").info.collective == "-"
+    for name in ("soma", "tealeaf", "cloverleaf", "pot3d", "sph-exa", "hpgmgfv"):
+        assert get_benchmark(name).info.collective == "Allreduce"
+
+
+def test_memory_bound_classification_matches_paper():
+    memory_bound = {b.name for b in all_benchmarks() if b.info.memory_bound}
+    assert memory_bound == {"tealeaf", "cloverleaf", "pot3d", "hpgmgfv"}
+
+
+def test_table1_workload_parameters():
+    assert get_benchmark("lbm").workload("tiny").params["nx"] == 4096
+    assert get_benchmark("lbm").workload("small").params["ny"] == 48000
+    assert get_benchmark("soma").workload("tiny").params["polymers"] == 14_000_000
+    assert get_benchmark("tealeaf").workload("tiny").params["nx"] == 8192
+    assert get_benchmark("cloverleaf").workload("small").params["nx"] == 61440
+    assert get_benchmark("minisweep").workload("tiny").params["groups"] == 64
+    assert get_benchmark("pot3d").workload("tiny").params["np"] == 1171
+    assert get_benchmark("sph-exa").workload("tiny").params["particles"] == 210**3
+    assert get_benchmark("hpgmgfv").workload("small").params["n_side"] == 1024
+    assert get_benchmark("weather").workload("small").params["nx"] == 192000
