@@ -7,6 +7,7 @@ memoized for the whole pytest-benchmark session.
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 
 from repro.harness import run, scaling_sweep
@@ -18,6 +19,14 @@ from repro.spechpc import get_benchmark
 #: every measurement; Sect. 3).
 NOISE_SIGMA = 0.015
 REPEATS = 3
+
+#: Worker processes for the sweeps feeding the bench suite.  Sweep points
+#: are independent and deterministically seeded, so parallel results are
+#: identical to serial ones.  Override with REPRO_BENCH_WORKERS=1 to pin
+#: the suite to one core (e.g. while profiling).
+WORKERS = int(
+    os.environ.get("REPRO_BENCH_WORKERS", str(min(8, os.cpu_count() or 1)))
+)
 
 #: Paper-reported values used for paper-vs-measured tables.
 PAPER_EFFICIENCY = {
@@ -74,6 +83,7 @@ def node_sweep(cluster_name: str, bench_name: str, stride: int = 1) -> ScalingSe
         suite="tiny",
         repeats=REPEATS,
         noise_sigma=NOISE_SIGMA,
+        workers=WORKERS,
     )
 
 
@@ -89,6 +99,7 @@ def domain_sweep(cluster_name: str, bench_name: str) -> ScalingSeries:
         suite="tiny",
         repeats=REPEATS,
         noise_sigma=NOISE_SIGMA,
+        workers=WORKERS,
     )
 
 
@@ -105,6 +116,7 @@ def multinode_sweep(cluster_name: str, bench_name: str) -> ScalingSeries:
         suite="small",
         repeats=1,
         noise_sigma=NOISE_SIGMA,
+        workers=WORKERS,
     )
 
 

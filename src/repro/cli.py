@@ -86,7 +86,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             counts = sorted({1, 2, 4, dom // 2, dom, 2 * dom, cluster.node.cores})
         suite = args.suite
     series = scaling_sweep(bench, cluster, counts, suite=suite,
-                           repeats=args.repeats, noise_sigma=0.015 if args.repeats > 1 else 0.0)
+                           repeats=args.repeats, noise_sigma=0.015 if args.repeats > 1 else 0.0,
+                           workers=args.workers)
     sp = series.speedups()
     rows = [
         (
@@ -111,10 +112,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.harness import RunSpec, run_many
+
     bench = get_benchmark(args.benchmark)
     a, b = get_cluster("A"), get_cluster("B")
-    ra = run(bench, a, a.node.cores, suite=args.suite)
-    rb = run(bench, b, b.node.cores, suite=args.suite)
+    ra, rb = run_many(
+        [
+            RunSpec(bench, a, a.node.cores, suite=args.suite),
+            RunSpec(bench, b, b.node.cores, suite=args.suite),
+        ],
+        workers=args.workers,
+    )
     print(f"{bench.name} ({args.suite}): ClusterA {fmt_time(ra.elapsed)} vs "
           f"ClusterB {fmt_time(rb.elapsed)}")
     print(f"acceleration factor B over A: {ra.elapsed / rb.elapsed:.2f}")
@@ -153,6 +161,13 @@ def _cmd_report(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return n
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -184,11 +199,15 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--nodes", action="store_true",
                     help="node-level sweep of the small workload")
     ps.add_argument("--repeats", type=int, default=1)
+    ps.add_argument("--workers", "-j", type=_positive_int, default=1,
+                    help="run sweep points over N worker processes")
     ps.set_defaults(fn=_cmd_sweep)
 
     pc = sub.add_parser("compare", help="ClusterB over ClusterA")
     pc.add_argument("benchmark")
     pc.add_argument("--suite", "-s", default="tiny")
+    pc.add_argument("--workers", "-j", type=_positive_int, default=1,
+                    help="run the two cluster runs concurrently (use 2)")
     pc.set_defaults(fn=_cmd_compare)
 
     sub.add_parser("report", help="suite-wide summary").set_defaults(

@@ -16,6 +16,7 @@ from repro.des.simulator import (
     Delay,
     Signal,
     SimProcess,
+    SimStats,
     Simulator,
     Wait,
     join_all,
@@ -24,6 +25,7 @@ from repro.des.simulator import (
 __all__ = [
     "Simulator",
     "SimProcess",
+    "SimStats",
     "Delay",
     "Wait",
     "Signal",

@@ -11,28 +11,60 @@ by yielding:
 
 The sub-coroutine convention keeps benchmark code readable: an MPI call is
 simply ``result = yield comm.allreduce(...)``.
+
+Fast path
+---------
+The engine orders events by ``(time, counter)`` where the counter is a
+global monotonically increasing insertion index — FIFO tie-breaking among
+same-timestamp events.  Two observations make most of the heap traffic
+avoidable without changing that order:
+
+* Events scheduled *at the current time* (``Signal.fire`` fan-out after a
+  barrier/allreduce, freshly spawned processes) are appended to a plain
+  FIFO run-queue instead of the heap.  Because the run-queue is appended
+  in counter order and all its entries share the current timestamp, the
+  main loop can merge it with the heap by a single counter comparison —
+  the event order is *bit-identical* to the pure-heap schedule.
+* A ``Delay(0)`` continues the yielding process in place (no queue at
+  all): virtual time is unchanged and the process would be the next
+  runnable frame anyway.
+
+``Simulator(fast_path=False)`` disables both and reproduces the original
+pure-heap engine — kept as the reference for equivalence tests and for
+the engine microbenchmark.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass
+from collections import deque
+from collections.abc import Generator as _GeneratorABC
+from heapq import heappop, heappush
+from types import GeneratorType
 from typing import Any, Callable, Generator, Iterable, Optional
 
 #: Type of a simulated-process body.
 ProcessBody = Generator[Any, Any, Any]
 
 
-@dataclass(frozen=True)
 class Delay:
     """Yielded by a process to sleep for ``duration`` virtual seconds."""
 
-    duration: float
+    __slots__ = ("duration",)
 
-    def __post_init__(self) -> None:
-        if self.duration < 0:
-            raise ValueError(f"negative delay: {self.duration}")
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative delay: {duration}")
+        self.duration = duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Delay(duration={self.duration})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Delay) and other.duration == self.duration
+
+    def __hash__(self) -> int:
+        return hash((Delay, self.duration))
 
 
 class Signal:
@@ -69,11 +101,56 @@ class Signal:
         return f"<Signal {self.name!r} {state}>"
 
 
-@dataclass(frozen=True)
 class Wait:
     """Yielded by a process to block until ``signal`` fires."""
 
-    signal: Signal
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: Signal) -> None:
+        self.signal = signal
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Wait(signal={self.signal!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Wait) and other.signal is self.signal
+
+    def __hash__(self) -> int:
+        return hash((Wait, id(self.signal)))
+
+
+class SimStats:
+    """Engine throughput counters (for the microbenchmark and perf work).
+
+    ``events`` counts dispatched events (callbacks + process resumptions);
+    ``runq_events`` is the subset served from the current-time FIFO
+    run-queue instead of the heap; ``zero_delay_continues`` counts
+    ``Delay(0)`` yields resolved in place without queuing at all.
+    """
+
+    __slots__ = (
+        "events",
+        "heap_pushes",
+        "heap_pops",
+        "runq_events",
+        "zero_delay_continues",
+        "peak_heap_size",
+    )
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.heap_pushes = 0
+        self.heap_pops = 0
+        self.runq_events = 0
+        self.zero_delay_continues = 0
+        self.peak_heap_size = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"<SimStats {body}>"
 
 
 class SimProcess:
@@ -92,13 +169,15 @@ class SimProcess:
     def _step(self, send_value: Any) -> None:
         """Advance the process until it blocks or finishes."""
         sim = self._simulator
+        stack = self._stack
+        fast = sim._fast_path
         while True:
-            frame = self._stack[-1]
+            frame = stack[-1]
             try:
                 yielded = frame.send(send_value)
             except StopIteration as stop:
-                self._stack.pop()
-                if not self._stack:
+                stack.pop()
+                if not stack:
                     self.done = True
                     self.result = stop.value
                     sim._finished(self)
@@ -110,6 +189,33 @@ class SimProcess:
                 self.error = exc
                 sim._finished(self)
                 raise
+            # exact-type dispatch: the three hot yield types are final in
+            # practice, so ``is``-checks beat the isinstance chain; odd
+            # types (subclasses, other iterables) fall through to the
+            # original checks below.
+            cls = yielded.__class__
+            if cls is Delay:
+                duration = yielded.duration
+                if duration == 0.0 and fast:
+                    # continue in place: time does not advance and this
+                    # frame would be the next runnable one anyway
+                    sim.stats.zero_delay_continues += 1
+                    send_value = None
+                    continue
+                sim._schedule(sim.now + duration, self, None)
+                return
+            if cls is Wait:
+                sig = yielded.signal
+                if sig.fired:
+                    send_value = sig.value
+                    continue
+                sig.add_waiter(self)
+                return
+            if cls is GeneratorType:
+                stack.append(yielded)
+                send_value = None
+                continue
+            # slow path for unusual yields
             if isinstance(yielded, Delay):
                 sim._schedule(sim.now + yielded.duration, self, None)
                 return
@@ -120,8 +226,8 @@ class SimProcess:
                     continue
                 sig.add_waiter(self)
                 return
-            if isinstance(yielded, Generator):
-                self._stack.append(yielded)
+            if isinstance(yielded, _GeneratorABC):
+                stack.append(yielded)
                 send_value = None
                 continue
             raise TypeError(
@@ -143,20 +249,31 @@ class Simulator:
         sim.spawn("worker", worker_body())
         sim.run()
         assert sim.now == expected_makespan
+
+    ``fast_path=False`` routes every event through the heap and disables
+    the ``Delay(0)`` in-place continuation — the original engine, kept as
+    the bitwise reference.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fast_path: bool = True) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, SimProcess, Any]] = []
+        self._fast_path = fast_path
+        self._heap: list[tuple[float, int, Optional[SimProcess], Any]] = []
+        self._runq: deque[tuple[int, Optional[SimProcess], Any]] = deque()
         self._counter = itertools.count()
         self._processes: list[SimProcess] = []
         self._nfinished = 0
+        self.stats = SimStats()
+
+    @property
+    def fast_path(self) -> bool:
+        return self._fast_path
 
     # --- process management ----------------------------------------------
 
     def spawn(self, name: str, body: ProcessBody) -> SimProcess:
         """Create a process and make it runnable at the current time."""
-        if not isinstance(body, Generator):
+        if not isinstance(body, _GeneratorABC):
             raise TypeError(f"process body for {name!r} must be a generator")
         proc = SimProcess(name, body, self)
         self._processes.append(proc)
@@ -168,7 +285,7 @@ class Simulator:
         delivery without the overhead of a full process)."""
         if time < self.now - 1e-15:
             raise ValueError(f"call_at in the past: {time} < {self.now}")
-        heapq.heappush(self._heap, (time, next(self._counter), None, fn))
+        self._push(time, next(self._counter), None, fn)
 
     @property
     def processes(self) -> tuple[SimProcess, ...]:
@@ -176,12 +293,28 @@ class Simulator:
 
     # --- engine internals ----------------------------------------------------
 
+    def _push(
+        self, time: float, counter: int, proc: Optional[SimProcess], value: Any
+    ) -> None:
+        heap = self._heap
+        heappush(heap, (time, counter, proc, value))
+        stats = self.stats
+        stats.heap_pushes += 1
+        if len(heap) > stats.peak_heap_size:
+            stats.peak_heap_size = len(heap)
+
     def _schedule(self, time: float, proc: SimProcess, value: Any) -> None:
-        heapq.heappush(self._heap, (time, next(self._counter), proc, value))
+        if self._fast_path and time <= self.now:
+            self._runq.append((next(self._counter), proc, value))
+            return
+        self._push(time, next(self._counter), proc, value)
 
     def _ready(self, proc: SimProcess, value: Any) -> None:
         """Make a blocked process runnable now (called by Signal.fire)."""
-        self._schedule(self.now, proc, value)
+        if self._fast_path:
+            self._runq.append((next(self._counter), proc, value))
+            return
+        self._push(self.now, next(self._counter), proc, value)
 
     def _finished(self, proc: SimProcess) -> None:
         self._nfinished += 1
@@ -189,21 +322,37 @@ class Simulator:
     # --- main loop -----------------------------------------------------------
 
     def run(self, until: float | None = None) -> float:
-        """Execute events until the heap drains (or ``until`` is reached).
+        """Execute events until the queues drain (or ``until`` is reached).
 
         Returns the final virtual time.  Raises :class:`DeadlockError` if
         processes remain blocked with no pending events — which in the MPI
         layer indicates a genuine communication deadlock.
         """
-        while self._heap:
-            time, _, proc, value = heapq.heappop(self._heap)
-            if until is not None and time > until:
-                heapq.heappush(self._heap, (time, next(self._counter), proc, value))
-                self.now = until
-                return self.now
-            if time < self.now - 1e-15:
-                raise RuntimeError("event scheduled in the past")
-            self.now = max(self.now, time)
+        heap = self._heap
+        runq = self._runq
+        stats = self.stats
+        while runq or heap:
+            # merge the current-time FIFO with the heap by counter so the
+            # event order is identical to the pure-heap schedule
+            if runq and (
+                not heap or heap[0][0] > self.now or heap[0][1] > runq[0][0]
+            ):
+                _, proc, value = runq.popleft()
+                stats.runq_events += 1
+            else:
+                time, counter, proc, value = heappop(heap)
+                stats.heap_pops += 1
+                if until is not None and time > until:
+                    # keep the original counter so FIFO tie-breaking among
+                    # same-timestamp events survives a pause/resume
+                    self._push(time, counter, proc, value)
+                    self.now = until
+                    return self.now
+                if time < self.now - 1e-15:
+                    raise RuntimeError("event scheduled in the past")
+                if time > self.now:
+                    self.now = time
+            stats.events += 1
             if proc is None:
                 value()  # plain callback scheduled via call_at
                 continue

@@ -6,6 +6,7 @@ pinning, fixed clocks (implicit in the machine model), and LIKWID/RAPL
 measurement of every run.
 """
 
+from repro.harness.parallel import RunSpec, run_many
 from repro.harness.results import RunResult, ScalingPoint, ScalingSeries
 from repro.harness.runner import run
 from repro.harness.sweep import domain_fill_counts, node_counts, scaling_sweep
@@ -14,6 +15,8 @@ from repro.harness.report import ascii_plot, ascii_table, fmt_float
 __all__ = [
     "run",
     "RunResult",
+    "RunSpec",
+    "run_many",
     "ScalingPoint",
     "ScalingSeries",
     "scaling_sweep",

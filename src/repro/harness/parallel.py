@@ -1,0 +1,84 @@
+"""Parallel execution of independent benchmark runs.
+
+A scaling sweep is embarrassingly parallel: every (nprocs, repeat) point
+is an independent simulation with its own seed.  :func:`run_many` fans a
+list of :class:`RunSpec` out over a ``ProcessPoolExecutor`` and returns
+the results **in submission order**, so callers get exactly the list the
+serial loop would have produced — determinism lives in the per-point
+seeds, not in scheduling.
+
+Caveats
+-------
+* Results must cross a process boundary, so ``trace=True`` is rejected
+  for ``workers > 1``: an ITAC-style trace of a large run is far bigger
+  than the run's summary and per-interval objects would all be pickled
+  back.  Trace-free :class:`~repro.harness.results.RunResult` (and its
+  :class:`~repro.perfmon.rapl.EnergyReading`) are plain frozen dataclasses
+  of scalars and dicts — cheap to pickle.
+* Benchmark and cluster objects ride along via pickle.  The bundled
+  benchmarks are stateless singletons and specs are frozen dataclasses;
+  custom benchmarks only need to be importable from the worker.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.harness.results import RunResult
+from repro.machine.cluster import ClusterSpec
+from repro.spechpc.base import Benchmark
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulated run (the unit of parallel work)."""
+
+    benchmark: Benchmark
+    cluster: ClusterSpec
+    nprocs: int
+    suite: str = "tiny"
+    sim_steps: Optional[int] = None
+    noise_sigma: float = 0.0
+    seed: int = 0
+    trace: bool = False
+    threads_per_rank: int = 1
+    fast_path: bool = True
+    memoize: bool = True
+
+
+def execute(spec: RunSpec) -> RunResult:
+    """Run one spec (top-level so it pickles for worker processes)."""
+    from repro.harness.runner import run  # local import: no cycle
+
+    return run(
+        spec.benchmark,
+        spec.cluster,
+        spec.nprocs,
+        suite=spec.suite,
+        sim_steps=spec.sim_steps,
+        trace=spec.trace,
+        noise_sigma=spec.noise_sigma,
+        seed=spec.seed,
+        threads_per_rank=spec.threads_per_rank,
+        fast_path=spec.fast_path,
+        memoize=spec.memoize,
+    )
+
+
+def run_many(specs: Sequence[RunSpec], workers: int = 1) -> list[RunResult]:
+    """Execute every spec, ``workers`` at a time; results in spec order."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers > 1 and any(s.trace for s in specs):
+        raise ValueError(
+            "trace collection is not supported with workers > 1 — traces "
+            "are too large to ship across the process boundary; run traced "
+            "jobs serially"
+        )
+    workers = min(workers, len(specs))
+    if workers <= 1:
+        return [execute(s) for s in specs]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(execute, specs))

@@ -24,6 +24,8 @@ def run(
     noise_sigma: float = 0.0,
     seed: int = 0,
     threads_per_rank: int = 1,
+    fast_path: bool = True,
+    memoize: bool = True,
 ):
     """Execute one simulated benchmark run.
 
@@ -46,6 +48,11 @@ def run(
         > 1 runs the hybrid MPI+OpenMP variant (the paper's future-work
         mode): each rank's kernels are shared by that many cores and the
         rank is pinned to a core block.
+    fast_path / memoize:
+        Disable the DES run-queue fast path / the per-run phase-cost
+        cache.  Results are bit-identical either way; the slow flavors
+        exist as the reference for equivalence tests and the engine
+        microbenchmark.
     """
     from repro.harness.results import RunResult  # local import: no cycle
 
@@ -64,14 +71,24 @@ def run(
         sim_steps=steps,
         noise=noise,
         threads=threads_per_rank,
+        memoize=memoize,
     )
     collector = TraceCollector() if trace else None
     runtime = MpiRuntime(
-        cluster, nprocs, trace=collector, threads_per_rank=threads_per_rank
+        cluster,
+        nprocs,
+        trace=collector,
+        threads_per_rank=threads_per_rank,
+        fast_path=fast_path,
     )
     ctx.runtime = runtime
     job = runtime.launch(benchmark.make_body(ctx))
 
+    if not job.stats:
+        raise RuntimeError(
+            f"benchmark {benchmark.name!r} recorded no rank statistics — "
+            "its body must execute at least one compute or MPI phase"
+        )
     scale = ctx.step_scale()
     counters = {
         name: sum(s.counters[name] for s in job.stats) * scale

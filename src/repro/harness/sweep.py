@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Sequence
 
+from repro.harness.parallel import RunSpec, run_many
 from repro.harness.results import RunResult, ScalingPoint, ScalingSeries
-from repro.harness.runner import run
 from repro.machine.cluster import ClusterSpec
 from repro.spechpc.base import Benchmark
 
@@ -18,26 +19,62 @@ def scaling_sweep(
     repeats: int = 1,
     noise_sigma: float = 0.0,
     sim_steps: Optional[int] = None,
+    workers: int = 1,
+    reuse_identical_repeats: bool = True,
+    fast_path: bool = True,
+    memoize: bool = True,
 ) -> ScalingSeries:
-    """Run ``benchmark`` at each process count, ``repeats`` times each."""
+    """Run ``benchmark`` at each process count, ``repeats`` times each.
+
+    Every (nprocs, repeat) point is an independent simulation seeded
+    ``1000 * nprocs + repeat``, so the series is deterministic regardless
+    of ``workers``: ``workers > 1`` fans the points out over a process
+    pool (see :mod:`repro.harness.parallel`) and reassembles them in
+    order, producing a series field-for-field identical to the serial one.
+
+    With ``noise_sigma == 0`` the seed is inert and all repeats of a point
+    are bit-identical, so each point is simulated once and replicated
+    (only the recorded ``meta['seed']`` differs, patched to what the
+    repeat would have used).  ``reuse_identical_repeats=False`` forces the
+    redundant simulations — the reference path for the microbenchmark.
+    """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+
+    def spec(n: int, rep: int) -> RunSpec:
+        return RunSpec(
+            benchmark=benchmark,
+            cluster=cluster,
+            nprocs=n,
+            suite=suite,
+            sim_steps=sim_steps,
+            noise_sigma=noise_sigma,
+            seed=1000 * n + rep,
+            fast_path=fast_path,
+            memoize=memoize,
+        )
+
+    dedup = reuse_identical_repeats and noise_sigma == 0.0 and repeats > 1
+    if dedup:
+        specs = [spec(n, 0) for n in proc_counts]
+    else:
+        specs = [spec(n, rep) for n in proc_counts for rep in range(repeats)]
+    results = run_many(specs, workers=workers)
+
     points = []
-    for n in proc_counts:
-        runs: list[RunResult] = []
-        for rep in range(repeats):
-            runs.append(
-                run(
-                    benchmark,
-                    cluster,
-                    n,
-                    suite=suite,
-                    sim_steps=sim_steps,
-                    noise_sigma=noise_sigma,
-                    seed=1000 * n + rep,
+    if dedup:
+        for n, first in zip(proc_counts, results):
+            runs = [first]
+            for rep in range(1, repeats):
+                runs.append(
+                    replace(first, meta={**first.meta, "seed": 1000 * n + rep})
                 )
-            )
-        points.append(ScalingPoint(nprocs=n, runs=tuple(runs)))
+            points.append(ScalingPoint(nprocs=n, runs=tuple(runs)))
+    else:
+        it = iter(results)
+        for n in proc_counts:
+            runs: list[RunResult] = [next(it) for _ in range(repeats)]
+            points.append(ScalingPoint(nprocs=n, runs=tuple(runs)))
     return ScalingSeries(
         benchmark=benchmark.name,
         cluster=cluster.name,

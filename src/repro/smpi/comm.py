@@ -86,23 +86,26 @@ class Communicator:
             heat_seconds = 0.85 * seconds
         if heat_busy_seconds is None:
             heat_busy_seconds = 0.85 * busy_seconds
-        t0 = self.now
+        rt = self.runtime
+        t0 = rt.sim.now
         yield Delay(seconds)
-        stats = self.runtime.stats[self.rank]
-        stats.add_time("compute", seconds)
-        stats.add_counters(
-            flops=flops,
-            simd_flops=simd_flops,
-            mem_bytes=mem_bytes,
-            l3_bytes=l3_bytes,
-            l2_bytes=l2_bytes,
-            busy_seconds=busy_seconds,
-            heat_seconds=heat_seconds,
-            heat_busy_seconds=heat_busy_seconds,
+        stats = rt.stats[self.rank]
+        stats.time_by_kind["compute"] = (
+            stats.time_by_kind.get("compute", 0.0) + seconds
         )
-        self.runtime.record_trace(
-            self.rank, t0, self.now, label, flops=flops, mem_bytes=mem_bytes
-        )
+        c = stats.counters
+        c["flops"] += flops
+        c["simd_flops"] += simd_flops
+        c["mem_bytes"] += mem_bytes
+        c["l3_bytes"] += l3_bytes
+        c["l2_bytes"] += l2_bytes
+        c["busy_seconds"] += busy_seconds
+        c["heat_seconds"] += heat_seconds
+        c["heat_busy_seconds"] += heat_busy_seconds
+        if rt.trace is not None:
+            rt.record_trace(
+                self.rank, t0, rt.sim.now, label, flops=flops, mem_bytes=mem_bytes
+            )
 
     def compute_cost(self, cost) -> Generator:
         """Execute a resolved :class:`~repro.model.kernel.PhaseCost`."""
@@ -127,11 +130,12 @@ class Communicator:
         if dest == self.rank:
             raise ValueError("self-sends are not supported")
         net = rt.network
-        now = self.now
+        now = rt.sim.now
         intra = rt.same_node(self.rank, dest)
         req = Request("send", dest, tag, nbytes, now)
-        stats = rt.stats[self.rank]
-        stats.add_counters(messages=1, msg_bytes=nbytes)
+        c = rt.stats[self.rank].counters
+        c["messages"] += 1
+        c["msg_bytes"] += nbytes
         if net.is_eager(nbytes):
             arrival_time = now + net.transfer_time(nbytes, intra)
             arr = SendArrival(
@@ -163,7 +167,7 @@ class Communicator:
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         """Nonblocking receive.  Returns immediately with a :class:`Request`."""
         rt = self.runtime
-        now = self.now
+        now = rt.sim.now
         req = Request("recv", source, tag, 0, now)
         arr, post = rt.mailboxes[self.rank].post_recv(source, tag, now)
         if arr is not None:
@@ -202,15 +206,33 @@ class Communicator:
         self, dest: int, nbytes: int, tag: int = 0, payload: object = None
     ) -> Generator:
         """Blocking send (rendezvous blocks until the receive is posted)."""
-        t0 = self.now
+        rt = self.runtime
+        sim = rt.sim
+        t0 = sim.now
         req = self.isend(dest, nbytes, tag, payload=payload)
-        yield self._finish_p2p(req, t0, "MPI_Send")
+        sig = req.done_signal
+        value = sig.value if sig.fired else (yield Wait(sig))
+        finish, _ = _completion(value)
+        if finish > sim.now:
+            yield Delay(finish - sim.now)
+        if sim.now > t0:
+            rt.stats[self.rank].add_time("MPI_Send", sim.now - t0)
+            rt.record_trace(self.rank, t0, sim.now, "MPI_Send")
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
         """Blocking receive.  Returns the sender's payload (or None)."""
-        t0 = self.now
+        rt = self.runtime
+        sim = rt.sim
+        t0 = sim.now
         req = self.irecv(source, tag)
-        payload = yield self._finish_p2p(req, t0, "MPI_Recv")
+        sig = req.done_signal
+        value = sig.value if sig.fired else (yield Wait(sig))
+        finish, payload = _completion(value)
+        if finish > sim.now:
+            yield Delay(finish - sim.now)
+        if sim.now > t0:
+            rt.stats[self.rank].add_time("MPI_Recv", sim.now - t0)
+            rt.record_trace(self.rank, t0, sim.now, "MPI_Recv")
         return payload
 
     def sendrecv(
@@ -223,15 +245,31 @@ class Communicator:
         payload: object = None,
     ) -> Generator:
         """Combined send+receive (deadlock-free halo exchange primitive).
-        Returns the received payload (or None)."""
-        t0 = self.now
+        Returns the received payload (or None).
+
+        The two completion waits are inlined (send first, then receive,
+        exactly like the former ``_finish_p2p`` pair) — this is the
+        hottest MPI call of the halo-exchange benchmarks and each avoided
+        sub-coroutine frame counts.
+        """
+        rt = self.runtime
+        sim = rt.sim
+        t0 = sim.now
         rreq = self.irecv(source, tag)
         sreq = self.isend(dest, send_bytes, tag, payload=payload)
-        yield self._finish_p2p(sreq, t0, "MPI_Sendrecv", record=False)
-        received = yield self._finish_p2p(rreq, t0, "MPI_Sendrecv", record=False)
-        if self.now > t0:
-            self.runtime.stats[self.rank].add_time("MPI_Sendrecv", self.now - t0)
-            self.runtime.record_trace(self.rank, t0, self.now, "MPI_Sendrecv")
+        sig = sreq.done_signal
+        value = sig.value if sig.fired else (yield Wait(sig))
+        finish, _ = _completion(value)
+        if finish > sim.now:
+            yield Delay(finish - sim.now)
+        sig = rreq.done_signal
+        value = sig.value if sig.fired else (yield Wait(sig))
+        finish, received = _completion(value)
+        if finish > sim.now:
+            yield Delay(finish - sim.now)
+        if sim.now > t0:
+            rt.stats[self.rank].add_time("MPI_Sendrecv", sim.now - t0)
+            rt.record_trace(self.rank, t0, sim.now, "MPI_Sendrecv")
         return received
 
     def _finish_p2p(

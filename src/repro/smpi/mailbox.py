@@ -19,7 +19,7 @@ ANY_SOURCE = -1
 ANY_TAG = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class SendArrival:
     """A message (eager payload or rendezvous RTS) known to the receiver.
 
@@ -41,7 +41,7 @@ class SendArrival:
     payload: object = None
 
 
-@dataclass
+@dataclass(slots=True)
 class RecvPost:
     """A posted receive waiting for a matching message."""
 

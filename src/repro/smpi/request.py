@@ -26,7 +26,8 @@ class Request:
         self.tag = tag
         self.nbytes = nbytes
         self.posted_at = posted_at
-        self.done_signal = Signal(name=f"{kind}->{peer}#{tag}")
+        # unnamed: building a per-request debug name is pure hot-path cost
+        self.done_signal = Signal()
 
     @property
     def done(self) -> bool:

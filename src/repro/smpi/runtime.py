@@ -133,10 +133,13 @@ class MpiRuntime:
         nprocs: int,
         trace: TraceLike | None = None,
         threads_per_rank: int = 1,
+        fast_path: bool = True,
     ) -> None:
         """``threads_per_rank > 1`` reserves a block of consecutive cores
         per rank (hybrid MPI+OpenMP placement, the paper's future-work
-        mode); rank *r* is pinned to core ``r * threads_per_rank``."""
+        mode); rank *r* is pinned to core ``r * threads_per_rank``.
+        ``fast_path=False`` runs the pure-heap reference engine (see
+        :class:`~repro.des.simulator.Simulator`)."""
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         if threads_per_rank < 1:
@@ -151,7 +154,7 @@ class MpiRuntime:
         self.nprocs = nprocs
         self.threads_per_rank = threads_per_rank
         self.nnodes = cluster.nodes_for(nprocs * threads_per_rank)
-        self.sim = Simulator()
+        self.sim = Simulator(fast_path=fast_path)
         self.trace = trace
         self._placement = [
             cluster.place(r * threads_per_rank) for r in range(nprocs)
@@ -162,6 +165,16 @@ class MpiRuntime:
             for r, p in enumerate(self._placement)
         ]
         self._gates: dict[tuple[str, int], CollectiveGate] = {}
+        # placement is immutable, so per-domain rank counts can be tabulated
+        # once: ranks_in_domain() was O(nprocs) per call, which made the
+        # per-rank setup of every benchmark body O(nprocs^2) per run
+        domains = cluster.node.numa_domains
+        self._domain_ids = [
+            p[0] * domains + p[1].domain for p in self._placement
+        ]
+        self._domain_population: dict[int, int] = {}
+        for dom in self._domain_ids:
+            self._domain_population[dom] = self._domain_population.get(dom, 0) + 1
 
     # --- placement queries ----------------------------------------------------
 
@@ -170,16 +183,14 @@ class MpiRuntime:
 
     def domain_of(self, rank: int) -> int:
         """Global ccNUMA-domain id (node * domains_per_node + domain)."""
-        node, loc = self._placement[rank]
-        return node * self.cluster.node.numa_domains + loc.domain
+        return self._domain_ids[rank]
 
     def same_node(self, rank_a: int, rank_b: int) -> bool:
         return self._placement[rank_a][0] == self._placement[rank_b][0]
 
     def ranks_in_domain(self, rank: int) -> int:
         """How many ranks of this job share the given rank's ccNUMA domain."""
-        dom = self.domain_of(rank)
-        return sum(1 for r in range(self.nprocs) if self.domain_of(r) == dom)
+        return self._domain_population[self._domain_ids[rank]]
 
     # --- matching glue ------------------------------------------------------------
 

@@ -25,7 +25,7 @@ from typing import Callable, Generator, Sequence
 import numpy as np
 
 from repro.machine.cluster import ClusterSpec
-from repro.model.execution import ExecutionModel
+from repro.model.execution import ExecutionModel, MemoizedExecutionModel
 from repro.model.kernel import PhaseCost
 from repro.smpi.comm import Communicator
 from repro.smpi.runtime import MpiRuntime
@@ -127,6 +127,12 @@ class RunContext:
 
     ``threads`` > 1 switches the kernel pricing to the hybrid MPI+OpenMP
     model (each rank's work is shared by that many cores).
+
+    ``memoize`` (default on) wraps the execution model in a per-run
+    :class:`~repro.model.execution.MemoizedExecutionModel`, so identical
+    ``phase_cost`` queries across ranks and steps are priced once.
+    Results are bit-identical either way; ``memoize=False`` re-evaluates
+    every query (the reference path for equivalence tests).
     """
 
     cluster: ClusterSpec
@@ -137,6 +143,8 @@ class RunContext:
     noise: np.ndarray | None = None   # per-rank compute slowdown factors
     runtime: MpiRuntime | None = None
     threads: int = 1
+    memoize: bool = True
+    _stretch_cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.sim_steps < 1:
@@ -150,11 +158,42 @@ class RunContext:
             base = self.exec_model
             threads = self.threads
             self.exec_model = _HybridModelProxy(base, threads)  # type: ignore
+        if self.memoize:
+            # wrap outermost so hybrid-repriced costs are cached too
+            self.exec_model = MemoizedExecutionModel(self.exec_model)  # type: ignore
 
     def noise_factor(self, rank: int) -> float:
         if self.noise is None:
             return 1.0
         return float(self.noise[rank])
+
+    def stretched_cost(self, cost: PhaseCost, factor: float) -> PhaseCost:
+        """``cost`` with its duration stretched by a rank's noise factor.
+
+        Stretched variants are cached per (cost, factor) when memoization
+        is on — noise factors are per-rank constants for a run, so each
+        rank's steady-state steps reuse one stretched object.
+        """
+        if not self.memoize:
+            return self._stretch(cost, factor)
+        key = (cost, factor)
+        hit = self._stretch_cache.get(key)
+        if hit is None:
+            hit = self._stretch_cache[key] = self._stretch(cost, factor)
+        return hit
+
+    @staticmethod
+    def _stretch(cost: PhaseCost, factor: float) -> PhaseCost:
+        return PhaseCost(
+            seconds=cost.seconds * factor,
+            flops=cost.flops,
+            simd_flops=cost.simd_flops,
+            mem_bytes=cost.mem_bytes,
+            l3_bytes=cost.l3_bytes,
+            l2_bytes=cost.l2_bytes,
+            busy_seconds=cost.busy_seconds,
+            heat=cost.heat,
+        )
 
     def ranks_in_domain(self, rank: int) -> int:
         """Job ranks sharing this rank's ccNUMA domain (compact pinning)."""
@@ -254,17 +293,7 @@ class Benchmark(abc.ABC):
         """Execute a kernel phase, applying the rank's noise factor."""
         f = ctx.noise_factor(comm.rank)
         if f != 1.0:
-            stretched = PhaseCost(
-                seconds=cost.seconds * f,
-                flops=cost.flops,
-                simd_flops=cost.simd_flops,
-                mem_bytes=cost.mem_bytes,
-                l3_bytes=cost.l3_bytes,
-                l2_bytes=cost.l2_bytes,
-                busy_seconds=cost.busy_seconds,
-                heat=cost.heat,
-            )
-            cost = stretched
+            cost = ctx.stretched_cost(cost, f)
         yield comm.compute(cost.seconds, label=label, **cost.counter_kwargs())
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
