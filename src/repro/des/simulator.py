@@ -26,8 +26,12 @@ avoidable without changing that order:
   main loop can merge it with the heap by a single counter comparison —
   the event order is *bit-identical* to the pure-heap schedule.
 * A ``Delay(0)`` continues the yielding process in place (no queue at
-  all): virtual time is unchanged and the process would be the next
-  runnable frame anyway.
+  all) — but only when no other event is pending at the current time
+  (run-queue empty, heap top strictly later): then the process would be
+  the very next runnable frame anyway.  Otherwise the continuation is
+  appended to the run-queue with a fresh counter, exactly where the
+  pure-heap engine would put it, so same-timestamp peers (e.g. other
+  waiters woken by the same ``Signal.fire``) keep their FIFO slot.
 
 ``Simulator(fast_path=False)`` disables both and reproduces the original
 pure-heap engine — kept as the reference for equivalence tests and for
@@ -196,9 +200,15 @@ class SimProcess:
             cls = yielded.__class__
             if cls is Delay:
                 duration = yielded.duration
-                if duration == 0.0 and fast:
-                    # continue in place: time does not advance and this
-                    # frame would be the next runnable one anyway
+                if (
+                    duration == 0.0
+                    and fast
+                    and not sim._runq
+                    and (not sim._heap or sim._heap[0][0] > sim.now)
+                ):
+                    # continue in place: nothing else is pending at the
+                    # current time, so this frame is the next runnable
+                    # one under the pure-heap order too
                     sim.stats.zero_delay_continues += 1
                     send_value = None
                     continue
@@ -333,9 +343,14 @@ class Simulator:
         stats = self.stats
         while runq or heap:
             # merge the current-time FIFO with the heap by counter so the
-            # event order is identical to the pure-heap schedule
+            # event order is identical to the pure-heap schedule; a heap
+            # event strictly before now (call_at tolerates a 1e-15 slack
+            # into the past) always wins regardless of counter, exactly
+            # as the pure-heap engine would run it
             if runq and (
-                not heap or heap[0][0] > self.now or heap[0][1] > runq[0][0]
+                not heap
+                or heap[0][0] > self.now
+                or (heap[0][0] == self.now and heap[0][1] > runq[0][0])
             ):
                 _, proc, value = runq.popleft()
                 stats.runq_events += 1

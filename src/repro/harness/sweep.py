@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy
 from dataclasses import replace
 from typing import Optional, Sequence
 
@@ -66,8 +67,11 @@ def scaling_sweep(
         for n, first in zip(proc_counts, results):
             runs = [first]
             for rep in range(1, repeats):
+                # deep-copy so repeats do not share the nested mutable
+                # dicts (counters, time_by_kind) with the first run
+                clone = copy.deepcopy(first)
                 runs.append(
-                    replace(first, meta={**first.meta, "seed": 1000 * n + rep})
+                    replace(clone, meta={**clone.meta, "seed": 1000 * n + rep})
                 )
             points.append(ScalingPoint(nprocs=n, runs=tuple(runs)))
     else:

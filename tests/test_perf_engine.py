@@ -73,6 +73,39 @@ def test_fast_path_event_order_matches_pure_heap():
     assert fast_stats.events == ref_stats.events
 
 
+def _epsilon_past_callback_scenario(fast_path):
+    """A call_at epsilon before ``now`` must beat current-time runq entries.
+
+    ``call_at`` tolerates times up to 1e-15 in the past; such an event has
+    ``time < now``, so the pure-heap engine runs it before any
+    current-time event regardless of insertion counter — even one that
+    landed on the run-queue earlier.
+    """
+    sim = Simulator(fast_path=fast_path)
+    log = []
+    gate = Signal("gate")
+
+    def waiter():
+        yield Wait(gate)
+        log.append("waiter")
+
+    def driver():
+        yield Delay(1.0)
+        gate.fire(None)  # waiter -> runq (fast path), smaller counter
+        sim.call_at(sim.now - 5e-16, lambda: log.append("callback"))
+
+    sim.spawn("waiter", waiter())
+    sim.spawn("driver", driver())
+    sim.run()
+    return log
+
+
+def test_epsilon_past_callback_beats_current_time_runq():
+    fast = _epsilon_past_callback_scenario(True)
+    ref = _epsilon_past_callback_scenario(False)
+    assert fast == ref == ["callback", "waiter"]
+
+
 @pytest.mark.parametrize("fast_path", [True, False])
 def test_zero_delay_semantics(fast_path):
     def body(n):
@@ -92,6 +125,51 @@ def test_zero_delay_semantics(fast_path):
         assert sim.stats.zero_delay_continues == 10
     else:
         assert sim.stats.zero_delay_continues == 0
+
+
+def _zero_delay_contention_scenario(fast_path):
+    """One signal wakes two waiters; the first yields Delay(0).
+
+    The pure-heap engine re-queues the Delay(0) continuation behind the
+    second waiter (already scheduled at the same timestamp), so the log
+    must be [b-woke, c-woke, b-after-zero-delay] — an in-place continue
+    here would jump the queue.
+    """
+    sim = Simulator(fast_path=fast_path)
+    log = []
+    gate = Signal("gate")
+
+    def b():
+        yield Wait(gate)
+        log.append("b-woke")
+        yield Delay(0.0)
+        log.append("b-after-zero-delay")
+
+    def c():
+        yield Wait(gate)
+        log.append("c-woke")
+        yield Delay(0.0)
+        log.append("c-after-zero-delay")
+
+    def firer():
+        yield Delay(1.0)
+        gate.fire("go")
+
+    sim.spawn("b", b())
+    sim.spawn("c", c())
+    sim.spawn("firer", firer())
+    end = sim.run()
+    return log, end
+
+
+def test_zero_delay_under_contention_matches_pure_heap():
+    fast_log, fast_end = _zero_delay_contention_scenario(True)
+    ref_log, ref_end = _zero_delay_contention_scenario(False)
+    assert fast_log == ref_log
+    assert fast_end == ref_end
+    assert ref_log == [
+        "b-woke", "c-woke", "b-after-zero-delay", "c-after-zero-delay",
+    ]
 
 
 @pytest.mark.parametrize("fast_path", [True, False])
