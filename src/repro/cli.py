@@ -41,11 +41,20 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_faults(path: str | None):
+    if path is None:
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan.load(path)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     cluster = get_cluster(args.cluster)
     bench = get_benchmark(args.benchmark)
     nprocs = args.nprocs or cluster.node.cores
-    result = run(bench, cluster, nprocs, suite=args.suite, trace=args.trace)
+    result = run(bench, cluster, nprocs, suite=args.suite, trace=args.trace,
+                 faults=_load_faults(args.faults))
     print(f"{bench.name} ({args.suite}) on {cluster.name}, {nprocs} ranks, "
           f"{result.nnodes} node(s)")
     print(f"  time      : {fmt_time(result.elapsed)}")
@@ -85,9 +94,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             dom = cluster.node.cores_per_domain
             counts = sorted({1, 2, 4, dom // 2, dom, 2 * dom, cluster.node.cores})
         suite = args.suite
+    tolerant = bool(
+        args.timeout is not None or args.retries or args.resume or args.faults
+    )
     series = scaling_sweep(bench, cluster, counts, suite=suite,
                            repeats=args.repeats, noise_sigma=0.015 if args.repeats > 1 else 0.0,
-                           workers=args.workers)
+                           workers=args.workers,
+                           faults=_load_faults(args.faults),
+                           timeout=args.timeout,
+                           retries=args.retries,
+                           tolerate_failures=tolerant,
+                           checkpoint=args.resume)
     sp = series.speedups()
     rows = [
         (
@@ -108,6 +125,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.nodes:
         ev = classify_scaling(series)
         print(f"\nscaling case: {ev.case.value}")
+    if series.failures:
+        print(f"\n{len(series.failures)} point(s) failed:")
+        for f in series.failures:
+            print(f"  {f.summary()}")
     return 0
 
 
@@ -189,6 +210,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print likwid-perfctr-style group reports")
     pr.add_argument("--diagnose", action="store_true",
                     help="print the bottleneck diagnosis")
+    pr.add_argument("--faults", metavar="PLAN.json",
+                    help="inject faults from a FaultPlan JSON file")
     pr.set_defaults(fn=_cmd_run)
 
     ps = sub.add_parser("sweep", help="scaling sweep")
@@ -201,6 +224,18 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--repeats", type=int, default=1)
     ps.add_argument("--workers", "-j", type=_positive_int, default=1,
                     help="run sweep points over N worker processes")
+    ps.add_argument("--faults", metavar="PLAN.json",
+                    help="inject faults from a FaultPlan JSON file "
+                         "(enables failure-tolerant mode)")
+    ps.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                    help="per-point wall-clock budget; a point that "
+                         "produces no result in time is recorded as failed")
+    ps.add_argument("--retries", type=int, default=0, metavar="N",
+                    help="retry each failed point up to N times with "
+                         "exponential backoff")
+    ps.add_argument("--resume", metavar="CKPT.jsonl",
+                    help="JSONL checkpoint: completed points are restored "
+                         "from (and new ones appended to) this file")
     ps.set_defaults(fn=_cmd_sweep)
 
     pc = sub.add_parser("compare", help="ClusterB over ClusterA")

@@ -14,6 +14,7 @@ closed-form formulas.
 from repro.des.simulator import (
     DeadlockError,
     Delay,
+    HangError,
     Signal,
     SimProcess,
     SimStats,
@@ -30,5 +31,6 @@ __all__ = [
     "Wait",
     "Signal",
     "DeadlockError",
+    "HangError",
     "join_all",
 ]

@@ -170,6 +170,23 @@ class SimProcess:
         self.result: Any = None
         self.error: Optional[BaseException] = None
 
+    def kill(self, error: Optional[BaseException] = None) -> None:
+        """Terminate the process in place (fault injection: rank crash).
+
+        The frame stack is closed and the process is marked done, so any
+        event or signal still addressed to it is skipped by the engine.
+        Peers blocked on it will surface as a :class:`DeadlockError` when
+        the queues drain.
+        """
+        if self.done:
+            return
+        self.done = True
+        self.error = error
+        for frame in reversed(self._stack):
+            frame.close()
+        self._stack.clear()
+        self._simulator._finished(self)
+
     def _step(self, send_value: Any) -> None:
         """Advance the process until it blocks or finishes."""
         sim = self._simulator
@@ -331,17 +348,39 @@ class Simulator:
 
     # --- main loop -----------------------------------------------------------
 
-    def run(self, until: float | None = None) -> float:
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        deadline: float | None = None,
+    ) -> float:
         """Execute events until the queues drain (or ``until`` is reached).
 
         Returns the final virtual time.  Raises :class:`DeadlockError` if
         processes remain blocked with no pending events — which in the MPI
         layer indicates a genuine communication deadlock.
+
+        ``max_events`` bounds the number of events dispatched by *this*
+        call and ``deadline`` bounds the simulated time: exceeding either
+        raises :class:`HangError`, so livelocks and runaway fault
+        scenarios terminate deterministically instead of spinning.
+        (``until`` by contrast *pauses* and returns — use it for
+        cooperative time-slicing, and ``deadline`` for watchdogs.)
         """
         heap = self._heap
         runq = self._runq
         stats = self.stats
+        budget = max_events if max_events is not None else -1
         while runq or heap:
+            if budget >= 0:
+                budget -= 1
+                if budget < 0:
+                    raise HangError(
+                        f"event budget exhausted: {max_events} events "
+                        f"dispatched without draining (t={self.now}, "
+                        f"{len(runq)} queued, {len(heap)} heaped) — "
+                        "livelock or runaway scenario"
+                    )
             # merge the current-time FIFO with the heap by counter so the
             # event order is identical to the pure-heap schedule; a heap
             # event strictly before now (call_at tolerates a 1e-15 slack
@@ -363,6 +402,12 @@ class Simulator:
                     self._push(time, counter, proc, value)
                     self.now = until
                     return self.now
+                if deadline is not None and time > deadline:
+                    raise HangError(
+                        f"simulated time exceeded deadline: next event at "
+                        f"t={time} > deadline {deadline} "
+                        f"({stats.events} events dispatched)"
+                    )
                 if time < self.now - 1e-15:
                     raise RuntimeError("event scheduled in the past")
                 if time > self.now:
@@ -378,7 +423,8 @@ class Simulator:
         if blocked:
             names = ", ".join(p.name for p in blocked[:8])
             raise DeadlockError(
-                f"{len(blocked)} process(es) blocked forever at t={self.now}: {names}"
+                f"{len(blocked)} process(es) blocked forever at t={self.now}: {names}",
+                blocked=tuple(blocked),
             )
         return self.now
 
@@ -388,7 +434,22 @@ class Simulator:
 
 
 class DeadlockError(RuntimeError):
-    """Raised when the event heap drains while processes are still blocked."""
+    """Raised when the event heap drains while processes are still blocked.
+
+    ``blocked`` carries the stuck :class:`SimProcess` objects so higher
+    layers (the MPI runtime) can enrich the report with what each process
+    was waiting for.
+    """
+
+    def __init__(self, message: str, blocked: tuple = ()) -> None:
+        super().__init__(message)
+        self.blocked = blocked
+
+
+class HangError(RuntimeError):
+    """Raised when :meth:`Simulator.run` exceeds its event budget or its
+    simulated-time deadline — the livelock counterpart of
+    :class:`DeadlockError`."""
 
 
 def join_all(procs: Iterable[SimProcess]) -> list[Any]:

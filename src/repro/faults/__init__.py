@@ -1,0 +1,33 @@
+"""Fault-injection subsystem.
+
+The paper's most interesting results are robustness phenomena — lbm's
+barrier skew caused by a single slow rank (inset of Fig. 2(h)) and
+minisweep's rendezvous serialization ripple — both uncovered with ITAC
+tracing.  This package lets the simulator produce those phenomena *on
+purpose*: a declarative :class:`FaultPlan` describes slow ranks, OS-noise
+bursts, degraded links, and rank crashes; a :class:`FaultInjector` applies
+it through two hooks (compute stretching in
+:meth:`repro.smpi.comm.Communicator.compute`, link degradation in
+:class:`repro.smpi.runtime.MpiRuntime`) without touching benchmark code.
+
+A fault-free plan is bit-identical to a run without one: the hooks are
+skipped entirely when no injector is attached.
+"""
+
+from repro.faults.plan import (
+    DegradedLink,
+    FaultPlan,
+    OsNoise,
+    RankCrash,
+    SlowRank,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "SlowRank",
+    "OsNoise",
+    "DegradedLink",
+    "RankCrash",
+]

@@ -3,11 +3,14 @@
 The harness mirrors the paper's methodology (Sect. 3): warmed-up runs,
 repeated executions with min/max/average statistics, consecutive-core
 pinning, fixed clocks (implicit in the machine model), and LIKWID/RAPL
-measurement of every run.
+measurement of every run.  Sweeps are failure-tolerant (per-point
+timeout, bounded retries, structured :class:`FailedRun` records,
+checkpoint/resume) — see :mod:`repro.harness.parallel`.
 """
 
-from repro.harness.parallel import RunSpec, run_many
-from repro.harness.results import RunResult, ScalingPoint, ScalingSeries
+from repro.harness.checkpoint import load_checkpoint, spec_key
+from repro.harness.parallel import RunFailedError, RunSpec, run_many
+from repro.harness.results import FailedRun, RunResult, ScalingPoint, ScalingSeries
 from repro.harness.runner import run
 from repro.harness.sweep import domain_fill_counts, node_counts, scaling_sweep
 from repro.harness.report import ascii_plot, ascii_table, fmt_float
@@ -15,7 +18,9 @@ from repro.harness.report import ascii_plot, ascii_table, fmt_float
 __all__ = [
     "run",
     "RunResult",
+    "FailedRun",
     "RunSpec",
+    "RunFailedError",
     "run_many",
     "ScalingPoint",
     "ScalingSeries",
@@ -25,4 +30,6 @@ __all__ = [
     "ascii_table",
     "ascii_plot",
     "fmt_float",
+    "spec_key",
+    "load_checkpoint",
 ]

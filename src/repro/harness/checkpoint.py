@@ -1,0 +1,87 @@
+"""JSONL sweep checkpointing.
+
+A checkpoint file holds one JSON line per *successfully completed* sweep
+point, keyed by a stable digest of the point's :class:`~repro.harness.
+parallel.RunSpec`.  A killed sweep re-run with the same checkpoint path
+restores every recorded point without re-simulating it and continues from
+the first missing one; points whose spec changed (different seed, suite,
+fault plan, ...) get fresh keys and re-run automatically.
+
+Failed points are deliberately *not* recorded: on resume they are retried
+— the common reason to resume is that whatever killed the sweep (OOM, a
+node reboot, a buggy fault plan since fixed) has been addressed.
+
+The format is append-only and crash-tolerant: a truncated final line
+(killed mid-write) is skipped on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any
+
+from repro.harness.results import RunResult
+
+#: Format marker written with every record (bump on incompatible change).
+CHECKPOINT_VERSION = 1
+
+
+def spec_key(spec: Any) -> str:
+    """Stable identity digest of a RunSpec (duck-typed: any object with
+    the spec's fields works)."""
+    faults = getattr(spec, "faults", None)
+    fault_part = "-" if faults is None else hashlib.sha256(
+        faults.to_json().encode()
+    ).hexdigest()[:16]
+    raw = "|".join(
+        str(x)
+        for x in (
+            spec.benchmark.name,
+            spec.cluster.name,
+            spec.nprocs,
+            spec.suite,
+            spec.sim_steps,
+            spec.noise_sigma,
+            spec.seed,
+            spec.threads_per_rank,
+            fault_part,
+        )
+    )
+    return hashlib.sha256(raw.encode()).hexdigest()[:24]
+
+
+def load_checkpoint(path: str) -> dict[str, RunResult]:
+    """Read every valid record; missing file means an empty checkpoint."""
+    if not os.path.exists(path):
+        return {}
+    records: dict[str, RunResult] = {}
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+                if doc.get("version") != CHECKPOINT_VERSION:
+                    continue
+                records[doc["key"]] = RunResult.from_checkpoint_dict(doc["result"])
+            except (ValueError, KeyError, TypeError):
+                # truncated/corrupt trailing line from a killed writer:
+                # ignore and let the point re-run
+                continue
+    return records
+
+
+def append_checkpoint(path: str, key: str, result: RunResult) -> None:
+    """Durably append one completed point."""
+    record = {
+        "version": CHECKPOINT_VERSION,
+        "key": key,
+        "result": result.to_checkpoint_dict(),
+    }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())

@@ -10,9 +10,9 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Iterable
+from typing import Iterable, Union
 
-from repro.harness.results import RunResult, ScalingSeries
+from repro.harness.results import FailedRun, RunResult, ScalingSeries
 
 #: Columns of the flat per-run record (matches RunResult.to_dict()).
 CSV_FIELDS = [
@@ -43,8 +43,24 @@ def runs_to_csv(runs: Iterable[RunResult]) -> str:
     return buf.getvalue()
 
 
+def records_to_jsonl(records: Iterable[Union[RunResult, FailedRun]]) -> str:
+    """Serialize a mixed run_many result list (successes and failures)
+    as JSONL, one record per line, tagged ``"status": "ok" | "failed"``."""
+    lines = []
+    for r in records:
+        doc = r.to_dict()
+        doc["status"] = "failed" if r.failed else "ok"
+        lines.append(json.dumps(doc))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 def series_to_json(series: ScalingSeries) -> str:
-    """Serialize a scaling series with per-point statistics."""
+    """Serialize a scaling series with per-point statistics.
+
+    Failure-tolerant sweeps carry their lost points/repeats in a
+    ``failures`` array so exported artifacts preserve the full campaign
+    record, not just the survivors.
+    """
     speedups = series.speedups()
     doc = {
         "benchmark": series.benchmark,
@@ -62,6 +78,8 @@ def series_to_json(series: ScalingSeries) -> str:
             for p in series.points
         ],
     }
+    if series.failures:
+        doc["failures"] = [f.to_dict() for f in series.failures]
     return json.dumps(doc, indent=2)
 
 
@@ -75,3 +93,11 @@ def write_series_json(path: str, series: ScalingSeries) -> None:
     """Write a scaling series to a JSON file."""
     with open(path, "w") as fh:
         fh.write(series_to_json(series))
+
+
+def write_records_jsonl(
+    path: str, records: Iterable[Union[RunResult, FailedRun]]
+) -> None:
+    """Write a mixed result list (successes and failures) to a JSONL file."""
+    with open(path, "w") as fh:
+        fh.write(records_to_jsonl(records))

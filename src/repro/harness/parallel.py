@@ -1,4 +1,4 @@
-"""Parallel execution of independent benchmark runs.
+"""Parallel, failure-tolerant execution of independent benchmark runs.
 
 A scaling sweep is embarrassingly parallel: every (nprocs, repeat) point
 is an independent simulation with its own seed.  :func:`run_many` fans a
@@ -7,14 +7,43 @@ the results **in submission order**, so callers get exactly the list the
 serial loop would have produced — determinism lives in the per-point
 seeds, not in scheduling.
 
+Failure tolerance
+-----------------
+Real measurement campaigns lose points — to OOM kills, node failures,
+buggy fault plans, hung runs (Brunst et al. stress that anomalies
+dominate SPEChpc campaigns).  ``run_many`` therefore supports:
+
+* ``retries`` — bounded re-execution with deterministic exponential
+  backoff (``backoff * 2**k`` seconds before retry ``k``);
+* ``timeout`` — a per-point wall-clock budget; a point that produces no
+  result in time is recorded as failed and its (possibly hung) worker
+  pool is abandoned and rebuilt so later points are not starved;
+* ``tolerate_failures`` — failed points come back as structured
+  :class:`~repro.harness.results.FailedRun` records in the result list
+  (exception type, message, traceback, spec identity) instead of
+  aborting the sweep; without it the first terminal failure raises
+  :class:`RunFailedError` naming the spec;
+* ``checkpoint`` — a JSONL file (see :mod:`repro.harness.checkpoint`)
+  appended after every completed point; re-running with the same path
+  restores completed points and simulates only the rest;
+* pool-death fallback — if the worker pool breaks (a worker was
+  OOM-killed or crashed the interpreter), the remaining points fall back
+  to in-process serial execution rather than losing the sweep.
+
+Worker exceptions are shipped back as plain strings (type name, message,
+formatted traceback), never as pickled exception objects — an error type
+that cannot cross the process boundary still surfaces as a precise
+:class:`FailedRun`/:class:`RunFailedError` instead of an opaque
+``PicklingError``.
+
 Caveats
 -------
 * Results must cross a process boundary, so ``trace=True`` is rejected
-  for ``workers > 1``: an ITAC-style trace of a large run is far bigger
-  than the run's summary and per-interval objects would all be pickled
-  back.  Trace-free :class:`~repro.harness.results.RunResult` (and its
-  :class:`~repro.perfmon.rapl.EnergyReading`) are plain frozen dataclasses
-  of scalars and dicts — cheap to pickle.
+  for ``workers > 1`` (and for ``timeout``, which forces process
+  isolation): an ITAC-style trace of a large run is far bigger than the
+  run's summary.  Trace-free :class:`~repro.harness.results.RunResult`
+  records are plain frozen dataclasses of scalars and dicts — cheap to
+  pickle.
 * Benchmark and cluster objects ride along via pickle.  The bundled
   benchmarks are stateless singletons and specs are frozen dataclasses;
   custom benchmarks only need to be importable from the worker.
@@ -22,13 +51,25 @@ Caveats
 
 from __future__ import annotations
 
+import time
+import traceback as _traceback
+import warnings
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
-from repro.harness.results import RunResult
+from repro.harness.checkpoint import append_checkpoint, load_checkpoint, spec_key
+from repro.harness.results import FailedRun, RunResult
 from repro.machine.cluster import ClusterSpec
 from repro.spechpc.base import Benchmark
+
+try:  # FaultPlan is optional in a spec; import only for typing/pickling
+    from repro.faults.plan import FaultPlan
+except ImportError:  # pragma: no cover - faults is part of the package
+    FaultPlan = None  # type: ignore
 
 
 @dataclass(frozen=True)
@@ -46,6 +87,24 @@ class RunSpec:
     threads_per_rank: int = 1
     fast_path: bool = True
     memoize: bool = True
+    faults: Optional["FaultPlan"] = None
+    max_events: Optional[int] = None
+    sim_time_limit: Optional[float] = None
+
+
+class RunFailedError(RuntimeError):
+    """A sweep point failed terminally and failures are not tolerated.
+
+    ``failure`` carries the structured :class:`FailedRun` record (spec
+    identity, exception type/message, formatted traceback, attempts).
+    """
+
+    def __init__(self, failure: FailedRun) -> None:
+        message = f"sweep point failed: {failure.summary()}"
+        if failure.traceback:
+            message += "\n" + failure.traceback.rstrip()
+        super().__init__(message)
+        self.failure = failure
 
 
 def execute(spec: RunSpec) -> RunResult:
@@ -64,21 +123,241 @@ def execute(spec: RunSpec) -> RunResult:
         threads_per_rank=spec.threads_per_rank,
         fast_path=spec.fast_path,
         memoize=spec.memoize,
+        faults=spec.faults,
+        max_events=spec.max_events,
+        sim_time_limit=spec.sim_time_limit,
     )
 
 
-def run_many(specs: Sequence[RunSpec], workers: int = 1) -> list[RunResult]:
-    """Execute every spec, ``workers`` at a time; results in spec order."""
+def _execute_packed(spec: RunSpec):
+    """Worker entry point: success or a fully string-ified failure.
+
+    The return value is always picklable, so an exception type that
+    cannot cross the process boundary (custom attributes, local classes)
+    still comes back as a structured record instead of poisoning the
+    pool with a ``PicklingError``.
+    """
+    try:
+        return ("ok", execute(spec))
+    except Exception as exc:
+        return (
+            "failed",
+            type(exc).__name__,
+            str(exc),
+            _traceback.format_exc(),
+        )
+
+
+def _failure(
+    spec: RunSpec, error_type: str, message: str, tb: str, attempts: int
+) -> FailedRun:
+    return FailedRun(
+        benchmark=spec.benchmark.name,
+        cluster=spec.cluster.name,
+        suite=spec.suite,
+        nprocs=spec.nprocs,
+        seed=spec.seed,
+        error_type=error_type,
+        error_message=message,
+        traceback=tb,
+        attempts=attempts,
+    )
+
+
+def _backoff_sleep(backoff: float, attempt: int) -> None:
+    """Deterministic exponential backoff before retry ``attempt`` (1-based)."""
+    if backoff > 0.0:
+        time.sleep(backoff * (2 ** (attempt - 1)))
+
+
+def run_many(
+    specs: Sequence[RunSpec],
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.05,
+    tolerate_failures: bool = False,
+    checkpoint: Optional[str] = None,
+) -> list[Union[RunResult, FailedRun]]:
+    """Execute every spec, ``workers`` at a time; results in spec order.
+
+    See the module docstring for the failure-tolerance contract.  With
+    the default flags the behavior is unchanged from the plain executor:
+    all points run once, the first failure propagates.
+    """
+    specs = list(specs)
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    if workers > 1 and any(s.trace for s in specs):
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if backoff < 0.0:
+        raise ValueError("backoff must be >= 0")
+    if timeout is not None and timeout <= 0.0:
+        raise ValueError("timeout must be > 0 seconds")
+    has_trace = any(s.trace for s in specs)
+    if workers > 1 and has_trace:
         raise ValueError(
             "trace collection is not supported with workers > 1 — traces "
             "are too large to ship across the process boundary; run traced "
             "jobs serially"
         )
-    workers = min(workers, len(specs))
-    if workers <= 1:
-        return [execute(s) for s in specs]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(execute, specs))
+    if timeout is not None and has_trace:
+        raise ValueError(
+            "per-point timeout requires process isolation, which traced "
+            "runs cannot use; drop trace=True or the timeout"
+        )
+    if checkpoint is not None and has_trace:
+        raise ValueError(
+            "checkpoints cannot record event traces; drop trace=True or "
+            "the checkpoint"
+        )
+
+    results: list = [None] * len(specs)
+    keys: Optional[list[str]] = None
+    if checkpoint is not None:
+        keys = [spec_key(s) for s in specs]
+        saved = load_checkpoint(checkpoint)
+        for i, key in enumerate(keys):
+            if key in saved:
+                results[i] = saved[key]
+    pending = [i for i, r in enumerate(results) if r is None]
+
+    def record(i: int, outcome: Union[RunResult, FailedRun]) -> None:
+        results[i] = outcome
+        if checkpoint is not None and isinstance(outcome, RunResult):
+            append_checkpoint(checkpoint, keys[i], outcome)
+
+    if not pending:
+        return results
+    use_pool = timeout is not None or min(workers, len(pending)) > 1
+    if use_pool:
+        _run_pool(
+            specs,
+            pending,
+            record,
+            min(workers, len(pending)),
+            timeout,
+            retries,
+            backoff,
+            tolerate_failures,
+        )
+    else:
+        _run_serial(specs, pending, record, retries, backoff, tolerate_failures)
+    return results
+
+
+def _run_serial(
+    specs: Sequence[RunSpec],
+    pending: Sequence[int],
+    record: Callable,
+    retries: int,
+    backoff: float,
+    tolerate: bool,
+) -> None:
+    for i in pending:
+        spec = specs[i]
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                record(i, execute(spec))
+                break
+            except Exception as exc:
+                if attempts <= retries:
+                    _backoff_sleep(backoff, attempts)
+                    continue
+                if not tolerate:
+                    raise
+                record(
+                    i,
+                    _failure(
+                        spec,
+                        type(exc).__name__,
+                        str(exc),
+                        _traceback.format_exc(),
+                        attempts,
+                    ),
+                )
+                break
+
+
+def _run_pool(
+    specs: Sequence[RunSpec],
+    pending: Sequence[int],
+    record: Callable,
+    workers: int,
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+    tolerate: bool,
+) -> None:
+    pool = ProcessPoolExecutor(max_workers=workers)
+    order = deque(pending)
+    attempts = {i: 1 for i in pending}
+    futures = {i: pool.submit(_execute_packed, specs[i]) for i in pending}
+    try:
+        while order:
+            i = order[0]
+            spec = specs[i]
+            try:
+                packed = futures[i].result(timeout=timeout)
+            except _FuturesTimeout:
+                order.popleft()
+                failure = _failure(
+                    spec,
+                    "TimeoutError",
+                    f"no result within the per-point timeout of {timeout}s",
+                    "",
+                    attempts[i],
+                )
+                if not tolerate:
+                    raise RunFailedError(failure)
+                record(i, failure)
+                # the worker running this point may be hung; abandon the
+                # pool and rebuild it so later points are not starved
+                # behind a dead slot (the old workers are left to die on
+                # their own — they are daemonic to this process)
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=workers)
+                futures = {
+                    j: pool.submit(_execute_packed, specs[j]) for j in order
+                }
+                continue
+            except BrokenProcessPool:
+                # a worker died hard (OOM kill, interpreter crash): the
+                # pool is unusable.  Gracefully fall back to in-process
+                # serial execution for every unresolved point.
+                warnings.warn(
+                    "worker pool died; falling back to serial execution "
+                    f"for {len(order)} remaining sweep point(s)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                pool.shutdown(wait=False)
+                _run_serial(specs, list(order), record, retries, backoff, tolerate)
+                return
+            except Exception as exc:
+                # e.g. the spec itself failed to pickle on submission
+                packed = (
+                    "failed",
+                    type(exc).__name__,
+                    str(exc),
+                    _traceback.format_exc(),
+                )
+            if packed[0] == "ok":
+                order.popleft()
+                record(i, packed[1])
+                continue
+            _, etype, emsg, tb = packed
+            if attempts[i] <= retries:
+                _backoff_sleep(backoff, attempts[i])
+                attempts[i] += 1
+                futures[i] = pool.submit(_execute_packed, specs[i])
+                continue
+            order.popleft()
+            failure = _failure(spec, etype, emsg, tb, attempts[i])
+            if not tolerate:
+                raise RunFailedError(failure)
+            record(i, failure)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)

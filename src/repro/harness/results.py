@@ -119,6 +119,93 @@ class RunResult:
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2)
 
+    @property
+    def failed(self) -> bool:
+        """Uniform success/failure probe across RunResult and FailedRun."""
+        return False
+
+    # --- lossless (de)serialization — sweep checkpoint/resume ---------------
+
+    def to_checkpoint_dict(self) -> dict[str, Any]:
+        """Full-fidelity record: every field a resumed sweep needs to
+        reconstruct this result bit-identically (the event trace, if any,
+        is dropped — traces do not survive checkpoints)."""
+        return {
+            "benchmark": self.benchmark,
+            "cluster": self.cluster,
+            "suite": self.suite,
+            "nprocs": self.nprocs,
+            "nnodes": self.nnodes,
+            "elapsed": self.elapsed,
+            "sim_elapsed": self.sim_elapsed,
+            "step_scale": self.step_scale,
+            "counters": dict(self.counters),
+            "time_by_kind": dict(self.time_by_kind),
+            "energy": {
+                "elapsed": self.energy.elapsed,
+                "chip_energy": self.energy.chip_energy,
+                "dram_energy": self.energy.dram_energy,
+                "nnodes": self.energy.nnodes,
+            },
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_checkpoint_dict(cls, doc: dict[str, Any]) -> "RunResult":
+        doc = dict(doc)
+        energy = EnergyReading(**doc.pop("energy"))
+        return cls(energy=energy, trace=None, **doc)
+
+
+@dataclass(frozen=True)
+class FailedRun:
+    """Structured record of one failed sweep point.
+
+    Carries enough of the :class:`~repro.harness.parallel.RunSpec` to
+    identify the point, plus the exception (type name, message, formatted
+    traceback) and how many attempts were made.  Flows through
+    :func:`~repro.harness.parallel.run_many` result lists and the export
+    writers alongside successful :class:`RunResult` records.
+    """
+
+    benchmark: str
+    cluster: str
+    suite: str
+    nprocs: int
+    seed: int
+    error_type: str
+    error_message: str
+    traceback: str = ""
+    attempts: int = 1
+
+    @property
+    def failed(self) -> bool:
+        return True
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "cluster": self.cluster,
+            "suite": self.suite,
+            "nprocs": self.nprocs,
+            "seed": self.seed,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "FailedRun":
+        return cls(**{k: v for k, v in doc.items() if k in cls.__dataclass_fields__})
+
+    def summary(self) -> str:
+        return (
+            f"{self.benchmark}/{self.suite} on {self.cluster} at "
+            f"nprocs={self.nprocs} (seed {self.seed}): "
+            f"{self.error_type}: {self.error_message} "
+            f"[{self.attempts} attempt(s)]"
+        )
+
 
 @dataclass(frozen=True)
 class ScalingPoint:
@@ -150,12 +237,18 @@ class ScalingPoint:
 
 @dataclass(frozen=True)
 class ScalingSeries:
-    """One benchmark scaled over process counts on one cluster."""
+    """One benchmark scaled over process counts on one cluster.
+
+    ``failures`` records sweep points (or repeats) that did not produce a
+    result when the sweep ran in failure-tolerant mode; a point appears in
+    ``points`` as long as at least one of its repeats succeeded.
+    """
 
     benchmark: str
     cluster: str
     suite: str
     points: tuple[ScalingPoint, ...]
+    failures: tuple[FailedRun, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.points:

@@ -6,6 +6,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.machine.cluster import ClusterSpec
 from repro.model.execution import ExecutionModel
 from repro.perfmon.rapl import EnergyMeter, EnergyReading
@@ -26,6 +28,9 @@ def run(
     threads_per_rank: int = 1,
     fast_path: bool = True,
     memoize: bool = True,
+    faults: Optional[FaultPlan] = None,
+    max_events: Optional[int] = None,
+    sim_time_limit: Optional[float] = None,
 ):
     """Execute one simulated benchmark run.
 
@@ -53,8 +58,38 @@ def run(
         cache.  Results are bit-identical either way; the slow flavors
         exist as the reference for equivalence tests and the engine
         microbenchmark.
+    faults:
+        A :class:`~repro.faults.plan.FaultPlan` to inject (slow ranks,
+        OS-noise bursts, degraded links, rank crashes).  ``None`` or an
+        empty plan is bit-identical to the fault-free run.
+    max_events / sim_time_limit:
+        Hang watchdogs: abort with
+        :class:`~repro.des.simulator.HangError` after that many DES
+        events / past that simulated time.
+
+    Raises
+    ------
+    ValueError
+        For out-of-range parameters, before any simulation state is
+        built (bad inputs must not surface later as a cryptic mid-run
+        failure deep inside the DES).
     """
     from repro.harness.results import RunResult  # local import: no cycle
+
+    if noise_sigma < 0.0:
+        raise ValueError(
+            f"noise_sigma must be >= 0 (got {noise_sigma}); it is a relative "
+            "jitter amplitude"
+        )
+    if sim_steps is not None and sim_steps < 1:
+        raise ValueError(
+            f"sim_steps must be >= 1 (got {sim_steps}); a run must simulate "
+            "at least one representative step"
+        )
+    if max_events is not None and max_events < 1:
+        raise ValueError(f"max_events must be >= 1 (got {max_events})")
+    if sim_time_limit is not None and sim_time_limit <= 0.0:
+        raise ValueError(f"sim_time_limit must be > 0 (got {sim_time_limit})")
 
     workload = benchmark.workload(suite)
     steps = sim_steps if sim_steps is not None else benchmark.default_sim_steps(suite)
@@ -74,15 +109,22 @@ def run(
         memoize=memoize,
     )
     collector = TraceCollector() if trace else None
+    injector = None
+    if faults is not None and not faults.empty:
+        faults.validate_for(nprocs)
+        injector = FaultInjector(faults, nprocs=nprocs)
     runtime = MpiRuntime(
         cluster,
         nprocs,
         trace=collector,
         threads_per_rank=threads_per_rank,
         fast_path=fast_path,
+        faults=injector,
     )
     ctx.runtime = runtime
-    job = runtime.launch(benchmark.make_body(ctx))
+    job = runtime.launch(
+        benchmark.make_body(ctx), max_events=max_events, deadline=sim_time_limit
+    )
 
     if not job.stats:
         raise RuntimeError(

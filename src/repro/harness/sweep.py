@@ -1,4 +1,4 @@
-"""Scaling sweeps with repeat statistics."""
+"""Scaling sweeps with repeat statistics and failure tolerance."""
 
 from __future__ import annotations
 
@@ -6,8 +6,9 @@ import copy
 from dataclasses import replace
 from typing import Optional, Sequence
 
+from repro.faults.plan import FaultPlan
 from repro.harness.parallel import RunSpec, run_many
-from repro.harness.results import RunResult, ScalingPoint, ScalingSeries
+from repro.harness.results import FailedRun, RunResult, ScalingPoint, ScalingSeries
 from repro.machine.cluster import ClusterSpec
 from repro.spechpc.base import Benchmark
 
@@ -24,6 +25,14 @@ def scaling_sweep(
     reuse_identical_repeats: bool = True,
     fast_path: bool = True,
     memoize: bool = True,
+    faults: Optional[FaultPlan] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.05,
+    tolerate_failures: bool = False,
+    checkpoint: Optional[str] = None,
+    max_events: Optional[int] = None,
+    sim_time_limit: Optional[float] = None,
 ) -> ScalingSeries:
     """Run ``benchmark`` at each process count, ``repeats`` times each.
 
@@ -38,6 +47,19 @@ def scaling_sweep(
     (only the recorded ``meta['seed']`` differs, patched to what the
     repeat would have used).  ``reuse_identical_repeats=False`` forces the
     redundant simulations — the reference path for the microbenchmark.
+
+    Failure tolerance (``timeout`` / ``retries`` / ``tolerate_failures``
+    / ``checkpoint``) is delegated to
+    :func:`~repro.harness.parallel.run_many`.  In tolerant mode a point
+    stays in the series as long as at least one of its repeats succeeded;
+    repeats (or whole points) that did not are collected in
+    ``series.failures`` as :class:`~repro.harness.results.FailedRun`
+    records.  A sweep where *every* point failed raises ``RuntimeError``
+    summarizing the failures — an empty series is never returned.
+
+    ``faults`` applies one :class:`~repro.faults.plan.FaultPlan` to every
+    point; ``max_events`` / ``sim_time_limit`` arm the per-run hang
+    watchdogs (see :func:`~repro.harness.runner.run`).
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -53,6 +75,9 @@ def scaling_sweep(
             seed=1000 * n + rep,
             fast_path=fast_path,
             memoize=memoize,
+            faults=faults,
+            max_events=max_events,
+            sim_time_limit=sim_time_limit,
         )
 
     dedup = reuse_identical_repeats and noise_sigma == 0.0 and repeats > 1
@@ -60,11 +85,23 @@ def scaling_sweep(
         specs = [spec(n, 0) for n in proc_counts]
     else:
         specs = [spec(n, rep) for n in proc_counts for rep in range(repeats)]
-    results = run_many(specs, workers=workers)
+    results = run_many(
+        specs,
+        workers=workers,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        tolerate_failures=tolerate_failures,
+        checkpoint=checkpoint,
+    )
 
-    points = []
+    points: list[ScalingPoint] = []
+    failures: list[FailedRun] = []
     if dedup:
         for n, first in zip(proc_counts, results):
+            if isinstance(first, FailedRun):
+                failures.append(first)
+                continue
             runs = [first]
             for rep in range(1, repeats):
                 # deep-copy so repeats do not share the nested mutable
@@ -77,13 +114,23 @@ def scaling_sweep(
     else:
         it = iter(results)
         for n in proc_counts:
-            runs: list[RunResult] = [next(it) for _ in range(repeats)]
-            points.append(ScalingPoint(nprocs=n, runs=tuple(runs)))
+            batch = [next(it) for _ in range(repeats)]
+            runs = tuple(r for r in batch if isinstance(r, RunResult))
+            failures.extend(r for r in batch if isinstance(r, FailedRun))
+            if runs:
+                points.append(ScalingPoint(nprocs=n, runs=runs))
+    if not points:
+        details = "; ".join(f.summary() for f in failures[:4])
+        raise RuntimeError(
+            f"scaling sweep of {benchmark.name!r} on {cluster.name!r} lost "
+            f"every point ({len(failures)} failure(s)): {details}"
+        )
     return ScalingSeries(
         benchmark=benchmark.name,
         cluster=cluster.name,
         suite=suite,
         points=tuple(points),
+        failures=tuple(failures),
     )
 
 

@@ -88,6 +88,11 @@ class Communicator:
             heat_busy_seconds = 0.85 * busy_seconds
         rt = self.runtime
         t0 = rt.sim.now
+        if rt.faults is not None:
+            # fault injection: slow-rank windows and OS-noise bursts
+            # stretch the wall duration; counters stay nominal (a stalled
+            # or throttled core executes the same instructions)
+            seconds = rt.faults.compute_seconds(self.rank, t0, seconds)
         yield Delay(seconds)
         stats = rt.stats[self.rank]
         stats.time_by_kind["compute"] = (
@@ -137,7 +142,10 @@ class Communicator:
         c["messages"] += 1
         c["msg_bytes"] += nbytes
         if net.is_eager(nbytes):
-            arrival_time = now + net.transfer_time(nbytes, intra)
+            if rt.faults is None:
+                arrival_time = now + net.transfer_time(nbytes, intra)
+            else:
+                arrival_time = now + rt.transfer_time(self.rank, dest, nbytes, intra)
             arr = SendArrival(
                 src=self.rank,
                 tag=tag,
@@ -150,7 +158,10 @@ class Communicator:
             rt.deliver_at(arrival_time, dest, arr)
             req.done_signal.fire(now + net.per_message_overhead)
         else:
-            rts_lat = net.intra_node_latency if intra else net.latency
+            if rt.faults is None:
+                rts_lat = net.intra_node_latency if intra else net.latency
+            else:
+                rts_lat = rt.link_latency(self.rank, dest, intra)
             arr = SendArrival(
                 src=self.rank,
                 tag=tag,
@@ -171,7 +182,7 @@ class Communicator:
         req = Request("recv", source, tag, 0, now)
         arr, post = rt.mailboxes[self.rank].post_recv(source, tag, now)
         if arr is not None:
-            rt.complete_match(arr, post)
+            rt.complete_match(arr, post, self.rank)
         # the mailbox match signal *is* the request completion signal
         req.done_signal = post.match_signal
         return req
@@ -181,17 +192,20 @@ class Communicator:
 
         Returns the payload for receive requests (None otherwise).
         """
+        rt = self.runtime
         t0 = self.now
         if req.done_signal.fired:
             value = req.done_signal.value
         else:
+            rt.mark_blocked(self.rank, kind, req.peer, req.tag)
             value = yield Wait(req.done_signal)
+            rt.clear_blocked(self.rank)
         finish, payload = _completion(value)
         if finish > self.now:
             yield Delay(finish - self.now)
         if self.now > t0:
-            self.runtime.stats[self.rank].add_time(kind, self.now - t0)
-            self.runtime.record_trace(self.rank, t0, self.now, kind)
+            rt.stats[self.rank].add_time(kind, self.now - t0)
+            rt.record_trace(self.rank, t0, self.now, kind)
         return payload
 
     def waitall(self, reqs: list[Request], kind: str = "MPI_Wait") -> Generator:
@@ -211,7 +225,12 @@ class Communicator:
         t0 = sim.now
         req = self.isend(dest, nbytes, tag, payload=payload)
         sig = req.done_signal
-        value = sig.value if sig.fired else (yield Wait(sig))
+        if sig.fired:
+            value = sig.value
+        else:
+            rt.mark_blocked(self.rank, "MPI_Send", dest, tag)
+            value = yield Wait(sig)
+            rt.clear_blocked(self.rank)
         finish, _ = _completion(value)
         if finish > sim.now:
             yield Delay(finish - sim.now)
@@ -226,7 +245,12 @@ class Communicator:
         t0 = sim.now
         req = self.irecv(source, tag)
         sig = req.done_signal
-        value = sig.value if sig.fired else (yield Wait(sig))
+        if sig.fired:
+            value = sig.value
+        else:
+            rt.mark_blocked(self.rank, "MPI_Recv", source, tag)
+            value = yield Wait(sig)
+            rt.clear_blocked(self.rank)
         finish, payload = _completion(value)
         if finish > sim.now:
             yield Delay(finish - sim.now)
@@ -258,12 +282,22 @@ class Communicator:
         rreq = self.irecv(source, tag)
         sreq = self.isend(dest, send_bytes, tag, payload=payload)
         sig = sreq.done_signal
-        value = sig.value if sig.fired else (yield Wait(sig))
+        if sig.fired:
+            value = sig.value
+        else:
+            rt.mark_blocked(self.rank, "MPI_Sendrecv[send]", dest, tag)
+            value = yield Wait(sig)
+            rt.clear_blocked(self.rank)
         finish, _ = _completion(value)
         if finish > sim.now:
             yield Delay(finish - sim.now)
         sig = rreq.done_signal
-        value = sig.value if sig.fired else (yield Wait(sig))
+        if sig.fired:
+            value = sig.value
+        else:
+            rt.mark_blocked(self.rank, "MPI_Sendrecv[recv]", source, tag)
+            value = yield Wait(sig)
+            rt.clear_blocked(self.rank)
         finish, received = _completion(value)
         if finish > sim.now:
             yield Delay(finish - sim.now)
@@ -278,7 +312,10 @@ class Communicator:
         if req.done_signal.fired:
             value = req.done_signal.value
         else:
+            rt = self.runtime
+            rt.mark_blocked(self.rank, kind, req.peer, req.tag)
             value = yield Wait(req.done_signal)
+            rt.clear_blocked(self.rank)
         finish, payload = _completion(value)
         if finish > self.now:
             yield Delay(finish - self.now)
@@ -337,7 +374,9 @@ class Communicator:
         if gate.signal.fired:
             finish = gate.signal.value
         else:
+            rt.mark_blocked(self.rank, "MPI_Allreduce", None, None)
             finish = yield Wait(gate.signal)
+            rt.clear_blocked(self.rank)
         if finish > self.now:
             yield Delay(finish - self.now)
         if self.now > t0:
@@ -360,7 +399,9 @@ class Communicator:
         if gate.signal.fired:
             finish = gate.signal.value
         else:
+            rt.mark_blocked(self.rank, kind, None, None)
             finish = yield Wait(gate.signal)
+            rt.clear_blocked(self.rank)
         if finish > self.now:
             yield Delay(finish - self.now)
         if self.now > t0:

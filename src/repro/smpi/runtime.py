@@ -14,10 +14,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional, Protocol
 
-from repro.des.simulator import Simulator
+from repro.des.simulator import DeadlockError, Simulator
 from repro.machine.cluster import ClusterSpec
 from repro.smpi.collectives import CollectiveGate
 from repro.smpi.comm import Communicator
+from repro.smpi.diagnostics import (
+    BlockedCall,
+    RankCrashedError,
+    format_deadlock,
+    format_mailbox_leftovers,
+)
 from repro.smpi.mailbox import Mailbox, RecvPost, SendArrival
 
 
@@ -134,12 +140,21 @@ class MpiRuntime:
         trace: TraceLike | None = None,
         threads_per_rank: int = 1,
         fast_path: bool = True,
+        faults: Any | None = None,
     ) -> None:
         """``threads_per_rank > 1`` reserves a block of consecutive cores
         per rank (hybrid MPI+OpenMP placement, the paper's future-work
         mode); rank *r* is pinned to core ``r * threads_per_rank``.
         ``fast_path=False`` runs the pure-heap reference engine (see
-        :class:`~repro.des.simulator.Simulator`)."""
+        :class:`~repro.des.simulator.Simulator`).
+
+        ``faults`` optionally attaches a
+        :class:`~repro.faults.injector.FaultInjector`: point-to-point
+        pricing is degraded per its link faults, compute phases are
+        stretched per its slow-rank/noise faults, and planned rank
+        crashes are scheduled at launch.  Without one (the default) every
+        code path is untouched — results are bit-identical to a build
+        without the fault subsystem."""
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         if threads_per_rank < 1:
@@ -156,6 +171,14 @@ class MpiRuntime:
         self.nnodes = cluster.nodes_for(nprocs * threads_per_rank)
         self.sim = Simulator(fast_path=fast_path)
         self.trace = trace
+        self.faults = faults
+        if faults is not None:
+            faults.plan.validate_for(nprocs)
+        #: per-rank "currently blocked on" state (rank -> BlockedCall),
+        #: maintained by the communicators; feeds deadlock diagnostics
+        self.blocked_calls: dict[int, BlockedCall] = {}
+        #: ranks killed by fault injection (rank -> crash time)
+        self.crashed: dict[int, float] = {}
         self._placement = [
             cluster.place(r * threads_per_rank) for r in range(nprocs)
         ]
@@ -192,6 +215,48 @@ class MpiRuntime:
         """How many ranks of this job share the given rank's ccNUMA domain."""
         return self._domain_population[self._domain_ids[rank]]
 
+    # --- blocked-call bookkeeping ---------------------------------------------
+
+    def mark_blocked(
+        self, rank: int, op: str, peer: int | None, tag: int | None
+    ) -> None:
+        """Record that ``rank`` is about to park in a blocking MPI call
+        (cleared by :meth:`clear_blocked` on wake-up; surviving entries
+        are exactly the parked calls a deadlock report must name)."""
+        self.blocked_calls[rank] = BlockedCall(
+            rank=rank, op=op, peer=peer, tag=tag, since=self.sim.now
+        )
+
+    def clear_blocked(self, rank: int) -> None:
+        self.blocked_calls.pop(rank, None)
+
+    # --- fault-aware link pricing ---------------------------------------------
+
+    def transfer_time(
+        self, src: int, dest: int, nbytes: int, intra: bool
+    ) -> float:
+        """Wire/copy time for ``nbytes`` from ``src`` to ``dest`` —
+        :meth:`NetworkSpec.transfer_time` unless a link fault is active."""
+        if self.faults is None:
+            return self.network.transfer_time(nbytes, intra)
+        return self.faults.transfer_time(
+            self.network,
+            self.node_of(src),
+            self.node_of(dest),
+            nbytes,
+            intra,
+            self.sim.now,
+        )
+
+    def link_latency(self, src: int, dest: int, intra: bool) -> float:
+        """Small-message latency from ``src`` to ``dest`` (fault-aware)."""
+        net = self.network
+        if self.faults is None:
+            return net.intra_node_latency if intra else net.latency
+        return self.faults.link_latency(
+            net, self.node_of(src), self.node_of(dest), intra, self.sim.now
+        )
+
     # --- matching glue ------------------------------------------------------------
 
     def deliver_at(self, time: float, dest: int, arrival: SendArrival) -> None:
@@ -200,22 +265,34 @@ class MpiRuntime:
         def _deliver() -> None:
             post = self.mailboxes[dest].deliver(arrival)
             if post is not None:
-                self.complete_match(arrival, post)
+                self.complete_match(arrival, post, dest)
 
         self.sim.call_at(time, _deliver)
 
-    def complete_match(self, arr: SendArrival, post: RecvPost) -> None:
+    def complete_match(
+        self, arr: SendArrival, post: RecvPost, dest: int
+    ) -> None:
         """Compute completion time of a matched send/recv pair and fire the
         signals (receive-side always; sender-side for rendezvous).
 
         The receive-side signal carries ``(end_time, payload)`` so real
-        application data can ride the simulated messages.
+        application data can ride the simulated messages.  ``dest`` is the
+        receiving rank — needed to price the path under link faults.
         """
         net = self.network
         start = max(post.posted_time, arr.arrival_time, self.sim.now)
         if arr.rendezvous:
-            bw = net.intra_node_bandwidth if arr.intra_node else net.effective_bandwidth
-            lat = net.intra_node_latency if arr.intra_node else net.latency
+            if self.faults is None:
+                bw = net.intra_node_bandwidth if arr.intra_node else net.effective_bandwidth
+                lat = net.intra_node_latency if arr.intra_node else net.latency
+            else:
+                bw, lat = self.faults.rendezvous_link(
+                    net,
+                    self.node_of(arr.src),
+                    self.node_of(dest),
+                    arr.intra_node,
+                    self.sim.now,
+                )
             end = (
                 start
                 + net.rendezvous_handshake
@@ -252,22 +329,70 @@ class MpiRuntime:
 
     # --- execution -----------------------------------------------------------------
 
+    def _schedule_crash(self, proc: Any, rank: int, time: float) -> None:
+        def _kill() -> None:
+            self.crashed[rank] = self.sim.now
+            proc.kill()
+
+        self.sim.call_at(time, _kill)
+
     def launch(
-        self, body_factory: Callable[[Communicator], Generator]
+        self,
+        body_factory: Callable[[Communicator], Generator],
+        max_events: int | None = None,
+        deadline: float | None = None,
     ) -> MpiJob:
         """Spawn one process per rank and run to completion.
 
         ``body_factory(comm)`` must return the rank's generator body.
+        ``max_events``/``deadline`` bound the simulation (see
+        :meth:`~repro.des.simulator.Simulator.run`); exceeding either
+        raises :class:`~repro.des.simulator.HangError`.
+
+        Raises :class:`~repro.des.simulator.DeadlockError` with a
+        per-rank report (parked MPI call, peer, tag, wait time) when the
+        event queues drain with ranks still blocked, and
+        :class:`~repro.smpi.diagnostics.RankCrashedError` when injected
+        rank crashes let the survivors finish.
         """
+        procs = []
         for r in range(self.nprocs):
             comm = Communicator(self, r)
-            self.sim.spawn(f"rank{r}", body_factory(comm))
-        elapsed = self.sim.run()
+            procs.append(self.sim.spawn(f"rank{r}", body_factory(comm)))
+        if self.faults is not None:
+            for crash in self.faults.crashes:
+                self._schedule_crash(procs[crash.rank], crash.rank, crash.time)
+        try:
+            elapsed = self.sim.run(max_events=max_events, deadline=deadline)
+        except DeadlockError as err:
+            blocked_ranks = sorted(
+                int(p.name[4:]) for p in err.blocked if p.name.startswith("rank")
+            )
+            raise DeadlockError(
+                format_deadlock(
+                    self.sim.now,
+                    blocked_ranks,
+                    self.blocked_calls,
+                    self.crashed,
+                    self.mailboxes,
+                ),
+                blocked=err.blocked,
+            ) from None
+        if self.crashed:
+            dead = ", ".join(
+                f"rank {r} at t={t:.6g}" for r, t in sorted(self.crashed.items())
+            )
+            raise RankCrashedError(
+                f"{len(self.crashed)} rank(s) crashed during the run "
+                f"({dead}); surviving ranks completed at t={elapsed:.6g} "
+                "but the job is failed (MPI semantics)"
+            )
         leftovers = [m for m in self.mailboxes if not m.idle()]
         if leftovers:
             raise RuntimeError(
                 f"{len(leftovers)} mailbox(es) with unmatched messages at "
-                "finalize — send/recv mismatch in the benchmark code"
+                "finalize — send/recv mismatch in the benchmark code:\n"
+                + format_mailbox_leftovers(self.mailboxes)
             )
         return MpiJob(
             cluster=self.cluster.name,

@@ -215,3 +215,81 @@ def test_spawn_requires_generator():
     sim = Simulator()
     with pytest.raises(TypeError):
         sim.spawn("notgen", lambda: None)  # type: ignore[arg-type]
+
+
+# --- hang watchdogs (max_events / deadline) and process kill ----------------
+
+
+def _spinner():
+    while True:
+        yield Delay(1.0)
+
+
+def test_max_events_budget_raises_hang_error():
+    from repro.des import HangError
+
+    sim = Simulator()
+    sim.spawn("spin", _spinner())
+    with pytest.raises(HangError, match="event budget"):
+        sim.run(max_events=100)
+
+
+def test_deadline_raises_hang_error():
+    from repro.des import HangError
+
+    sim = Simulator()
+    sim.spawn("spin", _spinner())
+    with pytest.raises(HangError, match="deadline"):
+        sim.run(deadline=50.0)
+
+
+@pytest.mark.parametrize("fast_path", [True, False])
+def test_generous_budgets_do_not_trip(fast_path):
+    sim = Simulator(fast_path=fast_path)
+    log = []
+
+    def body():
+        yield Delay(1.0)
+        log.append(sim.now)
+
+    sim.spawn("p", body())
+    assert sim.run(max_events=10_000, deadline=100.0) == 1.0
+    assert log == [1.0]
+
+
+def test_deadlock_error_carries_blocked_names():
+    sim = Simulator()
+    sig = Signal("never")
+
+    def stuck():
+        yield Wait(sig)
+
+    sim.spawn("victim-a", stuck())
+    sim.spawn("victim-b", stuck())
+    with pytest.raises(DeadlockError) as excinfo:
+        sim.run()
+    assert "victim-a" in str(excinfo.value)
+    assert {p.name for p in excinfo.value.blocked} == {"victim-a", "victim-b"}
+
+
+def test_kill_terminates_process_mid_wait():
+    sim = Simulator()
+    sig = Signal("never")
+    cleaned = []
+
+    def stuck():
+        try:
+            yield Wait(sig)
+        finally:
+            cleaned.append("closed")
+
+    victim = sim.spawn("victim", stuck())
+
+    def killer():
+        yield Delay(2.0)
+        victim.kill()
+
+    sim.spawn("killer", killer())
+    assert sim.run() == 2.0
+    assert victim.done
+    assert cleaned == ["closed"]

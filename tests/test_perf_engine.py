@@ -349,8 +349,8 @@ def test_runner_reports_benchmark_on_empty_stats(monkeypatch):
     from repro.harness import runner as runner_mod
 
     class _EmptyRuntime(runner_mod.MpiRuntime):
-        def launch(self, body_factory):
-            job = super().launch(body_factory)
+        def launch(self, body_factory, **kwargs):
+            job = super().launch(body_factory, **kwargs)
             job.stats.clear()
             return job
 
