@@ -1,13 +1,18 @@
-"""Engine microbenchmark: DES fast path, memoization, sweep harness.
+"""Engine microbenchmark: DES fast path, memoization, matching, sweeps,
+and the paper-scale fast-forward.
 
 Quantifies the performance work on the simulation engine itself (not a
 paper figure): event throughput of the run-queue fast path versus the
-pure-heap reference engine, the per-run phase-cost cache, and the
-combined effect on a full-node tiny sweep — the configuration every
-figure-producing sweep in this suite runs in.
+pure-heap reference engine, the per-run phase-cost cache, the combined
+effect on a full-node tiny sweep, and — with ``-m paperscale`` — full
+64-node jobs (the scale of the paper's Figs. 5-6) comparing the
+optimized engine (indexed matching + steady-state fast-forward) against
+the pre-PR reference flags.  Run with ``--json`` to emit the
+``BENCH_engine.json`` perf-trajectory artifact.
 """
 
 import time
+from dataclasses import replace
 
 import pytest
 
@@ -17,11 +22,27 @@ from repro.harness import ascii_table, run, scaling_sweep
 from repro.machine import get_cluster
 from repro.spechpc import get_benchmark
 
+#: Reference flags restoring the pre-optimization engine end to end.
+PRE_PR_FLAGS = dict(fast_forward=False, matcher="linear")
+
 
 def _timed(fn):
     t0 = time.perf_counter()
     result = fn()
     return time.perf_counter() - t0, result
+
+
+def _identical(a, b) -> bool:
+    """Bit-identical simulation outcome (meta records flag settings, so
+    it is excluded; everything physical must match exactly)."""
+    return (
+        a.elapsed == b.elapsed
+        and a.sim_elapsed == b.sim_elapsed
+        and a.step_scale == b.step_scale
+        and a.counters == b.counters
+        and a.time_by_kind == b.time_by_kind
+        and a.energy == b.energy
+    )
 
 
 def _barrier_workload(fast_path, nprocs=128, steps=40):
@@ -176,3 +197,116 @@ def test_full_node_sweep_speedup(benchmark):
     ))
     best = max(t_ref / t_opt for t_opt, t_ref in timings.values())
     assert best >= 3.0
+
+
+def test_fast_engine_equivalence_smoke(benchmark, perf_records):
+    """CI smoke case: one-node lbm with enough steps for the
+    fast-forward to engage; the optimized engine must agree bit-for-bit
+    with the pre-PR reference flags (and with each flag individually)."""
+    cluster = get_cluster("ClusterA")
+    bench = get_benchmark("lbm")
+    n = cluster.node.cores
+    steps = 12
+
+    def compare():
+        run(bench, cluster, n, sim_steps=steps)  # warm caches/allocators
+        t_fast, fast = _timed(lambda: run(bench, cluster, n, sim_steps=steps))
+        t_ref, ref = _timed(
+            lambda: run(bench, cluster, n, sim_steps=steps, **PRE_PR_FLAGS)
+        )
+        return fast, t_fast, ref, t_ref
+
+    fast, t_fast, ref, t_ref = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert fast.meta["fast_forward"] is True
+    assert _identical(fast, ref), "optimized engine diverged from reference"
+    for flag in (
+        dict(fast_forward=False),
+        dict(matcher="linear"),
+        dict(fast_path=False),
+        dict(memoize=False),
+    ):
+        single = run(bench, cluster, n, sim_steps=steps, **flag)
+        assert _identical(fast, single), f"divergence under {flag}"
+    print()
+    print(f"lbm 1-node x {steps} steps: optimized {t_fast:.2f}s, "
+          f"pre-PR flags {t_ref:.2f}s ({t_ref / t_fast:.2f}x), bit-identical")
+    perf_records.append({
+        "case": "smoke_lbm_1node",
+        "nprocs": n,
+        "sim_steps": steps,
+        "optimized_s": round(t_fast, 4),
+        "reference_s": round(t_ref, 4),
+        "speedup": round(t_ref / t_fast, 3),
+        "identical": True,
+        "fast_forward_engaged": True,
+    })
+
+
+@pytest.mark.paperscale
+def test_paper_scale_64node(benchmark, perf_records):
+    """Acceptance target: >= 5x combined on the paper-scale 64-node lbm +
+    minisweep cases versus the pre-PR engine, bit-identical throughout.
+
+    lbm (torus halo exchange + allreduce) runs a 128-step slice of its
+    600-step tiny workload: its step structure is exactly periodic, so
+    the steady-state fast-forward simulates four steps and replays the
+    rest analytically.  minisweep has no collective (Table 1) — its step
+    boundaries never synchronize globally, fast-forward correctly
+    declines, and its gain comes from indexed matching alone; it runs
+    its default two representative steps.
+    """
+    cluster = replace(get_cluster("ClusterA"), max_nodes=64)
+    n = 64 * cluster.node.cores
+    cases = [("lbm", 128), ("minisweep", None)]
+
+    def compare():
+        out = {}
+        for name, steps in cases:
+            bench = get_benchmark(name)
+            t_fast, fast = _timed(
+                lambda: run(bench, cluster, n, sim_steps=steps)
+            )
+            t_ref, ref = _timed(
+                lambda: run(bench, cluster, n, sim_steps=steps, **PRE_PR_FLAGS)
+            )
+            assert _identical(fast, ref), f"{name} diverged from reference"
+            out[name] = (t_fast, t_ref, fast.meta["fast_forward"])
+        return out
+
+    timings = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert timings["lbm"][2] is True          # fast-forward engaged
+    assert timings["minisweep"][2] is False   # declined (no collective)
+    rows = [
+        (name, f"{t_fast:.2f}", f"{t_ref:.2f}", f"{t_ref / t_fast:.2f}x",
+         "yes" if ff else "no")
+        for name, (t_fast, t_ref, ff) in timings.items()
+    ]
+    t_fast_all = sum(v[0] for v in timings.values())
+    t_ref_all = sum(v[1] for v in timings.values())
+    combined = t_ref_all / t_fast_all
+    rows.append(("combined", f"{t_fast_all:.2f}", f"{t_ref_all:.2f}",
+                 f"{combined:.2f}x", "-"))
+    print()
+    print(ascii_table(
+        ["case", "optimized [s]", "pre-PR flags [s]", "speedup", "ff"],
+        rows,
+        title=f"Paper scale: 64 nodes x {cluster.node.cores} ranks "
+        f"({n} ranks), bit-identical",
+    ))
+    for name, (t_fast, t_ref, ff) in timings.items():
+        perf_records.append({
+            "case": f"paper_scale_{name}_64node",
+            "nprocs": n,
+            "optimized_s": round(t_fast, 4),
+            "reference_s": round(t_ref, 4),
+            "speedup": round(t_ref / t_fast, 3),
+            "identical": True,
+            "fast_forward_engaged": ff,
+        })
+    perf_records.append({
+        "case": "paper_scale_combined_64node",
+        "optimized_s": round(t_fast_all, 4),
+        "reference_s": round(t_ref_all, 4),
+        "speedup": round(combined, 3),
+    })
+    assert combined >= 5.0

@@ -1,6 +1,57 @@
-"""Bench-suite conftest: make the shared-data module importable."""
+"""Bench-suite conftest: shared-data imports and the perf-trajectory
+artifact (``--json``)."""
 
+import json
 import os
+import platform
 import sys
 
+import pytest
+
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        nargs="?",
+        const="BENCH_engine.json",
+        metavar="PATH",
+        help="write engine-microbench records to a perf-trajectory JSON "
+        "artifact (default path: BENCH_engine.json)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "paperscale: full 64-node paper-scale engine cases (minutes-long; "
+        "deselect with -m 'not paperscale')",
+    )
+    config._engine_records = []
+
+
+@pytest.fixture
+def perf_records(request):
+    """Append dict records here; they land in the ``--json`` artifact."""
+    return request.config._engine_records
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--json")
+    records = getattr(session.config, "_engine_records", [])
+    if path is None or not records:
+        return
+    artifact = {
+        "schema": "repro-engine-bench/1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "cases": records,
+    }
+    with open(path, "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {len(records)} engine-bench record(s) to {path}")

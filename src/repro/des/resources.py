@@ -9,11 +9,32 @@ SimGrid) and is exact for max-min fair sharing of a single link.
 The MPI layer prices point-to-point transfers analytically for speed, but
 this primitive is available for substrates that need true contention
 (e.g. a NIC shared by many concurrent rendezvous transfers, or a disk).
+
+Two schedulers implement the model:
+
+* ``scheduler="virtual-clock"`` (default) — processor-sharing accounting
+  with a *virtual clock* ``V`` that advances at ``capacity / n`` units per
+  real second while ``n`` flows are active.  A flow entering with
+  ``amount`` units finishes when ``V`` reaches ``V_entry + amount``, so
+  entry is O(log F) (one heap push of the virtual finish time) and each
+  rebalance is O(1): no per-flow re-integration ever happens.
+* ``scheduler="reference"`` — the original lazy re-integration that walks
+  every active flow on each entry/exit event, kept as the behavioral
+  reference for the differential tests.
+
+Both schedulers guard their scheduled completion callbacks with a
+monotonically increasing *epoch token*: every entry/exit bumps the epoch,
+and a callback carrying a stale epoch returns immediately.  (The old
+reference guard compared ``sim.now`` against the scheduled completion
+time with a ``1e-12`` float tolerance — a rebalance landing within the
+tolerance window could be mistaken for the real completion.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from itertools import count
 from typing import Generator
 
 from repro.des.simulator import Signal, Wait
@@ -23,6 +44,8 @@ from repro.des.simulator import Signal, Wait
 class _Flow:
     remaining: float
     done: Signal
+    finish_v: float = 0.0        # virtual finish time (virtual-clock mode)
+    finished: bool = False
 
 
 class BandwidthResource:
@@ -35,25 +58,52 @@ class BandwidthResource:
         def body():
             yield nic.transfer(3e9)   # takes 0.25 s alone, longer if shared
 
-    The implementation advances flows lazily: on every entry/exit event it
-    integrates the elapsed progress at the previous concurrency level and
-    reschedules the next completion.
+    See the module docstring for the two scheduler implementations.
     """
 
-    def __init__(self, sim, capacity: float, name: str = "resource") -> None:
+    def __init__(
+        self,
+        sim,
+        capacity: float,
+        name: str = "resource",
+        scheduler: str = "virtual-clock",
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if scheduler not in ("virtual-clock", "reference"):
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; expected "
+                "'virtual-clock' or 'reference'"
+            )
         self.sim = sim
         self.capacity = capacity
         self.name = name
-        self._flows: list[_Flow] = []
+        self.scheduler = scheduler
+        self._flows: list[_Flow] = []    # reference mode only
+        self._nflows = 0                 # virtual-clock mode only
         self._last_update = 0.0
-        self._completion_scheduled: float | None = None
+        # epoch token: bumped on every entry/exit; completion callbacks
+        # carry the epoch they were scheduled under and bail out if a
+        # rebalance has happened since (no float-tolerance comparisons)
+        self._epoch = 0
+        # --- virtual-clock state ---
+        self._vclock = 0.0
+        self._finish_heap: list[tuple[float, int, _Flow]] = []
+        self._tiebreak = count()
 
-    # --- internals ---------------------------------------------------------
+    # --- shared internals ----------------------------------------------------
 
-    def _advance(self) -> None:
-        """Integrate progress of all active flows up to now."""
+    def _advance_vclock(self) -> None:
+        """Advance the virtual clock to the current real time."""
+        now = self.sim.now
+        dt = now - self._last_update
+        n = self._nflows
+        if dt > 0 and n:
+            self._vclock += dt * (self.capacity / n)
+        self._last_update = now
+
+    def _advance_reference(self) -> None:
+        """Integrate progress of all active flows up to now (O(F))."""
         now = self.sim.now
         dt = now - self._last_update
         if dt > 0 and self._flows:
@@ -62,30 +112,85 @@ class BandwidthResource:
                 f.remaining -= rate * dt
         self._last_update = now
 
-    def _reschedule(self) -> None:
-        """Schedule the next flow completion at the current sharing."""
+    def _schedule_completion(self, t_done: float) -> None:
+        epoch = self._epoch
+        self.sim.call_at(t_done, lambda: self._on_completion_check(epoch))
+
+    # --- virtual-clock scheduler ---------------------------------------------
+
+    def _reschedule_vclock(self) -> None:
+        self._epoch += 1
+        heap = self._finish_heap
+        while heap and heap[0][2].finished:
+            heappop(heap)
+        if not heap:
+            return
+        next_v = heap[0][0]
+        t_done = (
+            self.sim.now
+            + max(0.0, next_v - self._vclock) * self._nflows / self.capacity
+        )
+        self._schedule_completion(t_done)
+
+    def _complete_vclock(self) -> None:
+        self._advance_vclock()
+        heap = self._finish_heap
+        while heap and heap[0][2].finished:
+            heappop(heap)
+        if heap:
+            # the epoch guard guarantees no rebalance happened since this
+            # completion was scheduled, so the heap head *is* the flow it
+            # was scheduled for — complete it unconditionally (immune to
+            # virtual-clock rounding), then any co-finishers within eps
+            # (simultaneous finishers complete in entry order via the
+            # tiebreak counter — matching the reference's scan order)
+            _, _, head = heappop(heap)
+            head.finished = True
+            self._nflows -= 1
+            if head.finish_v > self._vclock:
+                self._vclock = head.finish_v
+            head.done.fire(self.sim.now)
+            eps = 1e-9 * self.capacity
+            while heap and not heap[0][2].finished and heap[0][0] <= self._vclock + eps:
+                _, _, flow = heappop(heap)
+                flow.finished = True
+                self._nflows -= 1
+                flow.done.fire(self.sim.now)
+        self._reschedule_vclock()
+
+    # --- reference scheduler --------------------------------------------------
+
+    def _reschedule_reference(self) -> None:
+        self._epoch += 1
         if not self._flows:
-            self._completion_scheduled = None
             return
         rate = self.capacity / len(self._flows)
         next_flow = min(self._flows, key=lambda f: f.remaining)
         t_done = self.sim.now + max(0.0, next_flow.remaining) / rate
-        self._completion_scheduled = t_done
-        self.sim.call_at(t_done, self._on_completion_check)
+        self._schedule_completion(t_done)
 
-    def _on_completion_check(self) -> None:
-        # guard against stale callbacks after a rebalance
-        if (
-            self._completion_scheduled is None
-            or abs(self.sim.now - self._completion_scheduled) > 1e-12
-        ):
-            return
-        self._advance()
-        finished = [f for f in self._flows if f.remaining <= 1e-9]
-        self._flows = [f for f in self._flows if f.remaining > 1e-9]
+    def _complete_reference(self) -> None:
+        self._advance_reference()
+        # completion tolerance scales with capacity: the float residue
+        # after integrating a flow of A units is ~A*ulp, far above any
+        # absolute threshold for multi-gigabyte transfers
+        eps = 1e-9 * self.capacity
+        finished = [f for f in self._flows if f.remaining <= eps]
+        self._flows = [f for f in self._flows if f.remaining > eps]
         for f in finished:
+            f.finished = True
             f.done.fire(self.sim.now)
-        self._reschedule()
+        self._reschedule_reference()
+
+    # --- completion dispatch ---------------------------------------------------
+
+    def _on_completion_check(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # a rebalance superseded this callback
+        if self.scheduler == "virtual-clock":
+            self._complete_vclock()
+        else:
+            self._complete_reference()
 
     # --- public API ----------------------------------------------------------
 
@@ -96,18 +201,29 @@ class BandwidthResource:
         if amount == 0:
             return
             yield  # pragma: no cover
-        self._advance()
-        flow = _Flow(remaining=amount, done=Signal(f"{self.name}-flow"))
-        self._flows.append(flow)
-        self._reschedule()
+        if self.scheduler == "virtual-clock":
+            self._advance_vclock()
+            flow = _Flow(remaining=amount, done=Signal(f"{self.name}-flow"))
+            flow.finish_v = self._vclock + amount
+            self._nflows += 1
+            heappush(self._finish_heap, (flow.finish_v, next(self._tiebreak), flow))
+            self._reschedule_vclock()
+        else:
+            self._advance_reference()
+            flow = _Flow(remaining=amount, done=Signal(f"{self.name}-flow"))
+            self._flows.append(flow)
+            self._reschedule_reference()
         yield Wait(flow.done)
 
     @property
     def active_flows(self) -> int:
+        if self.scheduler == "virtual-clock":
+            return self._nflows
         return len(self._flows)
 
     def current_rate(self) -> float:
         """Per-flow rate at the current concurrency [units/s]."""
-        if not self._flows:
+        n = self.active_flows
+        if n == 0:
             return self.capacity
-        return self.capacity / len(self._flows)
+        return self.capacity / n

@@ -87,6 +87,8 @@ class RunSpec:
     threads_per_rank: int = 1
     fast_path: bool = True
     memoize: bool = True
+    matcher: str = "indexed"
+    fast_forward: bool = True
     faults: Optional["FaultPlan"] = None
     max_events: Optional[int] = None
     sim_time_limit: Optional[float] = None
@@ -123,6 +125,8 @@ def execute(spec: RunSpec) -> RunResult:
         threads_per_rank=spec.threads_per_rank,
         fast_path=spec.fast_path,
         memoize=spec.memoize,
+        matcher=spec.matcher,
+        fast_forward=spec.fast_forward,
         faults=spec.faults,
         max_events=spec.max_events,
         sim_time_limit=spec.sim_time_limit,

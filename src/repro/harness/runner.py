@@ -22,12 +22,14 @@ def run(
     nprocs: int,
     suite: str = "tiny",
     sim_steps: Optional[int] = None,
-    trace: bool = False,
+    trace: bool | str = False,
     noise_sigma: float = 0.0,
     seed: int = 0,
     threads_per_rank: int = 1,
     fast_path: bool = True,
     memoize: bool = True,
+    matcher: str = "indexed",
+    fast_forward: bool = True,
     faults: Optional[FaultPlan] = None,
     max_events: Optional[int] = None,
     sim_time_limit: Optional[float] = None,
@@ -44,6 +46,9 @@ def run(
         count.
     trace:
         Collect an ITAC-style event trace (slower, more memory).
+        ``"streaming"`` collects bounded per-rank aggregates instead of
+        every interval (for paper-scale jobs); any tracing disables the
+        steady-state fast-forward.
     noise_sigma:
         Relative run-to-run compute jitter (the paper repeats runs and
         reports min/max/avg); 0 disables noise.
@@ -58,6 +63,16 @@ def run(
         cache.  Results are bit-identical either way; the slow flavors
         exist as the reference for equivalence tests and the engine
         microbenchmark.
+    matcher:
+        Message-matching implementation: ``"indexed"`` (default, O(1)
+        amortized) or ``"linear"`` (the original O(pending) scan kept as
+        the reference).  Bit-identical results either way.
+    fast_forward:
+        Allow the steady-state fast-forward (see
+        :mod:`repro.spechpc.fastforward`): once a benchmark's step
+        structure is observed to be exactly periodic, remaining steps are
+        advanced analytically with bit-identical statistics.  Runs with
+        noise, faults, or tracing force full fidelity regardless.
     faults:
         A :class:`~repro.faults.plan.FaultPlan` to inject (slow ranks,
         OS-noise bursts, degraded links, rank crashes).  ``None`` or an
@@ -108,7 +123,11 @@ def run(
         threads=threads_per_rank,
         memoize=memoize,
     )
-    collector = TraceCollector() if trace else None
+    # trace=True keeps every interval; trace="streaming" keeps bounded
+    # per-rank aggregates only (paper-scale tracing)
+    collector = None
+    if trace:
+        collector = TraceCollector(streaming=(trace == "streaming"))
     injector = None
     if faults is not None and not faults.empty:
         faults.validate_for(nprocs)
@@ -120,8 +139,23 @@ def run(
         threads_per_rank=threads_per_rank,
         fast_path=fast_path,
         faults=injector,
+        matcher=matcher,
     )
     ctx.runtime = runtime
+    if (
+        fast_forward
+        and noise is None
+        and injector is None
+        and collector is None
+        and memoize
+        and steps >= 5
+    ):
+        # full fidelity is forced (no controller) whenever anything can
+        # perturb or observe individual steps: noise, faults, tracing,
+        # or an un-memoized (generation-less) pricing model
+        from repro.spechpc.fastforward import FastForwardController
+
+        ctx.fast_forward = FastForwardController(runtime, steps, ctx.exec_model)
     job = runtime.launch(
         benchmark.make_body(ctx), max_events=max_events, deadline=sim_time_limit
     )
@@ -159,5 +193,13 @@ def run(
         time_by_kind=time_by_kind,
         energy=energy,
         trace=collector,
-        meta={"sim_steps": steps, "seed": seed, "noise_sigma": noise_sigma},
+        meta={
+            "sim_steps": steps,
+            "seed": seed,
+            "noise_sigma": noise_sigma,
+            "fast_forward": (
+                ctx.fast_forward is not None
+                and getattr(ctx.fast_forward, "engaged", False)
+            ),
+        },
     )

@@ -25,6 +25,8 @@ def scaling_sweep(
     reuse_identical_repeats: bool = True,
     fast_path: bool = True,
     memoize: bool = True,
+    matcher: str = "indexed",
+    fast_forward: bool = True,
     faults: Optional[FaultPlan] = None,
     timeout: Optional[float] = None,
     retries: int = 0,
@@ -75,6 +77,8 @@ def scaling_sweep(
             seed=1000 * n + rep,
             fast_path=fast_path,
             memoize=memoize,
+            matcher=matcher,
+            fast_forward=fast_forward,
             faults=faults,
             max_events=max_events,
             sim_time_limit=sim_time_limit,

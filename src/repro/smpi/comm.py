@@ -93,6 +93,12 @@ class Communicator:
             # stretch the wall duration; counters stay nominal (a stalled
             # or throttled core executes the same instructions)
             seconds = rt.faults.compute_seconds(self.rank, t0, seconds)
+        rec = rt.recorder
+        if rec is not None:
+            rec.compute(
+                self.rank, seconds, flops, simd_flops, mem_bytes, l3_bytes,
+                l2_bytes, busy_seconds, heat_seconds, heat_busy_seconds,
+            )
         yield Delay(seconds)
         stats = rt.stats[self.rank]
         stats.time_by_kind["compute"] = (
@@ -173,6 +179,12 @@ class Communicator:
                 payload=payload,
             )
             rt.deliver_at(now + rts_lat, dest, arr)
+        rec = rt.recorder
+        if rec is not None:
+            rec.isend(
+                self.rank, req, dest, tag, nbytes, intra,
+                net.is_eager(nbytes), net, payload,
+            )
         return req
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
@@ -185,6 +197,9 @@ class Communicator:
             rt.complete_match(arr, post, self.rank)
         # the mailbox match signal *is* the request completion signal
         req.done_signal = post.match_signal
+        rec = rt.recorder
+        if rec is not None:
+            rec.irecv(self.rank, req, source, tag)
         return req
 
     def wait(self, req: Request, kind: str = "MPI_Wait") -> Generator:
@@ -194,6 +209,9 @@ class Communicator:
         """
         rt = self.runtime
         t0 = self.now
+        rec = rt.recorder
+        if rec is not None:
+            rec.wait(self.rank, req, kind)
         if req.done_signal.fired:
             value = req.done_signal.value
         else:
@@ -224,6 +242,9 @@ class Communicator:
         sim = rt.sim
         t0 = sim.now
         req = self.isend(dest, nbytes, tag, payload=payload)
+        rec = rt.recorder
+        if rec is not None:
+            rec.wait(self.rank, req, "MPI_Send")
         sig = req.done_signal
         if sig.fired:
             value = sig.value
@@ -244,6 +265,9 @@ class Communicator:
         sim = rt.sim
         t0 = sim.now
         req = self.irecv(source, tag)
+        rec = rt.recorder
+        if rec is not None:
+            rec.wait(self.rank, req, "MPI_Recv")
         sig = req.done_signal
         if sig.fired:
             value = sig.value
@@ -281,6 +305,9 @@ class Communicator:
         t0 = sim.now
         rreq = self.irecv(source, tag)
         sreq = self.isend(dest, send_bytes, tag, payload=payload)
+        rec = rt.recorder
+        if rec is not None:
+            rec.sendrecv_wait(self.rank, sreq, rreq)
         sig = sreq.done_signal
         if sig.fired:
             value = sig.value
@@ -309,6 +336,12 @@ class Communicator:
     def _finish_p2p(
         self, req: Request, t0: float, kind: str, record: bool = True
     ) -> Generator:
+        rec = self.runtime.recorder
+        if rec is not None:
+            if record:
+                rec.wait(self.rank, req, kind)
+            else:
+                rec.mark_unsupported(self.rank, "untracked completion wait")
         if req.done_signal.fired:
             value = req.done_signal.value
         else:
@@ -364,6 +397,9 @@ class Communicator:
         if op is None:
             op = _np.add
         rt = self.runtime
+        if rt.recorder is not None:
+            # payload-carrying reductions cannot be replayed analytically
+            rt.recorder.mark_unsupported(self.rank, "allreduce_data")
         t0 = self.now
         seq = self._coll_seq
         self._coll_seq += 1
@@ -395,6 +431,9 @@ class Communicator:
         else:
             cost = cost_fn(rt.network, self.size, rt.nnodes, nbytes)
             rt.stats[self.rank].add_counters(messages=1, msg_bytes=nbytes)
+        rec = rt.recorder
+        if rec is not None:
+            rec.coll(self.rank, kind, seq, cost, nbytes)
         gate.arrive(self.rank, t0, cost)
         if gate.signal.fired:
             finish = gate.signal.value

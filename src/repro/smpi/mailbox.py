@@ -5,13 +5,26 @@ ready-to-send (RTS) announcements queue as :class:`SendArrival`; receives
 that find no match queue as :class:`RecvPost`.  Matching follows MPI rules:
 FIFO per (source, tag), with ``ANY_SOURCE``/``ANY_TAG`` wildcards on the
 receive side.
+
+Two matcher implementations share this contract:
+
+* ``indexed=True`` (default) keeps a dict of per-``(src, tag)`` deques on
+  both sides plus wildcard sidelines, stamped with a per-mailbox sequence
+  number.  A specific post/arrival consults at most four candidate queue
+  heads (exact key, ``(src, *)``, ``(*, tag)``, ``(*, *)``) and picks the
+  lowest stamp, so matching is O(1) amortized; only a *wildcard receive
+  probing the arrival queue* degrades to a scan over the distinct
+  ``(src, tag)`` keys present.  The selected match is always the
+  queue-order-first candidate — byte-identical to the linear scan.
+* ``indexed=False`` is the original single-deque linear scan, kept as the
+  reference for the differential property tests.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.des.simulator import Signal
 
@@ -28,7 +41,8 @@ class SendArrival:
     is fired with the transfer-end time once the match happens.
     ``payload`` optionally carries real application data (the simulated
     MPI can execute actual data-parallel programs; see
-    :mod:`repro.spechpc.distributed`).
+    :mod:`repro.spechpc.distributed`).  ``seq`` is the receiving
+    mailbox's arrival stamp (queue order across all sources).
     """
 
     src: int
@@ -39,6 +53,7 @@ class SendArrival:
     intra_node: bool
     sender_signal: Optional[Signal] = None
     payload: object = None
+    seq: int = 0
 
 
 @dataclass(slots=True)
@@ -49,6 +64,7 @@ class RecvPost:
     tag: int
     posted_time: float
     match_signal: Signal = field(default_factory=lambda: Signal("recv-match"))
+    seq: int = 0
 
     def matches(self, src: int, tag: int) -> bool:
         src_ok = self.src == ANY_SOURCE or self.src == src
@@ -57,18 +73,41 @@ class RecvPost:
 
 
 class Mailbox:
-    """Per-rank matching queues."""
+    """Per-rank matching queues (see module docstring for the matchers)."""
 
-    __slots__ = ("rank", "_arrivals", "_posts")
+    __slots__ = (
+        "rank",
+        "indexed",
+        "_seq",
+        "_arrival_q",
+        "_post_q",
+        "_arr_by_key",
+        "_post_by_key",
+        "_n_arrivals",
+        "_n_posts",
+    )
 
-    def __init__(self, rank: int) -> None:
+    def __init__(self, rank: int, indexed: bool = True) -> None:
         self.rank = rank
-        self._arrivals: deque[SendArrival] = deque()
-        self._posts: deque[RecvPost] = deque()
+        self.indexed = indexed
+        self._seq = 0
+        if indexed:
+            # (src, tag) -> FIFO deque; wildcard posts live under keys
+            # containing ANY_SOURCE / ANY_TAG (arrivals never do — the
+            # send side always has a concrete source and tag)
+            self._arr_by_key: dict[tuple[int, int], deque[SendArrival]] = {}
+            self._post_by_key: dict[tuple[int, int], deque[RecvPost]] = {}
+            self._n_arrivals = 0
+            self._n_posts = 0
+        else:
+            self._arrival_q: deque[SendArrival] = deque()
+            self._post_q: deque[RecvPost] = deque()
 
     # --- receiver side -----------------------------------------------------
 
-    def post_recv(self, src: int, tag: int, now: float) -> tuple[Optional[SendArrival], RecvPost]:
+    def post_recv(
+        self, src: int, tag: int, now: float
+    ) -> tuple[Optional[SendArrival], RecvPost]:
         """Post a receive.  Returns ``(matched_arrival_or_None, post)``.
 
         If an arrival matches, it is removed from the queue and returned;
@@ -76,12 +115,46 @@ class Mailbox:
         and the caller must wait on ``post.match_signal`` (fired with the
         matching :class:`SendArrival`).
         """
-        post = RecvPost(src=src, tag=tag, posted_time=now)
-        for i, arr in enumerate(self._arrivals):
-            if post.matches(arr.src, arr.tag):
-                del self._arrivals[i]
-                return arr, post
-        self._posts.append(post)
+        seq = self._seq
+        self._seq = seq + 1
+        post = RecvPost(src=src, tag=tag, posted_time=now, seq=seq)
+        if not self.indexed:
+            for i, arr in enumerate(self._arrival_q):
+                if post.matches(arr.src, arr.tag):
+                    del self._arrival_q[i]
+                    return arr, post
+            self._post_q.append(post)
+            return None, post
+
+        arr_by_key = self._arr_by_key
+        if src != ANY_SOURCE and tag != ANY_TAG:
+            q = arr_by_key.get((src, tag))
+            if q:
+                self._n_arrivals -= 1
+                return q.popleft(), post
+        else:
+            # wildcard receive: earliest-stamped arrival among the heads
+            # of every matching key queue (queue order == stamp order)
+            best_q = None
+            best_seq = -1
+            for (a_src, a_tag), q in arr_by_key.items():
+                if not q:
+                    continue
+                if (src == ANY_SOURCE or src == a_src) and (
+                    tag == ANY_TAG or tag == a_tag
+                ):
+                    head_seq = q[0].seq
+                    if best_q is None or head_seq < best_seq:
+                        best_q = q
+                        best_seq = head_seq
+            if best_q is not None:
+                self._n_arrivals -= 1
+                return best_q.popleft(), post
+        q = self._post_by_key.get((src, tag))
+        if q is None:
+            q = self._post_by_key[(src, tag)] = deque()
+        q.append(post)
+        self._n_posts += 1
         return None, post
 
     # --- sender side ---------------------------------------------------------
@@ -89,23 +162,84 @@ class Mailbox:
     def deliver(self, arrival: SendArrival) -> Optional[RecvPost]:
         """Register an arriving message; return the matching posted receive
         if one exists (removed from the queue), else queue the arrival."""
-        for i, post in enumerate(self._posts):
-            if post.matches(arrival.src, arrival.tag):
-                del self._posts[i]
-                return post
-        self._arrivals.append(arrival)
+        seq = self._seq
+        self._seq = seq + 1
+        arrival.seq = seq
+        if not self.indexed:
+            for i, post in enumerate(self._post_q):
+                if post.matches(arrival.src, arrival.tag):
+                    del self._post_q[i]
+                    return post
+            self._arrival_q.append(arrival)
+            return None
+
+        # posted-receive order is stamp order; an arrival can match at
+        # most four post keys (exact + the three wildcard shapes)
+        post_by_key = self._post_by_key
+        best_q = None
+        best_seq = -1
+        for key in (
+            (arrival.src, arrival.tag),
+            (arrival.src, ANY_TAG),
+            (ANY_SOURCE, arrival.tag),
+            (ANY_SOURCE, ANY_TAG),
+        ):
+            q = post_by_key.get(key)
+            if q:
+                head_seq = q[0].seq
+                if best_q is None or head_seq < best_seq:
+                    best_q = q
+                    best_seq = head_seq
+        if best_q is not None:
+            self._n_posts -= 1
+            return best_q.popleft()
+        key = (arrival.src, arrival.tag)
+        q = self._arr_by_key.get(key)
+        if q is None:
+            q = self._arr_by_key[key] = deque()
+        q.append(arrival)
+        self._n_arrivals += 1
         return None
 
     # --- introspection ---------------------------------------------------------
 
+    def iter_arrivals(self) -> Iterator[SendArrival]:
+        """Unmatched arrivals in queue (stamp) order — diagnostics view."""
+        if not self.indexed:
+            return iter(self._arrival_q)
+        items = [a for q in self._arr_by_key.values() for a in q]
+        items.sort(key=lambda a: a.seq)
+        return iter(items)
+
+    def iter_posts(self) -> Iterator[RecvPost]:
+        """Unmatched posted receives in queue (stamp) order."""
+        if not self.indexed:
+            return iter(self._post_q)
+        items = [p for q in self._post_by_key.values() for p in q]
+        items.sort(key=lambda p: p.seq)
+        return iter(items)
+
+    @property
+    def _arrivals(self):
+        """Legacy diagnostics view (list-like, stamp order)."""
+        return list(self.iter_arrivals())
+
+    @property
+    def _posts(self):
+        return list(self.iter_posts())
+
     @property
     def pending_arrivals(self) -> int:
-        return len(self._arrivals)
+        if not self.indexed:
+            return len(self._arrival_q)
+        return self._n_arrivals
 
     @property
     def pending_posts(self) -> int:
-        return len(self._posts)
+        if not self.indexed:
+            return len(self._post_q)
+        return self._n_posts
 
     def idle(self) -> bool:
         """True if no unmatched traffic remains (checked at finalize)."""
-        return not self._arrivals and not self._posts
+        return self.pending_arrivals == 0 and self.pending_posts == 0

@@ -141,6 +141,7 @@ class MpiRuntime:
         threads_per_rank: int = 1,
         fast_path: bool = True,
         faults: Any | None = None,
+        matcher: str = "indexed",
     ) -> None:
         """``threads_per_rank > 1`` reserves a block of consecutive cores
         per rank (hybrid MPI+OpenMP placement, the paper's future-work
@@ -157,6 +158,10 @@ class MpiRuntime:
         without the fault subsystem."""
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
+        if matcher not in ("indexed", "linear"):
+            raise ValueError(
+                f"unknown matcher {matcher!r}; expected 'indexed' or 'linear'"
+            )
         if threads_per_rank < 1:
             raise ValueError("threads_per_rank must be >= 1")
         if nprocs * threads_per_rank > cluster.max_ranks():
@@ -182,7 +187,12 @@ class MpiRuntime:
         self._placement = [
             cluster.place(r * threads_per_rank) for r in range(nprocs)
         ]
-        self.mailboxes = [Mailbox(r) for r in range(nprocs)]
+        self.matcher = matcher
+        indexed = matcher == "indexed"
+        self.mailboxes = [Mailbox(r, indexed=indexed) for r in range(nprocs)]
+        #: optional step-journal recorder (attached by the fast-forward
+        #: controller only while it is capturing a representative step)
+        self.recorder: Any | None = None
         self.stats = [
             RankStats(rank=r, node=p[0], domain=p[1].domain)
             for r, p in enumerate(self._placement)

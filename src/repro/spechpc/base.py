@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Generator, Sequence
 
 import numpy as np
@@ -35,9 +36,14 @@ from repro.smpi.runtime import MpiRuntime
 # decomposition helpers
 # --------------------------------------------------------------------------
 
+@lru_cache(maxsize=None)
 def dims_create(nprocs: int, ndims: int) -> tuple[int, ...]:
     """Balanced factorization of ``nprocs`` into ``ndims`` dimensions, in
     decreasing order — the MPI_Dims_create algorithm.
+
+    Cached: the divisor enumeration is O(nprocs) and every rank of a job
+    asks for the same decomposition, which made setup O(nprocs^2) at
+    paper scale (64 nodes x 104 ranks).
 
     >>> dims_create(12, 2)
     (4, 3)
@@ -144,6 +150,9 @@ class RunContext:
     runtime: MpiRuntime | None = None
     threads: int = 1
     memoize: bool = True
+    #: optional steady-state fast-forward controller (set by the harness
+    #: for eligible runs; see :mod:`repro.spechpc.fastforward`)
+    fast_forward: object | None = field(default=None, repr=False)
     _stretch_cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -203,6 +212,21 @@ class RunContext:
     def step_scale(self) -> float:
         """Factor to scale simulated-steps results to the full run."""
         return self.workload.total_iterations / self.sim_steps
+
+    def step_loop(self, comm: Communicator):
+        """Per-rank driver of the representative-step loop.  Bodies use::
+
+            loop = ctx.step_loop(comm)
+            while (yield loop.next_step()):
+                ... one time step ...
+
+        Without a fast-forward controller this counts steps exactly like
+        ``for _ in range(ctx.sim_steps)``; with one it additionally runs
+        the steady-state detection protocol at the step boundaries.
+        """
+        from repro.spechpc.fastforward import StepLoop
+
+        return StepLoop(comm, self.sim_steps, self.fast_forward)
 
 
 class _HybridModelProxy:

@@ -123,7 +123,9 @@ class Cloverleaf(Benchmark):
             if cy < py - 1:
                 neighbors.append((grid_rank((cx, cy + 1), (px, py)), lx))
 
-            for _ in range(ctx.sim_steps):
+            loop = ctx.step_loop(comm)
+
+            while (yield loop.next_step()):
                 # two halo-exchange rounds per step (pre- and post-advection)
                 for _round in range(2):
                     for peer, edge in neighbors:

@@ -1,0 +1,900 @@
+"""Steady-state fast-forward: analytic advancement of periodic steps.
+
+SPEChpc benchmark bodies simulate ``ctx.sim_steps`` *representative* time
+steps whose structure is identical step over step.  The event-level
+engine nevertheless pays the full price for every step.  This module
+detects the steady state **by observation** and then advances the
+remaining steps with a pure-Python replay that performs *exactly the same
+floating-point operations* the event engine would, so the final per-rank
+statistics, counters, and makespan are bit-identical to the full
+simulation.
+
+Why replay, not delta extrapolation
+-----------------------------------
+Per-step *deltas* of the accumulated times are **not** exactly periodic:
+all event arithmetic happens in absolute time (``end = start + cost``),
+so the rounding of each addition depends on the magnitude of the
+accumulated clock — the same step costs a last-ulp-different delta at
+``t≈3`` than at ``t≈6`` (binade effects).  Multiplying a measured delta
+by N therefore diverges bitwise.  What *is* stable is the step's
+**op structure**: the sequence of MPI calls and their pricing constants
+(phase seconds, message sizes, per-byte costs).  The replayer re-executes
+that op sequence with the engine's own expressions — each absolute-time
+addition is performed at its true magnitude — which reproduces the exact
+accumulator arithmetic without generators, signals, or heap events.
+
+Protocol (driven by :class:`StepLoop` at step boundaries)
+---------------------------------------------------------
+* boundary 1: attach a :class:`StepRecorder`; steps 1 and 2 are journaled
+  as per-rank op lists (constants only — no absolute times).
+* boundary 3: detach; the last rank checks *eligibility*: both journals
+  bitwise equal on every rank, every journal ends with a full-communicator
+  collective (so step boundaries are globally synchronized), boundary
+  timestamps identical across ranks, no unsupported ops (wildcards,
+  payload-carrying sends, data reductions), memoized phase pricing stable
+  (no cache misses while recording), and at least one step remains.
+* boundary 4: ranks park on a decision signal.  The last arrival verifies
+  the quiescent state (all ranks at the same instant, mailboxes empty, no
+  pending events), **validates** the replayer against reality — replaying
+  one step from boundary 3 must land every rank exactly on the observed
+  boundary-4 clock — and then replays all remaining steps in pure Python,
+  applying per-rank statistics directly.  Ranks wake, jump to their final
+  clocks, and their bodies finish.  Any check failing releases the ranks
+  untouched ("go") and disables fast-forward for the run.
+
+Fidelity is forced (the controller is never created) for runs with
+noise, fault injection, tracing, ``memoize=False``, or
+``fast_forward=False`` — those simulate every step as before.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+import numpy as np
+
+from repro.des.simulator import Signal, Wait
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.smpi.comm import Communicator
+    from repro.smpi.runtime import MpiRuntime
+
+
+class ReplayUnsupported(Exception):
+    """The recorded op structure cannot be replayed (falls back to full
+    event-level simulation; never escapes the controller)."""
+
+
+# --------------------------------------------------------------------------
+# recording
+# --------------------------------------------------------------------------
+
+class StepRecorder:
+    """Collects one journal (list of constant-only op tuples) per rank per
+    recorded step.  Attached to ``runtime.recorder`` only while recording,
+    so the communicator hot path pays a single ``is not None`` check."""
+
+    def __init__(self, nprocs: int) -> None:
+        self.nprocs = nprocs
+        self._cur: list[Optional[list]] = [None] * nprocs
+        self._hid: list[dict[int, int]] = [{} for _ in range(nprocs)]
+        self._nreq: list[int] = [0] * nprocs
+        self._ncoll: list[int] = [0] * nprocs
+        self.unsupported: Optional[str] = None
+
+    def begin_step(self, rank: int) -> None:
+        self._cur[rank] = []
+        self._hid[rank].clear()
+        self._nreq[rank] = 0
+        self._ncoll[rank] = 0
+
+    def end_step(self, rank: int) -> list:
+        ops, self._cur[rank] = self._cur[rank], None
+        return ops if ops is not None else []
+
+    # --- hooks (called from the communicator) ------------------------------
+
+    def mark_unsupported(self, rank: int, reason: str) -> None:
+        if self.unsupported is None:
+            self.unsupported = f"rank {rank}: {reason}"
+
+    def compute(self, rank: int, seconds, flops, simd, mem, l3, l2,
+                busy, heat_s, heat_b) -> None:
+        ops = self._cur[rank]
+        if ops is not None:
+            ops.append(
+                ("compute", seconds, flops, simd, mem, l3, l2, busy, heat_s, heat_b)
+            )
+
+    def isend(self, rank: int, req, dest: int, tag: int, nbytes: int,
+              intra: bool, eager: bool, net, payload) -> None:
+        ops = self._cur[rank]
+        if ops is None:
+            return
+        if payload is not None:
+            self.mark_unsupported(rank, "payload-carrying send")
+            return
+        hid = self._nreq[rank]
+        self._nreq[rank] = hid + 1
+        self._hid[rank][id(req)] = hid
+        if eager:
+            params = ("e", net.transfer_time(nbytes, intra),
+                      net.per_message_overhead)
+        else:
+            bw = net.intra_node_bandwidth if intra else net.effective_bandwidth
+            lat = net.intra_node_latency if intra else net.latency
+            params = (
+                "r",
+                lat,                          # RTS latency (arrival offset)
+                net.rendezvous_handshake,
+                lat,
+                nbytes / bw,                  # the exact quotient the match uses
+                net.per_message_overhead,
+            )
+        ops.append(("isend", hid, dest, tag, nbytes, params))
+
+    def irecv(self, rank: int, req, src: int, tag: int) -> None:
+        ops = self._cur[rank]
+        if ops is None:
+            return
+        if src < 0 or tag < 0:
+            self.mark_unsupported(rank, "wildcard receive")
+            return
+        hid = self._nreq[rank]
+        self._nreq[rank] = hid + 1
+        self._hid[rank][id(req)] = hid
+        ops.append(("irecv", hid, src, tag))
+
+    def wait(self, rank: int, req, kind: str) -> None:
+        ops = self._cur[rank]
+        if ops is None:
+            return
+        hid = self._hid[rank].pop(id(req), None)
+        if hid is None:
+            self.mark_unsupported(rank, "wait on a request from outside the step")
+            return
+        ops.append(("wait", hid, kind))
+
+    def sendrecv_wait(self, rank: int, sreq, rreq) -> None:
+        ops = self._cur[rank]
+        if ops is None:
+            return
+        shid = self._hid[rank].pop(id(sreq), None)
+        rhid = self._hid[rank].pop(id(rreq), None)
+        if shid is None or rhid is None:
+            self.mark_unsupported(rank, "sendrecv with foreign requests")
+            return
+        ops.append(("srwait", shid, rhid))
+
+    def coll(self, rank: int, kind: str, seq: int, cost: float,
+             nbytes: Optional[int]) -> None:
+        ops = self._cur[rank]
+        if ops is not None:
+            # the engine pairs gates by the *global* per-rank sequence
+            # number, which increments every step; journals must be
+            # step-invariant, so record the per-step ordinal instead
+            # (equivalent whenever the pattern is periodic — and the
+            # validation replay catches any mispairing)
+            ordinal = self._ncoll[rank]
+            self._ncoll[rank] = ordinal + 1
+            ops.append(("coll", kind, ordinal, cost, nbytes))
+
+
+# --------------------------------------------------------------------------
+# replay
+# --------------------------------------------------------------------------
+
+class _ReplayRank:
+    __slots__ = ("ops", "pos", "t", "reqs", "t0", "stage")
+
+    def __init__(self, ops: list, t: float) -> None:
+        self.ops = ops
+        self.pos = 0
+        self.t = t
+        self.reqs: dict[int, tuple] = {}
+        self.t0 = 0.0       # pending call-entry time (waits)
+        self.stage = 0      # srwait progress (0 = send leg, 1 = recv leg)
+
+
+def _wait_step(t: float, fire_t: float, fin: float) -> float:
+    """One completion-wait of the engine, in its exact arithmetic:
+    resume at the signal's fire time if parked, then ``Delay(fin - now)``
+    (the engine schedules at ``now + (fin - now)``, *not* at ``fin``)."""
+    resume = fire_t if fire_t > t else t
+    if fin > resume:
+        return resume + (fin - resume)
+    return resume
+
+
+class Replayer:
+    """Executes the recorded steady-state step N times in pure Python.
+
+    ``stats=None`` replays times only (the validation pass); with the
+    runtime's ``RankStats`` list it also applies every statistics update
+    in per-rank program order, exactly as the communicator would."""
+
+    def __init__(self, journals: list[list], nprocs: int,
+                 stats: Optional[list] = None) -> None:
+        self.journals = journals
+        self.nprocs = nprocs
+        self.stats = stats
+
+    def run(self, t_start: float, nsteps: int) -> list[float]:
+        """Replay ``nsteps`` steps from the synchronized instant
+        ``t_start``; returns the final per-rank clocks."""
+        ranks = [_ReplayRank(self.journals[r], t_start) for r in range(self.nprocs)]
+        for _ in range(nsteps):
+            self._run_step(ranks)
+            for rr in ranks:
+                rr.pos = 0
+                rr.reqs.clear()
+        return [rr.t for rr in ranks]
+
+    # --- one step ----------------------------------------------------------
+
+    def _run_step(self, ranks: list[_ReplayRank]) -> None:
+        # (dest, src, tag) -> [posts, arrivals]: FIFO lists, paired by
+        # ordinal — MPI non-overtaking makes the k-th posted receive of a
+        # key match the k-th arrival, exactly like the mailbox queues
+        matches: dict[tuple[int, int, int], list] = {}
+        # (kind, seq) -> [arrivals dict rank->t, cost]
+        gates: dict[tuple[str, int], list] = {}
+        pending = set(range(self.nprocs))
+        while pending:
+            progressed = False
+            for r in sorted(pending):
+                rr = ranks[r]
+                moved = self._advance_rank(r, rr, matches, gates)
+                if rr.pos >= len(rr.ops):
+                    pending.discard(r)
+                    progressed = True
+                elif moved:
+                    progressed = True
+            if not progressed and pending:
+                raise ReplayUnsupported(
+                    "replay stalled: op structure has cross-step or "
+                    "unresolvable dependencies"
+                )
+
+    def _advance_rank(self, r: int, rr: _ReplayRank, matches, gates) -> bool:
+        """Run rank ``r`` until it blocks or exhausts its ops; returns
+        True if at least one op completed."""
+        stats = None if self.stats is None else self.stats[r]
+        ops = rr.ops
+        moved = False
+        while rr.pos < len(ops):
+            op = ops[rr.pos]
+            code = op[0]
+            if code == "compute":
+                (_, seconds, flops, simd, mem, l3, l2, busy, heat_s, heat_b) = op
+                rr.t = rr.t + seconds
+                if stats is not None:
+                    tbk = stats.time_by_kind
+                    tbk["compute"] = tbk.get("compute", 0.0) + seconds
+                    c = stats.counters
+                    c["flops"] += flops
+                    c["simd_flops"] += simd
+                    c["mem_bytes"] += mem
+                    c["l3_bytes"] += l3
+                    c["l2_bytes"] += l2
+                    c["busy_seconds"] += busy
+                    c["heat_seconds"] += heat_s
+                    c["heat_busy_seconds"] += heat_b
+            elif code == "isend":
+                _, hid, dest, tag, nbytes, params = op
+                if stats is not None:
+                    c = stats.counters
+                    c["messages"] += 1
+                    c["msg_bytes"] += nbytes
+                key = (dest, r, tag)
+                entry = matches.setdefault(key, [[], []])
+                ordinal = len(entry[1])
+                if params[0] == "e":
+                    entry[1].append((rr.t + params[1], params))
+                    # eager send completes locally: fires at post time
+                    rr.reqs[hid] = ("done", rr.t + params[2], rr.t)
+                else:
+                    entry[1].append((rr.t + params[1], params))  # RTS latency
+                    rr.reqs[hid] = ("send_rndv", key, ordinal)
+            elif code == "irecv":
+                _, hid, src, tag = op
+                key = (r, src, tag)
+                entry = matches.setdefault(key, [[], []])
+                ordinal = len(entry[0])
+                entry[0].append(rr.t)
+                rr.reqs[hid] = ("recv", key, ordinal)
+            elif code == "wait":
+                _, hid, kind = op
+                resolved = self._resolve(rr, matches, rr.reqs[hid])
+                if resolved is None:
+                    return moved  # blocked on the peer's side of the match
+                fin, fire_t = resolved
+                t0 = rr.t
+                rr.t = _wait_step(rr.t, fire_t, fin)
+                if stats is not None and rr.t > t0:
+                    stats.add_time(kind, rr.t - t0)
+            elif code == "srwait":
+                _, shid, rhid = op
+                if rr.stage == 0:
+                    rr.t0 = rr.t
+                    resolved = self._resolve(rr, matches, rr.reqs[shid])
+                    if resolved is None:
+                        return moved
+                    fin, fire_t = resolved
+                    rr.t = _wait_step(rr.t, fire_t, fin)
+                    rr.stage = 1
+                resolved = self._resolve(rr, matches, rr.reqs[rhid])
+                if resolved is None:
+                    return moved
+                fin, fire_t = resolved
+                rr.t = _wait_step(rr.t, fire_t, fin)
+                rr.stage = 0
+                if stats is not None and rr.t > rr.t0:
+                    stats.add_time("MPI_Sendrecv", rr.t - rr.t0)
+            elif code == "coll":
+                _, kind, seq, cost, nbytes = op
+                gkey = (kind, seq)
+                gate = gates.setdefault(gkey, [{}, 0.0, None])
+                arrivals = gate[0]
+                if r not in arrivals:
+                    if stats is not None and nbytes is not None:
+                        stats.add_counters(messages=1, msg_bytes=nbytes)
+                    arrivals[r] = rr.t
+                    gate[1] = max(gate[1], cost)
+                if len(arrivals) < self.nprocs:
+                    return moved  # parked at the gate
+                if gate[2] is None:
+                    # resolve once per gate: the engine fires at the last
+                    # arrival and completes max(arrivals) + max(costs)
+                    t_fire = max(arrivals.values())
+                    gate[2] = (t_fire, t_fire + gate[1])
+                t_fire, finish = gate[2]
+                t0 = arrivals[r]
+                rr.t = _wait_step(t0, t_fire, finish)
+                if stats is not None and rr.t > t0:
+                    stats.add_time(kind, rr.t - t0)
+            else:
+                raise ReplayUnsupported(f"unsupported op {code!r}")
+            rr.pos += 1
+            moved = True
+        return moved
+
+    def _resolve(self, rr: _ReplayRank, matches, req: tuple):
+        """Completion (finish_time, fire_time) of a request, or None if
+        the peer's half of the match is not known yet."""
+        code = req[0]
+        if code == "done":
+            return req[1], req[2]
+        _, key, ordinal = req
+        entry = matches.get(key)
+        if entry is None or len(entry[0]) <= ordinal or len(entry[1]) <= ordinal:
+            return None
+        post_t = entry[0][ordinal]
+        arr_t, params = entry[1][ordinal]
+        start = post_t if post_t > arr_t else arr_t
+        if params[0] == "e":
+            if code == "send_rndv":
+                raise ReplayUnsupported("eager params on a rendezvous send")
+            return start + params[2], start
+        # rendezvous: both sides complete at the transfer end, in the
+        # engine's exact left-associated expression
+        _, _, handshake, lat, xfer, ov = params
+        return start + handshake + lat + xfer + ov, start
+
+
+# --------------------------------------------------------------------------
+# vectorized replay (structurally uniform benchmarks)
+# --------------------------------------------------------------------------
+
+#: counter names a compute phase updates, in the communicator's order
+_COMPUTE_COUNTERS = (
+    "flops", "simd_flops", "mem_bytes", "l3_bytes", "l2_bytes",
+    "busy_seconds", "heat_seconds", "heat_busy_seconds",
+)
+
+
+class VectorReplayer:
+    """Column-vectorized replay: all ranks advance one op *column* at a
+    time as numpy array operations.
+
+    Compiles only when the journals are **structurally uniform**: every
+    rank has the same op-kind sequence, every wait column resolves
+    against the same own/peer columns on every rank (peers themselves
+    may differ — they become gather indices), and all referenced columns
+    precede the consuming column (so column order is a valid schedule).
+    Stencil benchmarks on periodic grids (lbm's torus) satisfy this;
+    anything else returns ``None`` from :meth:`compile` and the scalar
+    :class:`Replayer` is used instead.
+
+    Bit-identity: numpy float64 elementwise ``+``/``-``/``maximum``/
+    ``where`` are the same IEEE-754 double operations the scalar engine
+    performs, applied to the same operands in the same per-rank order,
+    so the results (clocks, statistics, counters) are bitwise equal.
+    The controller still cross-checks the compiled program against the
+    scalar replayer on the observed validation step before trusting it.
+    """
+
+    def __init__(self, program: list, nprocs: int, ncols: int) -> None:
+        self._program = program
+        self.nprocs = nprocs
+        self._ncols = ncols
+
+    # --- compilation --------------------------------------------------------
+
+    @classmethod
+    def compile(cls, journals: list[list], nprocs: int) -> Optional["VectorReplayer"]:
+        try:
+            return cls._compile(journals, nprocs)
+        except _NotUniform:
+            return None
+
+    @classmethod
+    def _compile(cls, journals, nprocs):
+        ncols = len(journals[0])
+        if any(len(j) != ncols for j in journals):
+            raise _NotUniform
+
+        # per-rank request bookkeeping: hid -> (column, code), plus the
+        # per-key FIFO column lists both sides of a match pair against
+        hid_src = [dict() for _ in range(nprocs)]
+        send_cols = [dict() for _ in range(nprocs)]   # (dest, tag) -> [col]
+        recv_cols = [dict() for _ in range(nprocs)]   # (src, tag)  -> [col]
+        send_ord = [dict() for _ in range(nprocs)]    # col -> ordinal
+        recv_ord = [dict() for _ in range(nprocs)]    # col -> ordinal
+        for r, ops in enumerate(journals):
+            for j, op in enumerate(ops):
+                code = op[0]
+                if code == "isend":
+                    hid_src[r][op[1]] = (j, "isend")
+                    lst = send_cols[r].setdefault((op[2], op[3]), [])
+                    send_ord[r][j] = len(lst)
+                    lst.append(j)
+                elif code == "irecv":
+                    hid_src[r][op[1]] = (j, "irecv")
+                    lst = recv_cols[r].setdefault((op[2], op[3]), [])
+                    recv_ord[r][j] = len(lst)
+                    lst.append(j)
+
+        def uniform(values):
+            first = values[0]
+            for v in values:
+                if v != first:
+                    raise _NotUniform
+            return first
+
+        def farr(col_vals):
+            return np.array(col_vals, dtype=np.float64)
+
+        def send_resolver(j, c):
+            """Resolve a wait on the isend at column ``c`` (own send)."""
+            mode = uniform([journals[r][c][5][0] for r in range(nprocs)])
+            if mode == "e":
+                ov = farr([journals[r][c][5][2] for r in range(nprocs)])
+                return ("edone", c, ov)
+            # rendezvous: completion needs the peer's posted-receive time
+            pcols, peers = [], []
+            for r in range(nprocs):
+                op = journals[r][c]
+                dest, tag = op[2], op[3]
+                k = send_ord[r][c]
+                posts = recv_cols[dest].get((r, tag))
+                if posts is None or len(posts) <= k:
+                    raise _NotUniform
+                pcols.append(posts[k])
+                peers.append(dest)
+            pcol = uniform(pcols)
+            if pcol >= j or c >= j:
+                raise _NotUniform
+            p = [journals[r][c][5] for r in range(nprocs)]
+            return (
+                "sendr", c, pcol, np.array(peers),
+                farr([x[2] for x in p]), farr([x[3] for x in p]),
+                farr([x[4] for x in p]), farr([x[5] for x in p]),
+            )
+
+        def recv_resolver(j, c):
+            """Resolve a wait on the irecv at column ``c``."""
+            scols, peers = [], []
+            for r in range(nprocs):
+                op = journals[r][c]
+                src, tag = op[2], op[3]
+                k = recv_ord[r][c]
+                sends = send_cols[src].get((r, tag))
+                if sends is None or len(sends) <= k:
+                    raise _NotUniform
+                scols.append(sends[k])
+                peers.append(src)
+            scol = uniform(scols)
+            if scol >= j or c >= j:
+                raise _NotUniform
+            peer = np.array(peers)
+            mode = uniform([journals[r][scol][5][0] for r in range(nprocs)])
+            # sender-side params, pre-gathered per receiving rank
+            p = [journals[pr][scol][5] for pr in peers]
+            if mode == "e":
+                return ("recve", c, scol, peer, farr([x[2] for x in p]))
+            return (
+                "recvr", c, scol, peer,
+                farr([x[2] for x in p]), farr([x[3] for x in p]),
+                farr([x[4] for x in p]), farr([x[5] for x in p]),
+            )
+
+        def resolver(j, hid_col):
+            srcs = [hid_src[r].get(hid_col[r]) for r in range(nprocs)]
+            if any(s is None for s in srcs):
+                raise _NotUniform
+            c = uniform([s[0] for s in srcs])
+            code = uniform([s[1] for s in srcs])
+            if code == "isend":
+                return send_resolver(j, c)
+            return recv_resolver(j, c)
+
+        program = []
+        for j in range(ncols):
+            col = [journals[r][j] for r in range(nprocs)]
+            code = uniform([op[0] for op in col])
+            if code == "compute":
+                program.append(
+                    ("compute",) + tuple(
+                        farr([op[i] for op in col]) for i in range(1, 10)
+                    )
+                )
+            elif code == "isend":
+                mode = uniform([op[5][0] for op in col])
+                nbytes = farr([op[4] for op in col])
+                lat1 = farr([op[5][1] for op in col])
+                program.append(("send", j, lat1, nbytes))
+            elif code == "irecv":
+                program.append(("post", j))
+            elif code == "wait":
+                kind = uniform([op[2] for op in col])
+                program.append(
+                    ("wait", kind, resolver(j, [op[1] for op in col]))
+                )
+            elif code == "srwait":
+                program.append((
+                    "srwait",
+                    resolver(j, [op[1] for op in col]),
+                    resolver(j, [op[2] for op in col]),
+                ))
+            elif code == "coll":
+                kind = uniform([op[1] for op in col])
+                uniform([op[2] for op in col])  # per-step ordinal
+                costs = [op[3] for op in col]
+                has_nb = uniform([op[4] is not None for op in col])
+                nbytes = farr([op[4] for op in col]) if has_nb else None
+                # the scalar gate maxes costs starting from 0.0
+                program.append(("coll", kind, max([0.0] + costs), nbytes))
+            else:
+                raise _NotUniform
+        return cls(program, nprocs, ncols)
+
+    # --- execution ----------------------------------------------------------
+
+    def run(self, t_start: float, nsteps: int,
+            stats: Optional[list] = None) -> list[float]:
+        n = self.nprocs
+        t = np.full(n, t_start, dtype=np.float64)
+        tacc = cacc = touched = None
+        if stats is not None:
+            kinds = {"compute"}
+            for ins in self._program:
+                if ins[0] == "wait" or ins[0] == "coll":
+                    kinds.add(ins[1])
+                elif ins[0] == "srwait":
+                    kinds.add("MPI_Sendrecv")
+            tacc = {
+                k: np.array([s.time_by_kind.get(k, 0.0) for s in stats])
+                for k in kinds
+            }
+            touched = {
+                k: np.array([k in s.time_by_kind for s in stats], dtype=bool)
+                for k in kinds
+            }
+            if any(ins[0] == "compute" for ins in self._program):
+                # compute adds unconditionally, so the key always appears
+                touched["compute"][:] = True
+            names = _COMPUTE_COUNTERS + ("messages", "msg_bytes")
+            cacc = {
+                nm: np.array([s.counters.get(nm, 0.0) for s in stats])
+                for nm in names
+            }
+        maximum, where = np.maximum, np.where
+        S: list = [None] * self._ncols
+        A: list = [None] * self._ncols
+
+        def resolve(res):
+            """(fin, fire) arrays of one resolver."""
+            mode = res[0]
+            if mode == "edone":
+                post = S[res[1]]
+                return post + res[2], post
+            if mode == "sendr":
+                _, c, pcol, peer, hs, lat, xf, ov = res
+                start = maximum(S[pcol][peer], A[c])
+                return start + hs + lat + xf + ov, start
+            if mode == "recve":
+                _, c, scol, peer, ov = res
+                start = maximum(S[c], A[scol][peer])
+                return start + ov, start
+            _, c, scol, peer, hs, lat, xf, ov = res
+            start = maximum(S[c], A[scol][peer])
+            return start + hs + lat + xf + ov, start
+
+        for _ in range(nsteps):
+            for ins in self._program:
+                code = ins[0]
+                if code == "compute":
+                    sec = ins[1]
+                    t = t + sec
+                    if stats is not None:
+                        tacc["compute"] += sec
+                        for nm, col in zip(_COMPUTE_COUNTERS, ins[2:]):
+                            cacc[nm] += col
+                elif code == "send":
+                    _, j, lat1, nbytes = ins
+                    S[j] = t
+                    A[j] = t + lat1
+                    if stats is not None:
+                        cacc["messages"] += 1.0
+                        cacc["msg_bytes"] += nbytes
+                elif code == "post":
+                    S[ins[1]] = t
+                elif code == "wait":
+                    _, kind, res = ins
+                    fin, fire = resolve(res)
+                    resume = maximum(fire, t)
+                    nt = where(fin > resume, resume + (fin - resume), resume)
+                    if stats is not None:
+                        mask = nt > t
+                        tacc[kind] = where(mask, tacc[kind] + (nt - t), tacc[kind])
+                        touched[kind] |= mask
+                    t = nt
+                elif code == "srwait":
+                    _, sres, rres = ins
+                    t0 = t
+                    for res in (sres, rres):
+                        fin, fire = resolve(res)
+                        resume = maximum(fire, t)
+                        t = where(fin > resume, resume + (fin - resume), resume)
+                    if stats is not None:
+                        mask = t > t0
+                        tacc["MPI_Sendrecv"] = where(
+                            mask, tacc["MPI_Sendrecv"] + (t - t0),
+                            tacc["MPI_Sendrecv"],
+                        )
+                        touched["MPI_Sendrecv"] |= mask
+                else:  # coll
+                    _, kind, cmax, nbytes = ins
+                    if stats is not None and nbytes is not None:
+                        cacc["messages"] += 1.0
+                        cacc["msg_bytes"] += nbytes
+                    t_fire = t.max()
+                    finish = t_fire + cmax
+                    resume = maximum(t_fire, t)
+                    nt = where(finish > resume, resume + (finish - resume), resume)
+                    if stats is not None:
+                        mask = nt > t
+                        tacc[kind] = where(mask, tacc[kind] + (nt - t), tacc[kind])
+                        touched[kind] |= mask
+                    t = nt
+        if stats is not None:
+            for i, s in enumerate(stats):
+                tbk = s.time_by_kind
+                for kind, arr in tacc.items():
+                    if touched[kind][i] or kind in tbk:
+                        tbk[kind] = float(arr[i])
+                c = s.counters
+                for nm, arr in cacc.items():
+                    c[nm] = float(arr[i])
+        return [float(x) for x in t]
+
+
+class _NotUniform(Exception):
+    """Journals are not column-uniform; compile returns None."""
+
+
+# --------------------------------------------------------------------------
+# controller + step loop
+# --------------------------------------------------------------------------
+
+class FastForwardController:
+    """Per-run coordinator of the recording/decision/replay protocol.
+
+    Created by the harness only for eligible runs (no noise, no faults,
+    no tracing, memoization on, ``fast_forward=True``).  One instance
+    serves all ranks of the run.
+    """
+
+    #: boundary indices of the protocol (see module docstring)
+    RECORD_FIRST = 1
+    DECIDE = 3
+    PARK = 4
+
+    def __init__(self, runtime: "MpiRuntime", sim_steps: int,
+                 exec_model=None) -> None:
+        self.runtime = runtime
+        self.sim_steps = sim_steps
+        self.exec_model = exec_model
+        self.nprocs = runtime.nprocs
+        self.recorder: Optional[StepRecorder] = None
+        self.dead = sim_steps < self.PARK + 1  # nothing left to skip
+        self.engaged = False
+        self._journals: dict[int, list[list]] = {}   # step -> per-rank ops
+        self._boundary_now: dict[int, list[float]] = {}
+        self._arrived: dict[int, int] = {}
+        self._park_signal = Signal("fast-forward-decision")
+        self._park = False
+        self._gen0: Optional[int] = None
+        self.abort_reason: Optional[str] = None
+
+    # --- per-rank boundary hook -------------------------------------------
+
+    def boundary(self, comm: "Communicator", idx: int) -> Optional[Signal]:
+        """Called by every rank right before it starts step ``idx``.
+        Returns a signal to park on at the decision boundary, else None."""
+        if self.dead:
+            return None
+        rt = self.runtime
+        rank = comm.rank
+        if idx == self.RECORD_FIRST:
+            if self.recorder is None:
+                self.recorder = StepRecorder(self.nprocs)
+                rt.recorder = self.recorder
+                self._gen0 = getattr(self.exec_model, "generation", None)
+            self.recorder.begin_step(rank)
+        elif idx == self.RECORD_FIRST + 1:
+            self._journals.setdefault(idx - 1, [None] * self.nprocs)[rank] = (
+                self.recorder.end_step(rank)
+            )
+            self.recorder.begin_step(rank)
+            self._note_boundary(idx, rank, rt.sim.now)
+        elif idx == self.DECIDE:
+            self._journals.setdefault(idx - 1, [None] * self.nprocs)[rank] = (
+                self.recorder.end_step(rank)
+            )
+            if self._note_boundary(idx, rank, rt.sim.now):
+                rt.recorder = None
+                self._decide()
+        elif idx == self.PARK and self._park:
+            if self._note_boundary(idx, rank, rt.sim.now):
+                self._execute(rt.sim.now)
+            return self._park_signal
+        return None
+
+    def _note_boundary(self, idx: int, rank: int, now: float) -> bool:
+        """Record a rank's boundary timestamp; True for the last arrival."""
+        self._boundary_now.setdefault(idx, []).append(now)
+        n = self._arrived.get(idx, 0) + 1
+        self._arrived[idx] = n
+        return n == self.nprocs
+
+    def _abort(self, reason: str) -> None:
+        self.abort_reason = reason
+        self.dead = True
+
+    # --- decision ----------------------------------------------------------
+
+    def _decide(self) -> None:
+        """Last rank at the DECIDE boundary: check eligibility and arm the
+        parking boundary (nothing blocks here — ranks already proceeded)."""
+        rec = self.recorder
+        if rec.unsupported is not None:
+            return self._abort(f"unsupported op: {rec.unsupported}")
+        if self.sim_steps < self.PARK + 1:
+            return self._abort("no steps left to fast-forward")
+        gen = getattr(self.exec_model, "generation", None)
+        if self._gen0 is None or gen != self._gen0:
+            return self._abort("phase pricing not stable while recording")
+        j1 = self._journals.get(self.RECORD_FIRST)
+        j2 = self._journals.get(self.RECORD_FIRST + 1)
+        if j1 is None or j2 is None or any(x is None for x in j1 + j2):
+            return self._abort("incomplete journals")
+        for r in range(self.nprocs):
+            if j1[r] != j2[r]:
+                return self._abort(f"rank {r} step structure not periodic")
+            if not j1[r] or j1[r][-1][0] != "coll":
+                return self._abort(
+                    f"rank {r} step does not end in a collective "
+                    "(boundaries not globally synchronized)"
+                )
+        for idx in (self.RECORD_FIRST + 1, self.DECIDE):
+            nows = self._boundary_now.get(idx, [])
+            if len(nows) != self.nprocs or any(t != nows[0] for t in nows):
+                return self._abort("step boundaries not synchronized")
+        self._park = True
+
+    # --- engagement ---------------------------------------------------------
+
+    def _execute(self, now: float) -> None:
+        """Last rank at the PARK boundary: verify, validate, replay, fire."""
+        rt = self.runtime
+        nows = self._boundary_now[self.PARK]
+        try:
+            if any(t != now for t in nows):
+                raise ReplayUnsupported("ranks parked at different times")
+            if not all(m.idle() for m in rt.mailboxes):
+                raise ReplayUnsupported("in-flight messages at the boundary")
+            if rt.sim._heap or rt.sim._runq:
+                raise ReplayUnsupported("pending events at the boundary")
+            journals = self._journals[self.RECORD_FIRST + 1]
+            # validation: replay the step the engine just simulated
+            # (DECIDE -> PARK) and demand bitwise-identical clocks
+            t_decide = self._boundary_now[self.DECIDE][0]
+            predicted = Replayer(journals, self.nprocs).run(t_decide, 1)
+            if any(t != now for t in predicted):
+                raise ReplayUnsupported(
+                    "validation failed: replayed step does not reproduce "
+                    "the simulated boundary clock"
+                )
+            remaining = self.sim_steps - self.PARK
+            # column-uniform structures replay vectorized across ranks;
+            # the compiled program must itself reproduce the validation
+            # step bitwise before it is trusted with the commit
+            vec = VectorReplayer.compile(journals, self.nprocs)
+            if vec is not None and any(
+                t != now for t in vec.run(t_decide, 1)
+            ):
+                vec = None
+            if vec is not None:
+                finals = vec.run(now, remaining, stats=rt.stats)
+            else:
+                finals = Replayer(journals, self.nprocs, stats=rt.stats).run(
+                    now, remaining
+                )
+        except ReplayUnsupported as exc:
+            self._abort(str(exc))
+            self._park_signal.fire(("go", None))
+            return
+        self.engaged = True
+        self._park_signal.fire(("ff", finals))
+
+
+class StepLoop:
+    """Benchmark-side driver of the per-step protocol.
+
+    Bodies iterate their representative steps as::
+
+        loop = ctx.step_loop(comm)
+        while (yield loop.next_step()):
+            ... one step ...
+
+    Without a controller this is a plain counter (no events, no time) —
+    the loop is bit-identical to ``for _ in range(ctx.sim_steps)``.
+    """
+
+    __slots__ = ("_comm", "_ctl", "_total", "_idx", "_done")
+
+    def __init__(self, comm: "Communicator", total: int,
+                 ctl: Optional[FastForwardController]) -> None:
+        self._comm = comm
+        self._ctl = ctl
+        self._total = total
+        self._idx = 0
+        self._done = False
+
+    def next_step(self) -> Generator[Any, Any, bool]:
+        if self._done or self._idx >= self._total:
+            return False
+        ctl = self._ctl
+        if ctl is not None and not ctl.dead:
+            sig = ctl.boundary(self._comm, self._idx)
+            if sig is not None:
+                value = yield Wait(sig)
+                kind, data = value
+                if kind == "ff":
+                    t_final = data[self._comm.rank]
+                    now = self._comm.now
+                    if t_final > now:
+                        # land on the replayed clock *exactly*: a
+                        # Delay(t_final - now) would re-round the
+                        # subtraction; call_at schedules at t_final itself
+                        wake = Signal("fast-forward-wake")
+                        self._comm.runtime.sim.call_at(
+                            t_final, lambda: wake.fire(None)
+                        )
+                        yield Wait(wake)
+                    self._done = True
+                    return False
+        self._idx += 1
+        return True

@@ -148,7 +148,9 @@ class Hpgmgfv(Benchmark):
                     if 0 <= nc[axis] < dims[axis]:
                         neighbors.append((grid_rank(nc, dims), area))
 
-            for _ in range(ctx.sim_steps):
+            loop = ctx.step_loop(comm)
+
+            while (yield loop.next_step()):
                 # one V-cycle: fine smooth, then per-level halo exchanges
                 # with geometrically shrinking faces
                 yield self.compute_phase(ctx, comm, fine, label="compute")

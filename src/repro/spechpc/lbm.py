@@ -169,7 +169,8 @@ class Lbm(Benchmark):
             x_halo = HALO_WIDTH * ly * N_POPULATIONS * 8
             y_halo = HALO_WIDTH * lx * N_POPULATIONS * 8
 
-            for _ in range(ctx.sim_steps):
+            loop = ctx.step_loop(comm)
+            while (yield loop.next_step()):
                 reqs = []
                 if px > 1:
                     reqs.append(comm.irecv(west, tag=10))

@@ -142,7 +142,9 @@ class Minisweep(Benchmark):
                 p["nx"] * max(1, ny_l // nblocks) * p["groups"] * p["angles"] * 8 // 4
             )
 
-            for _ in range(ctx.sim_steps):
+            loop = ctx.step_loop(comm)
+
+            while (yield loop.next_step()):
                 for octant in range(SIM_OCTANTS):
                     # alternate sweep direction between octants
                     send_peer, recv_peer = (up, down) if octant % 2 == 0 else (down, up)

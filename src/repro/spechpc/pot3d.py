@@ -136,7 +136,9 @@ class Pot3d(Benchmark):
                     if 0 <= nc[axis] < dims[axis]:
                         neighbors.append((grid_rank(nc, dims), area * 8))
 
-            for _ in range(ctx.sim_steps):
+            loop = ctx.step_loop(comm)
+
+            while (yield loop.next_step()):
                 for peer, nbytes in neighbors:
                     yield comm.sendrecv(peer, nbytes, peer, nbytes)
                 yield self.compute_phase(ctx, comm, cg, label="compute")

@@ -115,7 +115,8 @@ class Soma(Benchmark):
             field = ctx.exec_model.phase_cost(
                 FIELD_UPDATE, float(field_cells), ranks_dom
             )
-            for _ in range(ctx.sim_steps):
+            loop = ctx.step_loop(comm)
+            while (yield loop.next_step()):
                 yield self.compute_phase(ctx, comm, mc, label="compute")
                 yield self.compute_phase(ctx, comm, field, label="compute")
                 yield comm.allreduce(field_bytes)

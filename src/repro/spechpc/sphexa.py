@@ -149,7 +149,9 @@ class SphExa(Benchmark):
                     if 0 <= nc[axis] < dims[axis]:
                         neighbors.append(grid_rank(nc, dims))
 
-            for _ in range(ctx.sim_steps):
+            loop = ctx.step_loop(comm)
+
+            while (yield loop.next_step()):
                 for peer in neighbors:
                     yield comm.sendrecv(peer, halo_bytes, peer, halo_bytes)
                 yield self.compute_phase(ctx, comm, tree, label="compute")

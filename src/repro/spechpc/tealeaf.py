@@ -122,7 +122,9 @@ class Tealeaf(Benchmark):
             if cy < py - 1:
                 neighbors.append((grid_rank((cx, cy + 1), (px, py)), lx))
 
-            for _ in range(ctx.sim_steps):
+            loop = ctx.step_loop(comm)
+
+            while (yield loop.next_step()):
                 # one CG iteration: halo, stencil+updates, two reductions
                 for peer, edge in neighbors:
                     yield comm.sendrecv(peer, edge * 8, peer, edge * 8)

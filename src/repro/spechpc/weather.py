@@ -147,7 +147,9 @@ class Weather(Benchmark):
             left = rank - 1 if rank > 0 else None
             right = rank + 1 if rank < n - 1 else None
 
-            for _ in range(ctx.sim_steps):
+            loop = ctx.step_loop(comm)
+
+            while (yield loop.next_step()):
                 # nonblocking exchange with both x-neighbors, then wait
                 reqs = []
                 if left is not None:
