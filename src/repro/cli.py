@@ -7,6 +7,9 @@ Commands
 ``sweep``     scaling sweep (core-level or node-level)
 ``compare``   ClusterB-over-ClusterA acceleration factor
 ``report``    suite-wide summary (acceleration + efficiency + class)
+``validate``  golden fingerprints + schedule-perturbation sanitizer +
+              cross-mode differential conformance (``--regen`` rewrites
+              the golden corpus; refuses on a dirty git tree)
 """
 
 from __future__ import annotations
@@ -182,6 +185,116 @@ def _cmd_report(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.validate.golden import (
+        DirtyTreeError,
+        check_case,
+        golden_cases,
+        regenerate,
+    )
+
+    golden_dir = args.golden_dir
+    if golden_dir is None:
+        golden_dir = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            "tests",
+            "golden",
+        )
+
+    if args.regen:
+        try:
+            paths = regenerate(
+                golden_dir, scales=tuple(args.scales), force=args.force
+            )
+        except DirtyTreeError as exc:
+            print(f"refusing to regenerate: {exc}", file=sys.stderr)
+            return 1
+        print(f"regenerated {len(paths)} golden fingerprint(s) in {golden_dir}")
+        return 0
+
+    benchmarks = (
+        list(SUITE_ORDER)
+        if args.benchmarks is None
+        else [get_benchmark(b).name for b in args.benchmarks.split(",")]
+    )
+    clusters = ["A", "B"] if args.cluster == "both" else [args.cluster]
+    failures: list[str] = []
+    rows = []
+
+    if not args.skip_differential:
+        # the scheduler axis lives below MPI (BandwidthResource), so it
+        # is checked once per invocation, not per benchmark
+        from repro.validate.differential import bandwidth_scheduler_differential
+
+        for mm in bandwidth_scheduler_differential():
+            failures.append(f"scheduler {mm.kind}: {mm.detail}")
+
+    for bname in benchmarks:
+        for cname in clusters:
+            cluster = get_cluster(cname)
+            nprocs = args.nprocs or cluster.node.cores
+
+            golden_status = "skipped"
+            if not args.skip_golden:
+                golden_status = "ok"
+                for case in golden_cases(scales=(1,)):
+                    if case.benchmark != bname or case.cluster != cname:
+                        continue
+                    try:
+                        mismatch = check_case(golden_dir, case)
+                    except FileNotFoundError:
+                        golden_status = "missing"
+                        failures.append(
+                            f"golden {case.slug}: no checked-in fingerprint "
+                            f"(run `repro validate --regen`)"
+                        )
+                        continue
+                    if mismatch:
+                        golden_status = "FAIL"
+                        failures.append(f"golden {mismatch}")
+
+            perturb_status = "skipped"
+            if not args.skip_perturb:
+                from repro.validate.perturb import sanitize
+
+                rep = sanitize(
+                    bname, cname, nprocs, suite=args.suite,
+                    shuffles=args.shuffles,
+                )
+                perturb_status = "ok" if rep.ok else "FAIL"
+                if not rep.ok:
+                    failures.append(f"perturb {rep.summary()}")
+
+            diff_status = "skipped"
+            if not args.skip_differential:
+                from repro.validate.differential import differential_run
+
+                dr = differential_run(bname, cname, nprocs, suite=args.suite)
+                diff_status = "ok" if dr.ok else "FAIL"
+                if not dr.ok:
+                    failures.append(f"differential {dr.summary()}")
+
+            rows.append(
+                (bname, cname, nprocs, golden_status, perturb_status,
+                 diff_status)
+            )
+
+    print(ascii_table(
+        ["benchmark", "cluster", "ranks", "golden", "perturb", "differential"],
+        rows,
+        title=f"validation ({args.shuffles} shuffles, full flag matrix)",
+    ))
+    if failures:
+        print(f"\n{len(failures)} failure(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nall validations passed")
+    return 0
+
+
 def _positive_int(value: str) -> int:
     n = int(value)
     if n < 1:
@@ -248,6 +361,36 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("report", help="suite-wide summary").set_defaults(
         fn=_cmd_report
     )
+
+    pv = sub.add_parser(
+        "validate",
+        help="golden fingerprints, perturbation sanitizer, differential "
+             "conformance",
+    )
+    pv.add_argument("--benchmarks", "-b", default=None,
+                    help="comma-separated subset (default: all nine)")
+    pv.add_argument("--cluster", "-c", default="both",
+                    choices=["A", "B", "both"])
+    pv.add_argument("--suite", "-s", default="tiny")
+    pv.add_argument("--nprocs", "-n", type=_positive_int, default=None,
+                    help="ranks per job (default: one full node)")
+    pv.add_argument("--shuffles", type=_positive_int, default=20,
+                    help="perturbation seeds per job (default: 20)")
+    pv.add_argument("--skip-golden", action="store_true")
+    pv.add_argument("--skip-perturb", action="store_true")
+    pv.add_argument("--skip-differential", action="store_true")
+    pv.add_argument("--golden-dir", default=None,
+                    help="golden corpus directory (default: tests/golden)")
+    pv.add_argument("--regen", action="store_true",
+                    help="recompute and rewrite the golden corpus "
+                         "(refuses on a dirty git tree)")
+    pv.add_argument("--force", action="store_true",
+                    help="with --regen: override the dirty-tree refusal")
+    pv.add_argument("--scales", type=_positive_int, nargs="+", default=[1, 4],
+                    metavar="NODES",
+                    help="with --regen: node counts to regenerate "
+                         "(default: 1 4)")
+    pv.set_defaults(fn=_cmd_validate)
     return p
 
 

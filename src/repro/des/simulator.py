@@ -36,11 +36,26 @@ avoidable without changing that order:
 ``Simulator(fast_path=False)`` disables both and reproduces the original
 pure-heap engine — kept as the reference for equivalence tests and for
 the engine microbenchmark.
+
+Schedule perturbation
+---------------------
+``Simulator(tie_seed=N)`` replaces the FIFO tie-break among
+*same-timestamp* events with a seeded-random one: every event key gains a
+random high-order prefix, so events at equal virtual times dispatch in a
+shuffled (but fully deterministic, seed-reproducible) order, while events
+at different times keep their causal order.  This is the engine half of
+the validation subsystem's determinism sanitizer (see
+:mod:`repro.validate.perturb`): results of a well-formed model must be
+invariant under every such shuffle, so a divergence pinpoints a hidden
+order-dependence bug.  Perturbation implies the pure-heap engine — the
+run-queue fast path *is* a fixed FIFO tie-break choice, which is exactly
+what the sanitizer must be free to vary.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 from collections import deque
 from collections.abc import Generator as _GeneratorABC
 from heapq import heappop, heappush
@@ -280,10 +295,23 @@ class Simulator:
     ``fast_path=False`` routes every event through the heap and disables
     the ``Delay(0)`` in-place continuation — the original engine, kept as
     the bitwise reference.
+
+    ``tie_seed`` (default off) enables seeded schedule perturbation: the
+    tie-break among same-timestamp events becomes a deterministic random
+    shuffle instead of FIFO (see the module docstring).  Setting it
+    forces the pure-heap engine.
     """
 
-    def __init__(self, fast_path: bool = True) -> None:
+    def __init__(self, fast_path: bool = True, tie_seed: int | None = None) -> None:
         self.now: float = 0.0
+        if tie_seed is not None:
+            # the run-queue fast path encodes the FIFO tie-break the
+            # sanitizer exists to vary — perturbed runs are pure-heap
+            fast_path = False
+            self._tie_rng: Optional[random.Random] = random.Random(tie_seed)
+        else:
+            self._tie_rng = None
+        self.tie_seed = tie_seed
         self._fast_path = fast_path
         self._heap: list[tuple[float, int, Optional[SimProcess], Any]] = []
         self._runq: deque[tuple[int, Optional[SimProcess], Any]] = deque()
@@ -295,6 +323,16 @@ class Simulator:
     @property
     def fast_path(self) -> bool:
         return self._fast_path
+
+    def _key(self) -> int:
+        """Event tie-break key: the FIFO counter, or — under schedule
+        perturbation — a seeded-random prefix over the counter, which
+        shuffles same-timestamp dispatch order while staying unique."""
+        c = next(self._counter)
+        rng = self._tie_rng
+        if rng is None:
+            return c
+        return (rng.getrandbits(32) << 40) | c
 
     # --- process management ----------------------------------------------
 
@@ -312,7 +350,7 @@ class Simulator:
         delivery without the overhead of a full process)."""
         if time < self.now - 1e-15:
             raise ValueError(f"call_at in the past: {time} < {self.now}")
-        self._push(time, next(self._counter), None, fn)
+        self._push(time, self._key(), None, fn)
 
     @property
     def processes(self) -> tuple[SimProcess, ...]:
@@ -334,14 +372,14 @@ class Simulator:
         if self._fast_path and time <= self.now:
             self._runq.append((next(self._counter), proc, value))
             return
-        self._push(time, next(self._counter), proc, value)
+        self._push(time, self._key(), proc, value)
 
     def _ready(self, proc: SimProcess, value: Any) -> None:
         """Make a blocked process runnable now (called by Signal.fire)."""
         if self._fast_path:
             self._runq.append((next(self._counter), proc, value))
             return
-        self._push(self.now, next(self._counter), proc, value)
+        self._push(self.now, self._key(), proc, value)
 
     def _finished(self, proc: SimProcess) -> None:
         self._nfinished += 1

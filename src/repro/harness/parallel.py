@@ -92,6 +92,8 @@ class RunSpec:
     faults: Optional["FaultPlan"] = None
     max_events: Optional[int] = None
     sim_time_limit: Optional[float] = None
+    perturb_seed: Optional[int] = None
+    invariants: bool = False
 
 
 class RunFailedError(RuntimeError):
@@ -130,6 +132,8 @@ def execute(spec: RunSpec) -> RunResult:
         faults=spec.faults,
         max_events=spec.max_events,
         sim_time_limit=spec.sim_time_limit,
+        perturb_seed=spec.perturb_seed,
+        invariants=spec.invariants,
     )
 
 

@@ -32,6 +32,9 @@ class RunResult:
     energy: EnergyReading
     trace: Optional[Any] = None
     meta: dict[str, Any] = field(default_factory=dict)
+    #: per-rank time breakdown (scaled like ``time_by_kind``); feeds the
+    #: validation subsystem's result fingerprints
+    rank_times: Optional[tuple[dict[str, float], ...]] = None
 
     # --- derived rates --------------------------------------------------------
 
@@ -148,13 +151,22 @@ class RunResult:
                 "nnodes": self.energy.nnodes,
             },
             "meta": dict(self.meta),
+            "rank_times": (
+                None
+                if self.rank_times is None
+                else [dict(d) for d in self.rank_times]
+            ),
         }
 
     @classmethod
     def from_checkpoint_dict(cls, doc: dict[str, Any]) -> "RunResult":
         doc = dict(doc)
         energy = EnergyReading(**doc.pop("energy"))
-        return cls(energy=energy, trace=None, **doc)
+        # absent in pre-validation checkpoints
+        rank_times = doc.pop("rank_times", None)
+        if rank_times is not None:
+            rank_times = tuple(dict(d) for d in rank_times)
+        return cls(energy=energy, trace=None, rank_times=rank_times, **doc)
 
 
 @dataclass(frozen=True)

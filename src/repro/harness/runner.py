@@ -33,6 +33,8 @@ def run(
     faults: Optional[FaultPlan] = None,
     max_events: Optional[int] = None,
     sim_time_limit: Optional[float] = None,
+    perturb_seed: Optional[int] = None,
+    invariants: bool = False,
 ):
     """Execute one simulated benchmark run.
 
@@ -81,6 +83,20 @@ def run(
         Hang watchdogs: abort with
         :class:`~repro.des.simulator.HangError` after that many DES
         events / past that simulated time.
+    perturb_seed:
+        Schedule-perturbation sanitizer mode (see
+        :mod:`repro.validate.perturb`): same-timestamp event order and
+        same-time cross-channel mailbox arrival order are shuffled with
+        this seed.  A well-formed model's results are invariant under
+        every seed; the fast paths that encode fixed tie-breaks
+        (run-queue, fast-forward) are disabled for the perturbed run.
+    invariants:
+        Attach an :class:`~repro.validate.invariants.InvariantChecker`
+        enforcing MPI conformance (non-overtaking, conservation,
+        collective completeness, monotonic clocks) on every event; a
+        violation raises
+        :class:`~repro.validate.invariants.InvariantViolation`.  Forces
+        full fidelity (no fast-forward), results otherwise unchanged.
 
     Raises
     ------
@@ -132,6 +148,12 @@ def run(
     if faults is not None and not faults.empty:
         faults.validate_for(nprocs)
         injector = FaultInjector(faults, nprocs=nprocs)
+    checker = None
+    if invariants:
+        # local import: repro.validate imports the harness package
+        from repro.validate.invariants import InvariantChecker
+
+        checker = InvariantChecker(nprocs)
     runtime = MpiRuntime(
         cluster,
         nprocs,
@@ -140,6 +162,8 @@ def run(
         fast_path=fast_path,
         faults=injector,
         matcher=matcher,
+        perturb_seed=perturb_seed,
+        checker=checker,
     )
     ctx.runtime = runtime
     if (
@@ -147,6 +171,8 @@ def run(
         and noise is None
         and injector is None
         and collector is None
+        and checker is None
+        and perturb_seed is None
         and memoize
         and steps >= 5
     ):
@@ -180,6 +206,20 @@ def run(
         nnodes=raw_energy.nnodes,
     )
 
+    meta = {
+        "sim_steps": steps,
+        "seed": seed,
+        "noise_sigma": noise_sigma,
+        "fast_forward": (
+            ctx.fast_forward is not None
+            and getattr(ctx.fast_forward, "engaged", False)
+        ),
+    }
+    if perturb_seed is not None:
+        meta["perturb_seed"] = perturb_seed
+    if checker is not None:
+        meta["invariants"] = checker.summary()
+
     return RunResult(
         benchmark=benchmark.name,
         cluster=cluster.name,
@@ -193,13 +233,8 @@ def run(
         time_by_kind=time_by_kind,
         energy=energy,
         trace=collector,
-        meta={
-            "sim_steps": steps,
-            "seed": seed,
-            "noise_sigma": noise_sigma,
-            "fast_forward": (
-                ctx.fast_forward is not None
-                and getattr(ctx.fast_forward, "engaged", False)
-            ),
-        },
+        meta=meta,
+        rank_times=tuple(
+            {k: v * scale for k, v in s.time_by_kind.items()} for s in job.stats
+        ),
     )

@@ -117,6 +117,8 @@ class Communicator:
             rt.record_trace(
                 self.rank, t0, rt.sim.now, label, flops=flops, mem_bytes=mem_bytes
             )
+        if rt.checker is not None:
+            rt.checker.on_clock(self.rank, rt.sim.now)
 
     def compute_cost(self, cost) -> Generator:
         """Execute a resolved :class:`~repro.model.kernel.PhaseCost`."""
@@ -179,6 +181,8 @@ class Communicator:
                 payload=payload,
             )
             rt.deliver_at(now + rts_lat, dest, arr)
+        if rt.checker is not None:
+            rt.checker.on_send(arr, self.rank, dest)
         rec = rt.recorder
         if rec is not None:
             rec.isend(
@@ -224,6 +228,8 @@ class Communicator:
         if self.now > t0:
             rt.stats[self.rank].add_time(kind, self.now - t0)
             rt.record_trace(self.rank, t0, self.now, kind)
+        if rt.checker is not None:
+            rt.checker.on_clock(self.rank, self.now)
         return payload
 
     def waitall(self, reqs: list[Request], kind: str = "MPI_Wait") -> Generator:
@@ -258,6 +264,8 @@ class Communicator:
         if sim.now > t0:
             rt.stats[self.rank].add_time("MPI_Send", sim.now - t0)
             rt.record_trace(self.rank, t0, sim.now, "MPI_Send")
+        if rt.checker is not None:
+            rt.checker.on_clock(self.rank, sim.now)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
         """Blocking receive.  Returns the sender's payload (or None)."""
@@ -281,6 +289,8 @@ class Communicator:
         if sim.now > t0:
             rt.stats[self.rank].add_time("MPI_Recv", sim.now - t0)
             rt.record_trace(self.rank, t0, sim.now, "MPI_Recv")
+        if rt.checker is not None:
+            rt.checker.on_clock(self.rank, sim.now)
         return payload
 
     def sendrecv(
@@ -331,6 +341,8 @@ class Communicator:
         if sim.now > t0:
             rt.stats[self.rank].add_time("MPI_Sendrecv", sim.now - t0)
             rt.record_trace(self.rank, t0, sim.now, "MPI_Sendrecv")
+        if rt.checker is not None:
+            rt.checker.on_clock(self.rank, sim.now)
         return received
 
     def _finish_p2p(
@@ -355,6 +367,8 @@ class Communicator:
         if record and self.now > t0:
             self.runtime.stats[self.rank].add_time(kind, self.now - t0)
             self.runtime.record_trace(self.rank, t0, self.now, kind)
+        if self.runtime.checker is not None:
+            self.runtime.checker.on_clock(self.rank, self.now)
         return payload
 
     # --- collectives -----------------------------------------------------------
@@ -403,6 +417,8 @@ class Communicator:
         t0 = self.now
         seq = self._coll_seq
         self._coll_seq += 1
+        if rt.checker is not None:
+            rt.checker.on_collective(self.rank, "MPI_Allreduce", seq, t0)
         gate = rt.collective_gate("MPI_Allreduce", seq)
         cost = coll.allreduce_cost(rt.network, self.size, rt.nnodes, nbytes)
         rt.stats[self.rank].add_counters(messages=1, msg_bytes=nbytes)
@@ -418,6 +434,8 @@ class Communicator:
         if self.now > t0:
             rt.stats[self.rank].add_time("MPI_Allreduce", self.now - t0)
             rt.record_trace(self.rank, t0, self.now, "MPI_Allreduce")
+        if rt.checker is not None:
+            rt.checker.on_clock(self.rank, self.now)
         return gate.payload_acc
 
     def _collective(self, kind: str, cost_fn, nbytes: int | None) -> Generator:
@@ -425,6 +443,8 @@ class Communicator:
         t0 = self.now
         seq = self._coll_seq
         self._coll_seq += 1
+        if rt.checker is not None:
+            rt.checker.on_collective(self.rank, kind, seq, t0)
         gate = rt.collective_gate(kind, seq)
         if nbytes is None:
             cost = cost_fn(rt.network, self.size, rt.nnodes)
@@ -446,3 +466,5 @@ class Communicator:
         if self.now > t0:
             rt.stats[self.rank].add_time(kind, self.now - t0)
             rt.record_trace(self.rank, t0, self.now, kind)
+        if rt.checker is not None:
+            rt.checker.on_clock(self.rank, self.now)

@@ -18,10 +18,24 @@ Two matcher implementations share this contract:
   queue-order-first candidate — byte-identical to the linear scan.
 * ``indexed=False`` is the original single-deque linear scan, kept as the
   reference for the differential property tests.
+
+Arrival tie-shuffle (schedule perturbation)
+-------------------------------------------
+MPI leaves the relative order of messages *from different sources* that
+arrive simultaneously unspecified; our engine fixes it by arrival-stamp
+FIFO.  ``Mailbox(..., tie_shuffle=rng)`` re-randomizes exactly that legal
+freedom with a seeded RNG: same-``arrival_time`` arrivals from different
+``(src, tag)`` channels are reordered relative to each other, while the
+orders MPI mandates — per-channel non-overtaking and the receiver's own
+posted-receive order — are preserved structurally.  This is the matching
+half of the validation subsystem's determinism sanitizer
+(:mod:`repro.validate.perturb`): a result that shifts under the shuffle
+depends on a tie-break MPI never promised.
 """
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
@@ -54,6 +68,8 @@ class SendArrival:
     sender_signal: Optional[Signal] = None
     payload: object = None
     seq: int = 0
+    #: seeded tie-break draw (perturbation mode only; see module docstring)
+    jitter: int = 0
 
 
 @dataclass(slots=True)
@@ -78,6 +94,7 @@ class Mailbox:
     __slots__ = (
         "rank",
         "indexed",
+        "tie_shuffle",
         "_seq",
         "_arrival_q",
         "_post_q",
@@ -87,9 +104,15 @@ class Mailbox:
         "_n_posts",
     )
 
-    def __init__(self, rank: int, indexed: bool = True) -> None:
+    def __init__(
+        self,
+        rank: int,
+        indexed: bool = True,
+        tie_shuffle: Optional[random.Random] = None,
+    ) -> None:
         self.rank = rank
         self.indexed = indexed
+        self.tie_shuffle = tie_shuffle
         self._seq = 0
         if indexed:
             # (src, tag) -> FIFO deque; wildcard posts live under keys
@@ -134,19 +157,30 @@ class Mailbox:
                 return q.popleft(), post
         else:
             # wildcard receive: earliest-stamped arrival among the heads
-            # of every matching key queue (queue order == stamp order)
+            # of every matching key queue (queue order == stamp order).
+            # Under perturbation the cross-queue choice keys on
+            # (arrival_time, jitter) instead — same-time arrivals from
+            # different channels compete in seeded-random order, which is
+            # a legal MPI matching order; per-channel FIFO is structural
+            # (pops always come from a queue head).
+            shuffled = self.tie_shuffle is not None
             best_q = None
-            best_seq = -1
+            best_key: object = None
             for (a_src, a_tag), q in arr_by_key.items():
                 if not q:
                     continue
                 if (src == ANY_SOURCE or src == a_src) and (
                     tag == ANY_TAG or tag == a_tag
                 ):
-                    head_seq = q[0].seq
-                    if best_q is None or head_seq < best_seq:
+                    head = q[0]
+                    key = (
+                        (head.arrival_time, head.jitter, head.seq)
+                        if shuffled
+                        else head.seq
+                    )
+                    if best_q is None or key < best_key:
                         best_q = q
-                        best_seq = head_seq
+                        best_key = key
             if best_q is not None:
                 self._n_arrivals -= 1
                 return best_q.popleft(), post
@@ -165,12 +199,31 @@ class Mailbox:
         seq = self._seq
         self._seq = seq + 1
         arrival.seq = seq
+        shuffle = self.tie_shuffle
+        if shuffle is not None:
+            arrival.jitter = shuffle.getrandbits(16)
         if not self.indexed:
             for i, post in enumerate(self._post_q):
                 if post.matches(arrival.src, arrival.tag):
                     del self._post_q[i]
                     return post
-            self._arrival_q.append(arrival)
+            q = self._arrival_q
+            if shuffle is None:
+                q.append(arrival)
+            else:
+                # perturbation: insert at a seeded-random slot within the
+                # trailing run of same-arrival-time entries from *other*
+                # channels — per-(src, tag) FIFO stays intact because the
+                # walk stops at the first same-channel entry
+                lo = len(q)
+                while lo > 0:
+                    prev = q[lo - 1]
+                    if prev.arrival_time != arrival.arrival_time:
+                        break
+                    if prev.src == arrival.src and prev.tag == arrival.tag:
+                        break
+                    lo -= 1
+                q.insert(shuffle.randint(lo, len(q)), arrival)
             return None
 
         # posted-receive order is stamp order; an arrival can match at

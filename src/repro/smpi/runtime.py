@@ -11,6 +11,7 @@ time/counter statistics, and (optionally) the event trace.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional, Protocol
 
@@ -142,6 +143,8 @@ class MpiRuntime:
         fast_path: bool = True,
         faults: Any | None = None,
         matcher: str = "indexed",
+        perturb_seed: int | None = None,
+        checker: Any | None = None,
     ) -> None:
         """``threads_per_rank > 1`` reserves a block of consecutive cores
         per rank (hybrid MPI+OpenMP placement, the paper's future-work
@@ -155,7 +158,15 @@ class MpiRuntime:
         stretched per its slow-rank/noise faults, and planned rank
         crashes are scheduled at launch.  Without one (the default) every
         code path is untouched — results are bit-identical to a build
-        without the fault subsystem."""
+        without the fault subsystem.
+
+        ``perturb_seed`` enables the schedule-perturbation sanitizer mode
+        (see :mod:`repro.validate.perturb`): same-timestamp event order in
+        the engine and same-time cross-channel arrival order in every
+        mailbox are shuffled with seeded RNGs.  ``checker`` optionally
+        attaches an :class:`~repro.validate.invariants.InvariantChecker`
+        that observes every send, match, and collective arrival and is
+        finalized after the run."""
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         if matcher not in ("indexed", "linear"):
@@ -174,9 +185,11 @@ class MpiRuntime:
         self.nprocs = nprocs
         self.threads_per_rank = threads_per_rank
         self.nnodes = cluster.nodes_for(nprocs * threads_per_rank)
-        self.sim = Simulator(fast_path=fast_path)
+        self.sim = Simulator(fast_path=fast_path, tie_seed=perturb_seed)
         self.trace = trace
         self.faults = faults
+        self.perturb_seed = perturb_seed
+        self.checker = checker
         if faults is not None:
             faults.plan.validate_for(nprocs)
         #: per-rank "currently blocked on" state (rank -> BlockedCall),
@@ -189,7 +202,19 @@ class MpiRuntime:
         ]
         self.matcher = matcher
         indexed = matcher == "indexed"
-        self.mailboxes = [Mailbox(r, indexed=indexed) for r in range(nprocs)]
+        if perturb_seed is None:
+            self.mailboxes = [Mailbox(r, indexed=indexed) for r in range(nprocs)]
+        else:
+            # one independent seeded stream per mailbox, so a rank's
+            # arrival shuffle does not depend on other ranks' traffic
+            self.mailboxes = [
+                Mailbox(
+                    r,
+                    indexed=indexed,
+                    tie_shuffle=random.Random((perturb_seed << 20) ^ (r + 1)),
+                )
+                for r in range(nprocs)
+            ]
         #: optional step-journal recorder (attached by the fast-forward
         #: controller only while it is capturing a representative step)
         self.recorder: Any | None = None
@@ -314,6 +339,8 @@ class MpiRuntime:
             arr.sender_signal.fire(end)
         else:
             end = start + net.per_message_overhead
+        if self.checker is not None:
+            self.checker.on_match(arr, post, dest, self.sim.now)
         post.match_signal.fire((end, arr.payload))
 
     def collective_gate(self, op: str, seq: int) -> CollectiveGate:
@@ -404,6 +431,8 @@ class MpiRuntime:
                 "finalize — send/recv mismatch in the benchmark code:\n"
                 + format_mailbox_leftovers(self.mailboxes)
             )
+        if self.checker is not None:
+            self.checker.finalize(elapsed)
         return MpiJob(
             cluster=self.cluster.name,
             nprocs=self.nprocs,

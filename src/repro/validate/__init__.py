@@ -1,0 +1,60 @@
+"""Validation subsystem: golden fingerprints, schedule-perturbation
+sanitizer, cross-mode differential conformance, and inline MPI
+invariants.
+
+The four parts answer one question from four angles — *did this change
+alter simulated results it should not have?*
+
+* :mod:`repro.validate.golden` — canonical result fingerprints checked
+  into ``tests/golden/``; any semantic drift in the model fails CI with
+  the exact field that moved.
+* :mod:`repro.validate.perturb` — a race detector for the DES: re-runs a
+  job under seeded same-timestamp shuffles and asserts the fingerprint
+  does not move (a well-formed model is invariant under every legal
+  schedule).
+* :mod:`repro.validate.differential` — runs the full engine flag matrix
+  (fast path × matcher × memoization × fast-forward × workers) and
+  diffs complete traces; the fast flavors must be bit-identical to the
+  references.
+* :mod:`repro.validate.invariants` — inline MPI conformance checks
+  (non-overtaking, conservation, collective completeness, monotonic
+  clocks) attachable to any run via ``run(..., invariants=True)``.
+
+Only the invariants are imported eagerly: the other modules pull in the
+harness package, which itself lazily imports the checker, and keeping
+this ``__init__`` light preserves that cycle-free layering.
+"""
+
+from __future__ import annotations
+
+from repro.validate.invariants import InvariantChecker, InvariantViolation
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantViolation",
+    # lazy (see __getattr__):
+    "fingerprint",
+    "golden_cases",
+    "record_diff",
+    "regenerate",
+    "sanitize",
+    "differential_run",
+]
+
+_LAZY = {
+    "fingerprint": "repro.validate.golden",
+    "golden_cases": "repro.validate.golden",
+    "record_diff": "repro.validate.golden",
+    "regenerate": "repro.validate.golden",
+    "sanitize": "repro.validate.perturb",
+    "differential_run": "repro.validate.differential",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)

@@ -1,0 +1,199 @@
+"""Inline MPI conformance checks.
+
+An :class:`InvariantChecker` attaches to a run (``run(..., invariants=True)``
+or ``MpiRuntime(checker=...)``) and observes every point-to-point send,
+every completed match, every collective arrival, and every call-completion
+clock reading.  It enforces, independently of the matching code it audits:
+
+* **non-overtaking** — per ``(src, dest, tag)`` channel, messages match in
+  send order (MPI 4.1 §3.5 ordering rule);
+* **causality** — no message matches before it arrived at the receiver;
+* **conservation** — every send is matched exactly once by the end of the
+  run, and matches never outnumber sends;
+* **collective completeness** — every collective invocation is entered by
+  all ranks exactly once, and each rank's collective call sequence is
+  gap-free (mismatched sequences show up as a partially-entered gate);
+* **monotonic per-rank clocks** — a rank never observes virtual time
+  running backwards across its MPI/compute call boundaries.
+
+A violation raises :class:`InvariantViolation` naming the rule, the ranks
+involved, and the virtual time — turning a silent mis-simulation into a
+loud failure at the exact event that broke the contract.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.smpi.mailbox import RecvPost, SendArrival
+
+
+class InvariantViolation(RuntimeError):
+    """An MPI conformance invariant failed during a simulated run."""
+
+
+class InvariantChecker:
+    """Accumulates conformance state for one job (see module docstring).
+
+    The checker is engine-agnostic on purpose: it keys on message
+    identity and channel ordinals, not on mailbox internals, so it audits
+    the indexed and linear matchers (and any future one) with the same
+    code.
+    """
+
+    __slots__ = (
+        "nprocs",
+        "sends",
+        "matches",
+        "clock_checks",
+        "_send_next",
+        "_match_next",
+        "_ordinal",
+        "_clock",
+        "_coll",
+        "_coll_count",
+    )
+
+    def __init__(self, nprocs: int) -> None:
+        self.nprocs = nprocs
+        self.sends = 0
+        self.matches = 0
+        self.clock_checks = 0
+        #: (src, dest, tag) -> next send ordinal to assign
+        self._send_next: dict[tuple[int, int, int], int] = {}
+        #: (src, dest, tag) -> next ordinal a match must consume
+        self._match_next: dict[tuple[int, int, int], int] = {}
+        #: id(arrival) -> (channel, ordinal) while the message is in flight
+        self._ordinal: dict[int, tuple[tuple[int, int, int], int]] = {}
+        #: rank -> last clock reading observed
+        self._clock: dict[int, float] = {}
+        #: (op, seq) -> ranks that entered this collective invocation
+        self._coll: dict[tuple[str, int], set[int]] = {}
+        #: rank -> number of collective calls made (must equal each seq)
+        self._coll_count: dict[int, int] = {}
+
+    # --- point-to-point -----------------------------------------------------
+
+    def on_send(self, arrival: "SendArrival", src: int, dest: int) -> None:
+        """A message entered the network (called from ``isend``)."""
+        chan = (src, dest, arrival.tag)
+        ordinal = self._send_next.get(chan, 0)
+        self._send_next[chan] = ordinal + 1
+        self._ordinal[id(arrival)] = (chan, ordinal)
+        self.sends += 1
+
+    def on_match(
+        self, arrival: "SendArrival", post: "RecvPost", dest: int, now: float
+    ) -> None:
+        """A send/recv pair matched (called from ``complete_match``)."""
+        entry = self._ordinal.pop(id(arrival), None)
+        if entry is None:
+            raise InvariantViolation(
+                f"conservation: rank {dest} matched a message from rank "
+                f"{arrival.src} (tag {arrival.tag}) that was never sent "
+                f"through the audited send path (t={now:.6g})"
+            )
+        chan, ordinal = entry
+        expected = self._match_next.get(chan, 0)
+        if ordinal != expected:
+            raise InvariantViolation(
+                f"non-overtaking: channel src={chan[0]} dest={chan[1]} "
+                f"tag={chan[2]} matched message #{ordinal} while #{expected} "
+                f"is still outstanding (t={now:.6g}) — messages on one "
+                "channel must match in send order"
+            )
+        self._match_next[chan] = expected + 1
+        if not post.matches(arrival.src, arrival.tag):
+            raise InvariantViolation(
+                f"matching: rank {dest}'s receive (src={post.src}, "
+                f"tag={post.tag}) was paired with a message from rank "
+                f"{arrival.src} tag {arrival.tag} it cannot accept "
+                f"(t={now:.6g})"
+            )
+        if now < arrival.arrival_time - 1e-12:
+            raise InvariantViolation(
+                f"causality: message src={arrival.src} dest={dest} "
+                f"tag={arrival.tag} matched at t={now:.6g} before its "
+                f"arrival at t={arrival.arrival_time:.6g}"
+            )
+        self.matches += 1
+
+    # --- collectives --------------------------------------------------------
+
+    def on_collective(self, rank: int, op: str, seq: int, now: float) -> None:
+        """Rank ``rank`` entered its ``seq``-th collective, of kind ``op``."""
+        count = self._coll_count.get(rank, 0)
+        if seq != count:
+            raise InvariantViolation(
+                f"collective sequence: rank {rank} entered {op} with "
+                f"sequence {seq} but has made {count} collective call(s) "
+                f"(t={now:.6g})"
+            )
+        self._coll_count[rank] = count + 1
+        entered = self._coll.setdefault((op, seq), set())
+        if rank in entered:
+            raise InvariantViolation(
+                f"collective completeness: rank {rank} entered {op} "
+                f"#{seq} twice (t={now:.6g})"
+            )
+        entered.add(rank)
+
+    # --- clocks -------------------------------------------------------------
+
+    def on_clock(self, rank: int, now: float) -> None:
+        """Rank ``rank`` observed virtual time ``now`` at a call boundary."""
+        self.clock_checks += 1
+        last = self._clock.get(rank)
+        if last is not None and now < last:
+            raise InvariantViolation(
+                f"monotonic clock: rank {rank} observed t={now:.6g} after "
+                f"t={last:.6g} — virtual time ran backwards"
+            )
+        self._clock[rank] = now
+
+    # --- finalize -----------------------------------------------------------
+
+    def finalize(self, elapsed: float) -> None:
+        """End-of-run conservation and completeness audit (called by the
+        runtime after the event queues drain and mailboxes are idle)."""
+        if self._ordinal:
+            lost = sorted(chan for chan, _ in self._ordinal.values())[:8]
+            raise InvariantViolation(
+                f"conservation: {len(self._ordinal)} message(s) sent but "
+                f"never matched by finalize (first channels: {lost})"
+            )
+        if self.sends != self.matches:
+            raise InvariantViolation(
+                f"conservation: {self.sends} send(s) vs {self.matches} "
+                "match(es) at finalize"
+            )
+        incomplete = {
+            key: entered
+            for key, entered in self._coll.items()
+            if len(entered) != self.nprocs
+        }
+        if incomplete:
+            (op, seq), entered = sorted(incomplete.items())[0]
+            missing = sorted(set(range(self.nprocs)) - entered)[:8]
+            raise InvariantViolation(
+                f"collective completeness: {op} #{seq} was entered by "
+                f"{len(entered)} of {self.nprocs} ranks "
+                f"(missing e.g. {missing}); {len(incomplete)} incomplete "
+                "collective(s) in total"
+            )
+        for rank, last in self._clock.items():
+            if last > elapsed + 1e-12:
+                raise InvariantViolation(
+                    f"monotonic clock: rank {rank} observed t={last:.6g} "
+                    f"beyond the job makespan {elapsed:.6g}"
+                )
+
+    def summary(self) -> dict[str, int]:
+        """Counts of audited events (stored in ``RunResult.meta``)."""
+        return {
+            "sends": self.sends,
+            "matches": self.matches,
+            "collectives": len(self._coll),
+            "clock_checks": self.clock_checks,
+        }

@@ -1,0 +1,27 @@
+"""Shared test configuration.
+
+Hypothesis profiles: CI runs derandomized (``derandomize=True``) so a
+red build is reproducible by anyone checking out the commit — the
+failing example is derived from the test itself, not from a random seed
+buried in a log.  Local development keeps random exploration, and
+``print_blob=True`` means any failure prints the
+``@reproduce_failure`` blob to replay it exactly.
+
+Selected via the ``CI`` environment variable (set by GitHub Actions);
+override with ``HYPOTHESIS_PROFILE=dev|ci``.
+"""
+
+import os
+
+try:
+    from hypothesis import settings
+
+    settings.register_profile("ci", derandomize=True, print_blob=True)
+    settings.register_profile("dev", print_blob=True)
+    settings.load_profile(
+        os.environ.get(
+            "HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev"
+        )
+    )
+except ImportError:  # hypothesis is an optional test dependency
+    pass

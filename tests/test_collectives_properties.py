@@ -1,0 +1,180 @@
+"""Property tests for the collective cost models and the gate.
+
+Two families:
+
+* the log2-round tree costs must equal the closed-form Hockney
+  expressions for any (P, nnodes, nbytes) — the loop/helper structure in
+  ``collectives.py`` is an implementation detail, the formula is the
+  contract;
+* the :class:`~repro.smpi.collectives.CollectiveGate` must be
+  rank-permutation invariant: the finish time is ``max(arrival) +
+  max(cost)`` regardless of the order ranks arrive in, bitwise (max is
+  commutative and associative in IEEE-754 — unlike sum, which is why the
+  gate's payload reduction is *not* asserted bitwise for float sums).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.network import NetworkSpec
+from repro.smpi.collectives import (
+    REDUCE_GAMMA,
+    CollectiveGate,
+    allgather_cost,
+    allreduce_cost,
+    barrier_cost,
+    bcast_cost,
+    reduce_cost,
+)
+
+NET = NetworkSpec()
+
+procs = st.integers(min_value=2, max_value=1024)
+sizes = st.integers(min_value=0, max_value=64 * 1024 * 1024)
+
+
+def _closed_form_rounds(p):
+    return math.ceil(math.log2(p))
+
+
+def _closed_form_round_cost(p, nnodes, nbytes):
+    total = _closed_form_rounds(p)
+    inter = min(total, _closed_form_rounds(nnodes) if nnodes > 1 else 0)
+    intra = total - inter
+    return inter * (NET.latency + nbytes / NET.effective_bandwidth) + intra * (
+        NET.intra_node_latency + nbytes / NET.intra_node_bandwidth
+    )
+
+
+@given(p=procs)
+def test_barrier_matches_closed_form_single_node(p):
+    expected = (
+        _closed_form_rounds(p) * NET.intra_node_latency
+        + NET.per_message_overhead
+    )
+    assert barrier_cost(NET, p, 1) == expected
+
+
+@given(p=procs, nnodes=st.integers(min_value=2, max_value=64), nbytes=sizes)
+def test_allreduce_matches_closed_form(p, nnodes, nbytes):
+    expected = (
+        _closed_form_round_cost(p, min(nnodes, p), nbytes)
+        + _closed_form_rounds(p) * nbytes * REDUCE_GAMMA
+        + NET.per_message_overhead
+    )
+    assert allreduce_cost(NET, p, min(nnodes, p), nbytes) == expected
+
+
+@given(p=procs, nbytes=sizes)
+def test_bcast_and_reduce_share_the_tree(p, nbytes):
+    """Reduce = bcast + the per-byte reduction term (to float association)."""
+    tree = bcast_cost(NET, p, 1, nbytes)
+    assert math.isclose(
+        reduce_cost(NET, p, 1, nbytes),
+        tree + _closed_form_rounds(p) * nbytes * REDUCE_GAMMA,
+        rel_tol=1e-12,
+    )
+
+
+@given(p=procs, nbytes=sizes)
+def test_allgather_matches_closed_form_single_node(p, nbytes):
+    expected = (p - 1) * (
+        NET.intra_node_latency + (nbytes / p) / NET.intra_node_bandwidth
+    ) + NET.per_message_overhead
+    assert allgather_cost(NET, p, 1, nbytes) == expected
+
+
+@given(p=procs, nbytes=sizes)
+def test_costs_scale_log2_with_doubling(p, nbytes):
+    """Doubling P past a power of two adds exactly one tree round."""
+    p_pow = 1 << max(1, p.bit_length() - 1)  # largest power of two <= p
+    one_round = NET.intra_node_latency + nbytes / NET.intra_node_bandwidth
+    delta = bcast_cost(NET, 2 * p_pow, 1, nbytes) - bcast_cost(
+        NET, p_pow, 1, nbytes
+    )
+    assert math.isclose(delta, one_round, rel_tol=1e-12, abs_tol=1e-30)
+
+
+@given(
+    p=st.integers(min_value=2, max_value=512),
+    nnodes=st.integers(min_value=1, max_value=16),
+)
+def test_single_proc_is_free_and_costs_positive(p, nnodes):
+    nn = min(nnodes, p)
+    assert barrier_cost(NET, 1, 1) == 0.0
+    assert allreduce_cost(NET, 1, 1, 1024) == 0.0
+    assert barrier_cost(NET, p, nn) > 0.0
+    assert allreduce_cost(NET, p, nn, 1024) > barrier_cost(NET, p, nn)
+
+
+# --- gate permutation invariance --------------------------------------------
+
+
+arrival_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+class _CaptureSignal:
+    """Stands in for a DES Signal: records the fired value instead of
+    waking simulated processes (the gate only calls ``fire``)."""
+
+    def __init__(self):
+        self.fired = []
+
+    def fire(self, value):
+        self.fired.append(value)
+
+
+def _drive_gate(arrivals, order):
+    gate = CollectiveGate(op="MPI_Barrier", expected=len(arrivals))
+    gate.signal = _CaptureSignal()
+    for rank in order:
+        now, cost = arrivals[rank]
+        last = gate.arrive(rank, now, cost)
+        assert last == (len(gate.signal.fired) == 1)
+    assert len(gate.signal.fired) == 1
+    return gate.signal.fired[0]
+
+
+@settings(max_examples=60)
+@given(arrivals=arrival_lists, data=st.data())
+def test_gate_finish_is_rank_permutation_invariant(arrivals, data):
+    n = len(arrivals)
+    order = data.draw(st.permutations(range(n)))
+    finish = _drive_gate(arrivals, list(order))
+    baseline = _drive_gate(arrivals, list(range(n)))
+    assert finish == baseline  # bitwise: max is order-insensitive
+    assert finish == max(now for now, _ in arrivals) + max(
+        cost for _, cost in arrivals
+    )
+
+
+@settings(max_examples=40)
+@given(
+    payloads=st.lists(
+        st.integers(min_value=-(2**40), max_value=2**40),
+        min_size=1,
+        max_size=16,
+    ),
+    data=st.data(),
+)
+def test_gate_payload_max_reduction_is_permutation_invariant(payloads, data):
+    n = len(payloads)
+    order = data.draw(st.permutations(range(n)))
+
+    def reduce_with(perm):
+        gate = CollectiveGate(op="MPI_Allreduce", expected=n)
+        gate.signal = _CaptureSignal()
+        for rank in perm:
+            gate.arrive(rank, 0.0, 0.0, payload=payloads[rank], op=max)
+        return gate.payload_acc
+
+    assert reduce_with(list(order)) == reduce_with(range(n)) == max(payloads)

@@ -1,0 +1,132 @@
+"""Hand-computed checks for analysis/comparison.py and perfmon/roofline.py.
+
+The existing suites assert relations (hot > cool, band contains measured);
+these tests pin the arithmetic itself to values worked out by hand, so a
+silent formula change (a dropped socket factor, a GB/GiB slip, a flipped
+ratio) fails with an exact number instead of surviving as a plausible
+trend.
+"""
+
+import pytest
+
+from repro.analysis.comparison import (
+    acceleration_factor,
+    dram_power_per_socket,
+    expected_acceleration_band,
+    is_hot,
+    tdp_fraction,
+)
+from repro.harness.results import RunResult
+from repro.machine.registry import CLUSTER_A, CLUSTER_B
+from repro.perfmon.rapl import EnergyReading
+from repro.perfmon.roofline import RooflinePoint, RooflineSample
+
+
+def _result(benchmark="lbm", suite="tiny", elapsed=10.0, nnodes=1,
+            chip_energy=0.0, dram_energy=0.0, cluster="ClusterA"):
+    return RunResult(
+        benchmark=benchmark,
+        cluster=cluster,
+        suite=suite,
+        nprocs=8,
+        nnodes=nnodes,
+        elapsed=elapsed,
+        sim_elapsed=elapsed,
+        step_scale=1.0,
+        counters={"flops": 0.0},
+        time_by_kind={"compute": elapsed},
+        energy=EnergyReading(
+            elapsed=elapsed,
+            chip_energy=chip_energy,
+            dram_energy=dram_energy,
+            nnodes=nnodes,
+        ),
+    )
+
+
+# --- comparison.py ----------------------------------------------------------
+
+
+def test_acceleration_factor_exact():
+    # A takes 12 s, B takes 8 s -> B is 12/8 = 1.5x faster
+    ra = _result(elapsed=12.0)
+    rb = _result(elapsed=8.0, cluster="ClusterB")
+    assert acceleration_factor(ra, rb) == pytest.approx(1.5)
+    assert acceleration_factor(rb, ra) == pytest.approx(8.0 / 12.0)
+
+
+def test_tdp_fraction_exact():
+    # 2 nodes x 2 sockets x 250 W TDP (Ice Lake 8360Y) = 1000 W envelope;
+    # 9000 J of chip energy over 10 s = 900 W average -> fraction 0.90
+    tdp = CLUSTER_A.node.cpu.tdp_w
+    r = _result(elapsed=10.0, nnodes=2, chip_energy=4 * tdp * 10.0 * 0.90)
+    assert tdp_fraction(r, CLUSTER_A) == pytest.approx(0.90)
+    # 0.90 < default hot threshold 0.92 < 0.95
+    assert not is_hot(r, CLUSTER_A)
+    hot = _result(elapsed=10.0, nnodes=2, chip_energy=4 * tdp * 10.0 * 0.95)
+    assert is_hot(hot, CLUSTER_A)
+
+
+def test_dram_power_per_socket_exact():
+    # 1 node x 2 sockets, 600 J DRAM over 10 s = 60 W -> 30 W per socket
+    r = _result(elapsed=10.0, nnodes=1, dram_energy=600.0)
+    assert dram_power_per_socket(r, CLUSTER_A) == pytest.approx(30.0)
+
+
+def test_expected_acceleration_band_from_table3():
+    # the band is (min, max) of the peak-flops and sustained-BW ratios,
+    # computed straight from the node specs
+    peak = CLUSTER_B.node.peak_flops / CLUSTER_A.node.peak_flops
+    bw = (
+        CLUSTER_B.node.sustained_memory_bw
+        / CLUSTER_A.node.sustained_memory_bw
+    )
+    lo, hi = expected_acceleration_band(CLUSTER_A, CLUSTER_B)
+    assert (lo, hi) == (min(peak, bw), max(peak, bw))
+    # the paper's headline numbers: ~1.2 compute-bound, ~1.5 memory-bound
+    assert 1.0 < lo < 1.4
+    assert 1.4 < hi < 1.7
+
+
+# --- roofline.py -------------------------------------------------------------
+
+
+def test_roofline_point_hand_computed():
+    # ceilings: 100 Gflop/s, 100 GB/s -> knee at 1 flop/B.
+    # At intensity 0.5 the bandwidth roof allows 100e9 * 0.5 / 1e9 = 50
+    # Gflop/s; achieving 25 is 50% efficiency and memory-bound.
+    p = RooflinePoint(
+        intensity=0.5, gflops=25.0, peak_gflops=100.0, peak_bw=100e9
+    )
+    assert p.knee_intensity == pytest.approx(1.0)
+    assert p.attainable_gflops == pytest.approx(50.0)
+    assert p.efficiency == pytest.approx(0.5)
+    assert p.memory_bound
+
+
+def test_roofline_point_compute_bound_side():
+    # intensity 4 flop/B is right of the knee: the compute roof (100)
+    # caps attainment even though the bandwidth roof would allow 400
+    p = RooflinePoint(
+        intensity=4.0, gflops=80.0, peak_gflops=100.0, peak_bw=100e9
+    )
+    assert p.attainable_gflops == pytest.approx(100.0)
+    assert p.efficiency == pytest.approx(0.8)
+    assert not p.memory_bound
+
+
+def test_roofline_point_infinite_intensity():
+    # no memory traffic at all: the compute roof is the only ceiling
+    p = RooflinePoint(
+        intensity=float("inf"), gflops=50.0, peak_gflops=100.0, peak_bw=100e9
+    )
+    assert p.attainable_gflops == pytest.approx(100.0)
+    assert not p.memory_bound
+
+
+def test_roofline_sample_intensity_hand_computed():
+    # 50 Gflop/s against 25 GB/s = 50e9 / 25e9 = 2 flop/B
+    s = RooflineSample(t0=0.0, t1=1.0, gflops=50.0, mem_bw=25e9)
+    assert s.intensity == pytest.approx(2.0)
+    # zero bandwidth -> infinite intensity, not a ZeroDivisionError
+    assert RooflineSample(0.0, 1.0, 50.0, 0.0).intensity == float("inf")

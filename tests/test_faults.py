@@ -217,3 +217,48 @@ def test_crash_after_completion_still_fails_the_job():
     rt = MpiRuntime(CLUSTER_A, 2, faults=FaultInjector(plan, 2))
     with pytest.raises(RankCrashedError, match="rank 0"):
         rt.launch(body)
+
+
+# --- fingerprint-level fault regression (validation subsystem) --------------
+
+
+def test_degraded_link_moves_only_wait_components():
+    """A communication fault must show up *only* where communication is
+    accounted: per-rank compute (and all counters) are bit-identical to
+    the clean run, MPI wait components grow, the makespan grows, and the
+    steady-state fast-forward declines (faults force full fidelity)."""
+    from repro.validate.golden import canonical_record
+
+    plan = FaultPlan(
+        links=(DegradedLink(bandwidth_factor=0.25, extra_latency=5e-6),)
+    )
+    bench = get_benchmark("minisweep")
+    clean = run(bench, CLUSTER_A, 4, sim_steps=4)
+    faulty = run(bench, CLUSTER_A, 4, sim_steps=4, faults=plan)
+
+    rec_clean = canonical_record(clean)
+    rec_faulty = canonical_record(faulty)
+
+    assert rec_faulty["rank_compute"] == rec_clean["rank_compute"]
+    assert rec_faulty["counters"] == rec_clean["counters"]
+    assert rec_faulty["rank_wait"] != rec_clean["rank_wait"]
+    assert faulty.elapsed > clean.elapsed
+    assert faulty.mpi_time > clean.mpi_time
+    assert faulty.meta["fast_forward"] is False
+
+    # every per-rank difference is confined to MPI_* kinds
+    for per_clean, per_faulty in zip(clean.rank_times, faulty.rank_times):
+        for kind in set(per_clean) | set(per_faulty):
+            if not kind.startswith("MPI_"):
+                assert per_faulty.get(kind, 0.0) == per_clean.get(kind, 0.0)
+
+
+def test_empty_fault_plan_is_fingerprint_identical():
+    """FaultPlan() must be indistinguishable from no plan at the
+    fingerprint level — the strongest equality the repo can express."""
+    from repro.validate.golden import fingerprint
+
+    bench = get_benchmark("tealeaf")
+    no_plan = run(bench, CLUSTER_A, 4, sim_steps=4)
+    empty_plan = run(bench, CLUSTER_A, 4, sim_steps=4, faults=FaultPlan())
+    assert fingerprint(no_plan) == fingerprint(empty_plan)

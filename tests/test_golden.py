@@ -1,0 +1,97 @@
+"""Golden-fingerprint regression tests.
+
+Every checked-in fingerprint in ``tests/golden/`` is replayed and must
+match byte-for-byte.  1-node cases run in the default test lane; the
+4-node cases carry the ``golden`` marker for the dedicated CI lane
+(``pytest -m golden``).
+"""
+
+import os
+
+import pytest
+
+from repro.validate import golden as G
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+CASES_1NODE = [c for c in G.golden_cases() if c.nnodes == 1]
+CASES_4NODE = [c for c in G.golden_cases() if c.nnodes == 4]
+
+
+def _check(case: G.GoldenCase) -> None:
+    expected = G.load_fingerprint(GOLDEN_DIR, case)
+    actual = G.compute_fingerprint(case)
+    if actual.digest != expected.digest:
+        diff = G.record_diff(expected.record, actual.record)
+        pytest.fail(
+            f"{case.slug}: result drifted from the golden fingerprint; "
+            f"first difference: {diff}.  If the change is intentional, "
+            f"regenerate with `repro validate --regen` on a clean tree."
+        )
+
+
+@pytest.mark.parametrize("case", CASES_1NODE, ids=lambda c: c.slug)
+def test_golden_1node(case):
+    _check(case)
+
+
+@pytest.mark.golden
+@pytest.mark.parametrize("case", CASES_4NODE, ids=lambda c: c.slug)
+def test_golden_4node(case):
+    _check(case)
+
+
+def test_corpus_is_complete():
+    """All 36 cases (9 benchmarks x 2 clusters x 2 scales) are on disk."""
+    cases = list(G.golden_cases())
+    assert len(cases) == 36
+    missing = [
+        c.slug for c in cases if not os.path.exists(G.case_path(GOLDEN_DIR, c))
+    ]
+    assert not missing, f"missing golden files: {missing}"
+
+
+def test_fingerprint_is_stable_and_sensitive():
+    """Same result -> same digest; any hashed field moved -> new digest."""
+    case = G.GoldenCase("lbm", "A", 1, 8)
+    r1 = G.run_case(case)
+    r2 = G.run_case(case)
+    assert G.fingerprint(r1) == G.fingerprint(r2)
+
+    import dataclasses
+
+    moved = dataclasses.replace(r1, elapsed=r1.elapsed * (1 + 1e-15))
+    assert G.fingerprint(moved) != G.fingerprint(r1)
+    diff = G.record_diff(
+        G.canonical_record(r1), G.canonical_record(moved)
+    )
+    assert diff is not None and diff.startswith("record.elapsed")
+
+
+def test_record_diff_localizes_first_field():
+    a = {"x": {"y": ["0x1.0p+0", "0x1.8p+1"]}, "z": 1}
+    b = {"x": {"y": ["0x1.0p+0", "0x1.9p+1"]}, "z": 1}
+    diff = G.record_diff(a, b)
+    assert diff.startswith("record.x.y[1]:")
+    assert "3.125" in diff  # hex floats are decoded in the message
+    assert G.record_diff(a, a) is None
+    assert "missing" in G.record_diff({"a": 1}, {})
+
+
+def test_regen_refuses_dirty_tree(tmp_path, monkeypatch):
+    monkeypatch.setattr(G, "tree_is_dirty", lambda root: True)
+    with pytest.raises(G.DirtyTreeError, match="dirty"):
+        G.regenerate(str(tmp_path / "golden"))
+    # --force overrides (fingerprints stubbed: no simulation in this test)
+    monkeypatch.setattr(
+        G,
+        "compute_fingerprint",
+        lambda case: G.Fingerprint(digest="0" * 64, record={"stub": case.slug}),
+    )
+    paths = G.regenerate(str(tmp_path / "golden"), scales=(1,), force=True)
+    assert len(paths) == 18 and all(os.path.exists(p) for p in paths)
+
+
+def test_tree_is_dirty_on_non_repo(tmp_path):
+    """No git provenance counts as dirty (no regen without attribution)."""
+    assert G.tree_is_dirty(str(tmp_path))
