@@ -5,6 +5,10 @@
   19.5 % computing);
 * lbm at 71 processes on ClusterA — slow rank(s) stretching everyone's
   MPI_Barrier/MPI_Wait.
+
+Both runs are pushed through the observability layer (``repro.obs``):
+the detectors must *name* the pathology the paper describes, not just
+show suggestive fractions.
 """
 
 from repro.harness import run
@@ -43,6 +47,15 @@ def test_minisweep_59_process_trace(benchmark):
     assert sum(mpi_kinds.values()) > 0.35
     assert result.elapsed > 1.2 * r58.elapsed
 
+    # the observability layer must name the ripple with rank attribution
+    obs = result.observability()
+    ripple = obs.analysis.ripple
+    print(f"\n{ripple.summary()}")
+    assert ripple.detected
+    # the dominant wait front sweeps across most of the 59-rank chain
+    assert ripple.dominant.depth > 40
+    assert set(ripple.wait_by_rank) <= set(range(59))
+
 
 def test_lbm_71_process_trace(benchmark):
     def build():
@@ -70,3 +83,18 @@ def test_lbm_71_process_trace(benchmark):
     )
     assert computes[-1] > 1.05 * computes[0]
     assert "MPI_Barrier" in frac
+
+    # the observability layer must attribute the skew: the slow class
+    # computes longer, the fast ranks absorb the excess as collective wait
+    obs = result.observability()
+    skew = obs.analysis.skew
+    print(f"\n{skew.summary()}")
+    assert skew.detected
+    assert skew.skew_ratio > 1.05
+    assert skew.absorbed_wait > 0.0
+    fast = [r for r in range(71) if r not in skew.slow_ranks]
+    assert fast, "some ranks must be fast enough to wait"
+    wait = skew.collective_wait_by_rank
+    mean_fast = sum(wait[r] for r in fast) / len(fast)
+    mean_slow = sum(wait[r] for r in skew.slow_ranks) / len(skew.slow_ranks)
+    assert mean_fast > mean_slow

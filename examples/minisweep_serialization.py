@@ -11,6 +11,8 @@ Usage:
     python examples/minisweep_serialization.py
 """
 
+import tempfile
+
 from repro.harness import ascii_plot, run
 from repro.machine import CLUSTER_A
 from repro.spechpc import get_benchmark
@@ -56,6 +58,16 @@ def main() -> None:
         "ordering (paper: 75 % in MPI_Recv). At 58 processes the chain is "
         "half as long and performance roughly doubles."
     )
+
+    # let the observability layer name the pathology and write the
+    # artifacts (Perfetto-loadable Chrome trace, SVG timeline, report)
+    obs = r59.observability()
+    print(f"\ndetector: {obs.analysis.ripple.summary()}")
+    out = tempfile.mkdtemp(prefix="minisweep_trace_")
+    paths = obs.write(f"{out}/minisweep_A_59r")
+    print("artifacts (drag the .chrome.json onto https://ui.perfetto.dev):")
+    for kind, path in sorted(paths.items()):
+        print(f"  {kind:8s} {path}")
 
 
 if __name__ == "__main__":

@@ -51,6 +51,14 @@ def main() -> None:
           f"(chip {fmt_power(e.avg_chip_power)}, DRAM {fmt_power(e.avg_dram_power)})")
     print(f"energy-delay product            : {e.edp / 1e3:.1f} kJ s")
 
+    # where did the time actually go?  (docs/observability.md)
+    obs = result.observability()
+    print("\nwaiting-time classification (repro.obs):")
+    for cat, f in sorted(obs.analysis.fractions.items(), key=lambda kv: -kv[1]):
+        print(f"  {cat:16s} {100 * f:6.2f} %")
+    for finding in obs.analysis.findings():
+        print(f"  -> {finding}")
+
 
 if __name__ == "__main__":
     main()

@@ -4,6 +4,9 @@ Commands
 --------
 ``list``      benchmarks and clusters available
 ``run``       one benchmark run with full observables
+``trace``     traced run -> Chrome trace JSON (Perfetto-loadable), SVG
+              timeline, markdown waiting-time report (see
+              ``docs/observability.md``)
 ``sweep``     scaling sweep (core-level or node-level)
 ``compare``   ClusterB-over-ClusterA acceleration factor
 ``report``    suite-wide summary (acceleration + efficiency + class)
@@ -84,6 +87,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    cluster = get_cluster(args.cluster)
+    name = args.benchmark_opt or args.benchmark
+    if name is None:
+        print("trace: a benchmark is required (positional or --benchmark)",
+              file=sys.stderr)
+        return 2
+    bench = get_benchmark(name)
+    if args.nprocs is not None:
+        nprocs = args.nprocs
+    elif args.nodes is not None:
+        nprocs = args.nodes * cluster.node.cores
+    else:
+        nprocs = cluster.node.cores
+    result = run(bench, cluster, nprocs, suite=args.suite, trace=True,
+                 faults=_load_faults(args.faults))
+    obs = result.observability()
+    os.makedirs(args.out, exist_ok=True)
+    prefix = os.path.join(
+        args.out, f"{bench.name}_{cluster.name}_{nprocs}r"
+    )
+    paths = obs.write(prefix)
+    print(obs.report())
+    print("artifacts:")
+    for kind, path in sorted(paths.items()):
+        print(f"  {kind:8s} {path}")
+    print("\nload the Chrome trace at https://ui.perfetto.dev (drag & drop).")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     cluster = get_cluster(args.cluster)
     bench = get_benchmark(args.benchmark)
@@ -128,6 +163,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.nodes:
         ev = classify_scaling(series)
         print(f"\nscaling case: {ev.case.value}")
+    if args.metrics:
+        from repro.obs import aggregate_metrics
+
+        agg = aggregate_metrics(series)
+        mrows = [
+            (source, metric, f"{value:g}")
+            for source in sorted(agg)
+            for metric, value in sorted(agg[source].items())
+        ]
+        print()
+        print(ascii_table(
+            ["source", "metric", "value"], mrows,
+            title="engine metrics (aggregated over all sweep runs)",
+        ))
     if series.failures:
         print(f"\n{len(series.failures)} point(s) failed:")
         for f in series.failures:
@@ -327,6 +376,26 @@ def build_parser() -> argparse.ArgumentParser:
                     help="inject faults from a FaultPlan JSON file")
     pr.set_defaults(fn=_cmd_run)
 
+    pt = sub.add_parser(
+        "trace",
+        help="traced run -> Chrome trace JSON + SVG timeline + markdown "
+             "waiting-time report",
+    )
+    pt.add_argument("benchmark", nargs="?", default=None)
+    pt.add_argument("--benchmark", "-b", dest="benchmark_opt", default=None,
+                    help="benchmark name (alternative to the positional)")
+    pt.add_argument("--cluster", "-c", default="A")
+    pt.add_argument("--nodes", type=_positive_int, default=None,
+                    help="full nodes to use (nprocs = nodes x cores/node)")
+    pt.add_argument("--nprocs", "-n", type=_positive_int, default=None,
+                    help="explicit rank count (overrides --nodes)")
+    pt.add_argument("--suite", "-s", default="tiny")
+    pt.add_argument("--faults", metavar="PLAN.json",
+                    help="inject faults from a FaultPlan JSON file")
+    pt.add_argument("--out", "-o", default="trace_out",
+                    help="artifact directory (default: trace_out)")
+    pt.set_defaults(fn=_cmd_trace)
+
     ps = sub.add_parser("sweep", help="scaling sweep")
     ps.add_argument("benchmark")
     ps.add_argument("--cluster", "-c", default="A")
@@ -349,6 +418,8 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--resume", metavar="CKPT.jsonl",
                     help="JSONL checkpoint: completed points are restored "
                          "from (and new ones appended to) this file")
+    ps.add_argument("--metrics", action="store_true",
+                    help="print engine metrics aggregated over all runs")
     ps.set_defaults(fn=_cmd_sweep)
 
     pc = sub.add_parser("compare", help="ClusterB over ClusterA")

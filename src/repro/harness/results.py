@@ -31,7 +31,11 @@ class RunResult:
     time_by_kind: dict[str, float]
     energy: EnergyReading
     trace: Optional[Any] = None
-    meta: dict[str, Any] = field(default_factory=dict)
+    #: run configuration echoes and engine diagnostics (e.g.
+    #: ``meta["metrics"]``); excluded from equality — two runs are equal
+    #: when their *physical results* match bitwise, even if different
+    #: engine modes took different internal paths to them
+    meta: dict[str, Any] = field(default_factory=dict, compare=False)
     #: per-rank time breakdown (scaled like ``time_by_kind``); feeds the
     #: validation subsystem's result fingerprints
     rank_times: Optional[tuple[dict[str, float], ...]] = None
@@ -126,6 +130,25 @@ class RunResult:
     def failed(self) -> bool:
         """Uniform success/failure probe across RunResult and FailedRun."""
         return False
+
+    # --- observability --------------------------------------------------------
+
+    @property
+    def metrics(self) -> dict[str, Any]:
+        """The run's engine-metrics snapshot (``{source: {metric: value}}``;
+        see :mod:`repro.obs.metrics`).  Empty for results restored from
+        pre-observability checkpoints."""
+        return self.meta.get("metrics", {})
+
+    def observability(self, **kwargs: Any):
+        """Classified timelines + waiting-time analysis for a traced run
+        (see :func:`repro.obs.observe`; requires ``run(..., trace=True)``).
+
+        Keyword arguments are forwarded to :func:`~repro.obs.observe`
+        (``network``, ``ranks``, detector thresholds)."""
+        from repro.obs import observe  # local import: obs sits above harness
+
+        return observe(self, **kwargs)
 
     # --- lossless (de)serialization — sweep checkpoint/resume ---------------
 

@@ -206,6 +206,10 @@ def run(
         nnodes=raw_energy.nnodes,
     )
 
+    # post-run engine-metrics snapshot (pure counter reads — see
+    # repro.obs.metrics; collection cannot perturb the finished run)
+    from repro.obs.metrics import run_metrics
+
     meta = {
         "sim_steps": steps,
         "seed": seed,
@@ -214,6 +218,7 @@ def run(
             ctx.fast_forward is not None
             and getattr(ctx.fast_forward, "engaged", False)
         ),
+        "metrics": run_metrics(runtime),
     }
     if perturb_seed is not None:
         meta["perturb_seed"] = perturb_seed

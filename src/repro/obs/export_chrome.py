@@ -1,0 +1,112 @@
+"""Chrome ``trace_event`` export — open the run in Perfetto.
+
+Writes the classified timelines in the Trace Event Format consumed by
+``chrome://tracing`` and https://ui.perfetto.dev: one *thread* per MPI
+rank, one complete event (``"ph": "X"``) per segment, with the segment
+category as the event category so Perfetto's search/filter work on
+``rendezvous-wait`` etc.  Times are exported in microseconds (the
+format's native unit); the original seconds and the classified category
+ride in ``args``.
+
+The event list is emitted in a deterministic order (metadata first,
+then ``(ts, tid)``) and the JSON with sorted keys, so a fixed simulated
+run exports byte-identical files — pinned by the golden 2-rank
+ping-pong trace in ``tests/golden/chrome_pingpong_2rank.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.timeline import Timelines
+
+#: Seconds -> trace-event timestamp units (microseconds).
+_US = 1e6
+
+
+def chrome_trace_events(
+    timelines: "Timelines", pid: int = 0
+) -> list[dict[str, Any]]:
+    """The ``traceEvents`` array: thread-name metadata for every rank,
+    then one complete event per classified segment."""
+    events: list[dict[str, Any]] = []
+    for rank in timelines.ranks:
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_sort_index",
+                "pid": pid,
+                "tid": rank,
+                "args": {"sort_index": rank},
+            }
+        )
+    segments = timelines.segments()
+    for seg in segments:
+        events.append(
+            {
+                "ph": "X",
+                "name": seg.kind,
+                "cat": seg.category,
+                "pid": pid,
+                "tid": seg.rank,
+                "ts": seg.t0 * _US,
+                "dur": seg.duration * _US,
+                "args": {
+                    "category": seg.category,
+                    "t0_s": seg.t0,
+                    "t1_s": seg.t1,
+                },
+            }
+        )
+    return events
+
+
+def to_chrome_trace(
+    timelines: "Timelines", label: Optional[str] = None
+) -> dict[str, Any]:
+    """The complete JSON-object form of the trace file."""
+    doc: dict[str, Any] = {
+        "displayTimeUnit": "ms",
+        "traceEvents": chrome_trace_events(timelines),
+        "otherData": {
+            "generator": "repro.obs",
+            "ranks": timelines.nranks,
+            "partial": timelines.partial,
+        },
+    }
+    if label is not None:
+        doc["otherData"]["label"] = label
+    return doc
+
+
+def chrome_trace_json(
+    timelines: "Timelines", label: Optional[str] = None
+) -> str:
+    """Deterministic serialized form (sorted keys, compact separators)."""
+    return json.dumps(
+        to_chrome_trace(timelines, label=label),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def write_chrome_trace(
+    path: str, timelines: "Timelines", label: Optional[str] = None
+) -> str:
+    """Write the trace file; returns ``path``.  Load it at
+    https://ui.perfetto.dev or ``chrome://tracing``."""
+    with open(path, "w") as fh:
+        fh.write(chrome_trace_json(timelines, label=label))
+        fh.write("\n")
+    return path

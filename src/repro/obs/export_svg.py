@@ -1,0 +1,146 @@
+"""SVG timeline renderer — the paper's Fig. 2 trace insets as vector art.
+
+One horizontal lane per rank, one colored rect per classified segment,
+a time axis, and a category legend.  Pure string assembly (no plotting
+dependency) so it runs anywhere the simulator does; colors follow the
+ITAC convention the paper's insets use (blue-ish compute, red-ish MPI
+waiting).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+from xml.sax.saxutils import escape
+
+from repro.obs.timeline import (
+    COLLECTIVE_WAIT,
+    COMPUTE,
+    EAGER_SEND,
+    NETWORK_TRANSFER,
+    RECV_WAIT,
+    RENDEZVOUS_WAIT,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.timeline import Timelines
+
+#: Fill color per segment category (ITAC-like palette).
+CATEGORY_COLORS = {
+    COMPUTE: "#4878cf",           # blue — application code
+    EAGER_SEND: "#8cc5e3",        # light blue — cheap protocol time
+    RENDEZVOUS_WAIT: "#d1342f",   # red — sender blocked
+    RECV_WAIT: "#e8853d",         # orange — receiver blocked
+    NETWORK_TRANSFER: "#b5b991",  # olive — wire time
+    COLLECTIVE_WAIT: "#9d4edd",   # purple — barrier/allreduce wait
+}
+
+_MARGIN_LEFT = 64.0
+_MARGIN_TOP = 24.0
+_AXIS_HEIGHT = 26.0
+_LEGEND_HEIGHT = 22.0
+
+
+def render_svg_timeline(
+    timelines: "Timelines",
+    ranks: Optional[Iterable[int]] = None,
+    width: int = 1000,
+    row_height: int = 14,
+    title: Optional[str] = None,
+) -> str:
+    """Render selected (default: all) ranks as an SVG document string.
+
+    Segments shorter than 1/4 px at the chosen width are skipped — they
+    would be invisible anyway and bloat the file; the per-category
+    aggregates are unaffected (they live in the markdown report).
+    """
+    sel = sorted(timelines.by_rank) if ranks is None else sorted(
+        r for r in ranks if r in timelines.by_rank
+    )
+    if not sel:
+        raise ValueError("no ranks to render")
+    t_min, t_max = timelines.span()
+    if t_max <= t_min:
+        raise ValueError("empty time span")
+    lane_w = width - _MARGIN_LEFT - 8.0
+    scale = lane_w / (t_max - t_min)
+    height = (
+        _MARGIN_TOP + len(sel) * (row_height + 2) + _AXIS_HEIGHT
+        + _LEGEND_HEIGHT
+    )
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height:.0f}" font-family="monospace" font-size="10">',
+        f'<rect width="{width}" height="{height:.0f}" fill="white"/>',
+    ]
+    if title:
+        out.append(
+            f'<text x="{_MARGIN_LEFT}" y="14" font-size="12">'
+            f"{escape(title)}</text>"
+        )
+    min_px = 0.25
+    for i, rank in enumerate(sel):
+        y = _MARGIN_TOP + i * (row_height + 2)
+        out.append(
+            f'<text x="4" y="{y + row_height - 3:.1f}">r{rank}</text>'
+        )
+        for seg in timelines.by_rank[rank].segments:
+            w = seg.duration * scale
+            if w < min_px:
+                continue
+            x = _MARGIN_LEFT + (seg.t0 - t_min) * scale
+            color = CATEGORY_COLORS.get(seg.category, "#999999")
+            out.append(
+                f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" '
+                f'height="{row_height}" fill="{color}">'
+                f"<title>{escape(seg.kind)} [{seg.category}] "
+                f"rank {rank}: {seg.t0:.6g}-{seg.t1:.6g} s "
+                f"({seg.duration:.3g} s)</title></rect>"
+            )
+    # time axis with 5 ticks
+    axis_y = _MARGIN_TOP + len(sel) * (row_height + 2) + 4
+    out.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{axis_y}" '
+        f'x2="{_MARGIN_LEFT + lane_w:.1f}" y2="{axis_y}" stroke="black"/>'
+    )
+    for k in range(6):
+        t = t_min + k * (t_max - t_min) / 5.0
+        x = _MARGIN_LEFT + (t - t_min) * scale
+        out.append(
+            f'<line x1="{x:.1f}" y1="{axis_y}" x2="{x:.1f}" '
+            f'y2="{axis_y + 4}" stroke="black"/>'
+        )
+        out.append(
+            f'<text x="{x:.1f}" y="{axis_y + 15}" text-anchor="middle">'
+            f"{t:.4g}s</text>"
+        )
+    # legend
+    lx = _MARGIN_LEFT
+    ly = axis_y + _AXIS_HEIGHT - 4
+    for cat, color in CATEGORY_COLORS.items():
+        out.append(
+            f'<rect x="{lx:.1f}" y="{ly - 9}" width="10" height="10" '
+            f'fill="{color}"/>'
+        )
+        out.append(f'<text x="{lx + 13:.1f}" y="{ly}">{cat}</text>')
+        lx += 13 + 7.0 * len(cat) + 16
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def write_svg_timeline(
+    path: str,
+    timelines: "Timelines",
+    ranks: Optional[Iterable[int]] = None,
+    width: int = 1000,
+    row_height: int = 14,
+    title: Optional[str] = None,
+) -> str:
+    """Render and write; returns ``path``."""
+    svg = render_svg_timeline(
+        timelines, ranks=ranks, width=width, row_height=row_height,
+        title=title,
+    )
+    with open(path, "w") as fh:
+        fh.write(svg)
+        fh.write("\n")
+    return path

@@ -1,0 +1,349 @@
+"""Detection of the paper's two signature waiting-time patterns.
+
+The ITAC insets of Fig. 2 show two phenomena the paper spends most of
+its MPI analysis on:
+
+* **rendezvous serialization ripple** (minisweep, Sect. 4.1.5) — with
+  send-before-recv ordering and messages above the eager threshold, only
+  the head of the process chain can receive immediately; every other
+  rank blocks in a rendezvous send until its downstream neighbor wakes
+  up, so a *chain of waits* sweeps across the ranks.  On a timeline this
+  is a staircase of overlapping ``rendezvous-wait`` / ``recv-wait``
+  segments whose start times are ordered along the chain.
+* **collective skew** (lbm, Sect. 4.1.4) — one rank computes longer than
+  the rest (alignment penalty, OS noise, an injected
+  :class:`~repro.faults.plan.SlowRank`); everyone else absorbs exactly
+  that excess as ``collective-wait`` at the next barrier/allreduce.  The
+  slow rank is the one with *high compute and low wait* while all others
+  show the mirror image.
+
+Both detectors consume classified :class:`~repro.obs.timeline.Timelines`
+and return frozen report dataclasses with per-rank attribution, rendered
+by :mod:`repro.obs.report` and asserted by
+``benchmarks/bench_fig2_insets_traces.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.timeline import (
+    COLLECTIVE_WAIT,
+    COMPUTE,
+    RECV_WAIT,
+    RENDEZVOUS_WAIT,
+    Segment,
+    Timelines,
+)
+
+#: Segment categories that can form a serialization ripple.
+RIPPLE_CATEGORIES = frozenset({RENDEZVOUS_WAIT, RECV_WAIT})
+
+
+@dataclass(frozen=True)
+class RippleChain:
+    """One detected wait chain: each member rank started blocking while
+    its predecessor in the chain was still blocked."""
+
+    segments: tuple[Segment, ...]
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        return tuple(s.rank for s in self.segments)
+
+    @property
+    def depth(self) -> int:
+        """Number of ranks the wait front propagated across."""
+        return len(self.segments)
+
+    @property
+    def t_start(self) -> float:
+        return self.segments[0].t0
+
+    @property
+    def t_end(self) -> float:
+        return max(s.t1 for s in self.segments)
+
+    @property
+    def serialized_wait(self) -> float:
+        """Total rank-time blocked inside this chain [s]."""
+        return sum(s.duration for s in self.segments)
+
+
+@dataclass(frozen=True)
+class RippleReport:
+    """Serialization-ripple detection result with per-rank attribution."""
+
+    detected: bool
+    chains: tuple[RippleChain, ...]
+    #: total blocked time per rank over *all* qualifying wait segments
+    wait_by_rank: dict[int, float]
+    #: detection threshold actually used [s]
+    min_wait: float
+    min_depth: int
+
+    @property
+    def dominant(self) -> Optional[RippleChain]:
+        """The deepest chain (ties: larger serialized wait)."""
+        if not self.chains:
+            return None
+        return max(self.chains, key=lambda c: (c.depth, c.serialized_wait))
+
+    @property
+    def total_serialized_wait(self) -> float:
+        return sum(c.serialized_wait for c in self.chains)
+
+    def summary(self) -> str:
+        if not self.detected:
+            return "no serialization ripple detected"
+        dom = self.dominant
+        return (
+            f"rendezvous serialization ripple: {len(self.chains)} chain(s), "
+            f"deepest front spans {dom.depth} ranks "
+            f"(ranks {dom.ranks[0]}..{dom.ranks[-1]}) over "
+            f"[{dom.t_start:.6g}, {dom.t_end:.6g}] s, "
+            f"{self.total_serialized_wait:.6g} s of rank-time serialized"
+        )
+
+
+def detect_ripples(
+    timelines: Timelines,
+    min_wait: Optional[float] = None,
+    min_depth: int = 4,
+    min_wait_share: float = 0.02,
+) -> RippleReport:
+    """Find chains of propagating point-to-point waits.
+
+    A segment qualifies when it is a p2p wait (``rendezvous-wait`` or
+    ``recv-wait``) at least ``min_wait`` long; the default threshold is
+    one tenth of the longest qualifying wait, which keeps the detector
+    scale-free (a run with only microsecond protocol jitter reports
+    nothing, a run with second-long stalls keys on those).
+
+    Chain construction is a greedy front walk over segments in start
+    order: segment *s* extends a chain whose last member *l* satisfies
+    ``l.t0 <= s.t0 <= l.t1`` with ``s.rank`` not yet in the chain —
+    i.e. *s*'s rank began blocking while *l*'s rank still was, exactly
+    how a rendezvous stall propagates upstream.  A ripple is *detected*
+    when any chain reaches ``min_depth`` ranks **and** the qualifying
+    wait amounts to at least ``min_wait_share`` of all traced rank-time
+    (a healthy run's protocol jitter also forms geometric chains; it is
+    only a *pathology* when real time is lost to it).
+    """
+    blocks = [
+        s
+        for tl in timelines.by_rank.values()
+        for s in tl.segments
+        if s.category in RIPPLE_CATEGORIES
+    ]
+    if not blocks:
+        return RippleReport(
+            detected=False, chains=(), wait_by_rank={}, min_wait=0.0,
+            min_depth=min_depth,
+        )
+    longest = max(s.duration for s in blocks)
+    threshold = min_wait if min_wait is not None else 0.1 * longest
+    qualifying = sorted(
+        (s for s in blocks if s.duration >= threshold),
+        key=lambda s: (s.t0, s.rank),
+    )
+    wait_by_rank: dict[int, float] = {}
+    for s in qualifying:
+        wait_by_rank[s.rank] = wait_by_rank.get(s.rank, 0.0) + s.duration
+
+    chains: list[list[Segment]] = []
+    members: list[set[int]] = []
+    for s in qualifying:
+        best: Optional[int] = None
+        best_t0 = -1.0
+        for i, chain in enumerate(chains):
+            last = chain[-1]
+            if last.t0 <= s.t0 <= last.t1 and s.rank not in members[i]:
+                # extend the front that started blocking most recently —
+                # the tightest predecessor of this stall
+                if last.t0 > best_t0:
+                    best, best_t0 = i, last.t0
+        if best is None:
+            chains.append([s])
+            members.append({s.rank})
+        else:
+            chains[best].append(s)
+            members[best].add(s.rank)
+    ripple_chains = tuple(
+        RippleChain(segments=tuple(c)) for c in chains if len(c) >= 2
+    )
+    total_time = sum(
+        s.duration for tl in timelines.by_rank.values() for s in tl.segments
+    )
+    qualifying_wait = sum(wait_by_rank.values())
+    detected = (
+        any(c.depth >= min_depth for c in ripple_chains)
+        and qualifying_wait >= min_wait_share * total_time
+    )
+    return RippleReport(
+        detected=detected,
+        chains=tuple(
+            sorted(
+                ripple_chains,
+                key=lambda c: (-c.depth, -c.serialized_wait, c.t_start),
+            )
+        ),
+        wait_by_rank=dict(sorted(wait_by_rank.items())),
+        min_wait=threshold,
+        min_depth=min_depth,
+    )
+
+
+@dataclass(frozen=True)
+class SkewReport:
+    """Collective-skew detection result with slow-rank attribution."""
+
+    detected: bool
+    #: ranks whose excess compute the others absorbed as collective wait
+    slow_ranks: tuple[int, ...]
+    #: per-rank compute time beyond the fastest rank [s]
+    excess_by_rank: dict[int, float]
+    #: per-rank collective-wait time [s]
+    collective_wait_by_rank: dict[int, float]
+    #: total collective wait absorbed by the non-slow ranks [s]
+    absorbed_wait: float
+    #: max compute over min compute
+    skew_ratio: float
+
+    def summary(self) -> str:
+        if not self.detected:
+            return "no collective skew detected"
+        n = len(self.collective_wait_by_rank)
+        if len(self.slow_ranks) <= 6:
+            who = f"rank(s) {', '.join(str(r) for r in self.slow_ranks)}"
+        else:
+            who = f"{len(self.slow_ranks)} of {n} ranks"
+        return (
+            f"collective skew: {who} compute "
+            f"{self.skew_ratio:.2f}x the fastest rank; the other "
+            f"{n - len(self.slow_ranks)} "
+            f"rank(s) absorbed {self.absorbed_wait:.6g} s of rank-time as "
+            f"collective wait"
+        )
+
+
+def detect_collective_skew(
+    timelines: Timelines,
+    skew_ratio_threshold: float = 1.02,
+    slow_fraction: float = 0.5,
+) -> SkewReport:
+    """Find slow-rank barrier/allreduce skew.
+
+    Per rank, compute time ``c_r`` and collective wait ``w_r`` are
+    totalled.  With ``excess_r = c_r - min(c)``, the *slow set* is every
+    rank whose excess exceeds ``slow_fraction`` of the largest excess;
+    everyone else is *fast*.  Skew is *detected* when three things line
+    up, which together are the signature of the lbm inset:
+
+    1. both classes are non-empty (some ranks finish early and wait);
+    2. ``max(c) / min(c) >= skew_ratio_threshold``;
+    3. the fast ranks' mean collective wait covers at least half of the
+       largest excess — the delay really was absorbed at the
+       collective, not hidden elsewhere.
+
+    Covers both flavors seen in practice: a single injected
+    :class:`~repro.faults.plan.SlowRank` (one slow rank, everyone else
+    waits) and lbm's natural alignment penalty, where the *majority* of
+    ranks are slow and a fast minority absorbs the wait.
+    """
+    by_rank = timelines.by_rank
+    if len(by_rank) < 2:
+        return SkewReport(
+            detected=False, slow_ranks=(), excess_by_rank={},
+            collective_wait_by_rank={}, absorbed_wait=0.0, skew_ratio=1.0,
+        )
+    compute: dict[int, float] = {}
+    coll_wait: dict[int, float] = {}
+    for r, tl in sorted(by_rank.items()):
+        times = tl.time_by_category()
+        compute[r] = times.get(COMPUTE, 0.0)
+        coll_wait[r] = times.get(COLLECTIVE_WAIT, 0.0)
+    c_min = min(compute.values())
+    c_max = max(compute.values())
+    excess = {r: c - c_min for r, c in compute.items()}
+    max_excess = max(excess.values())
+    skew_ratio = (c_max / c_min) if c_min > 0.0 else 1.0
+    if max_excess <= 0.0:
+        return SkewReport(
+            detected=False, slow_ranks=(), excess_by_rank=excess,
+            collective_wait_by_rank=coll_wait, absorbed_wait=0.0,
+            skew_ratio=skew_ratio,
+        )
+    slow = tuple(
+        r for r, e in excess.items() if e > slow_fraction * max_excess
+    )
+    fast = [r for r in compute if r not in slow]
+    absorbed = sum(coll_wait[r] for r in fast)
+    mean_fast_wait = absorbed / len(fast) if fast else 0.0
+    detected = (
+        0 < len(slow) < len(by_rank)
+        and skew_ratio >= skew_ratio_threshold
+        and mean_fast_wait >= 0.5 * max_excess
+    )
+    return SkewReport(
+        detected=detected,
+        slow_ranks=slow if detected else (),
+        excess_by_rank=excess,
+        collective_wait_by_rank=coll_wait,
+        absorbed_wait=absorbed,
+        skew_ratio=skew_ratio,
+    )
+
+
+@dataclass(frozen=True)
+class WaitingTimeAnalysis:
+    """Both pattern reports plus the aggregate classification."""
+
+    time_by_category: dict[str, float]
+    fractions: dict[str, float]
+    ripple: RippleReport
+    skew: SkewReport
+
+    @property
+    def wait_fraction(self) -> float:
+        """Share of traced rank-time spent waiting (not computing or
+        transferring)."""
+        from repro.obs.timeline import WAIT_CATEGORIES
+
+        return sum(
+            v for k, v in self.fractions.items() if k in WAIT_CATEGORIES
+        )
+
+    def findings(self) -> list[str]:
+        """Human-readable one-liners, strongest signal first."""
+        out = []
+        if self.ripple.detected:
+            out.append(self.ripple.summary())
+        if self.skew.detected:
+            out.append(self.skew.summary())
+        if not out:
+            out.append(
+                "no pathological waiting pattern detected "
+                f"({100.0 * self.wait_fraction:.1f} % of rank-time waiting)"
+            )
+        return out
+
+
+def analyze_waiting(
+    timelines: Timelines,
+    min_ripple_wait: Optional[float] = None,
+    min_ripple_depth: int = 4,
+    skew_ratio_threshold: float = 1.02,
+) -> WaitingTimeAnalysis:
+    """Run both detectors over classified timelines."""
+    return WaitingTimeAnalysis(
+        time_by_category=timelines.time_by_category(),
+        fractions=timelines.fractions(),
+        ripple=detect_ripples(
+            timelines, min_wait=min_ripple_wait, min_depth=min_ripple_depth
+        ),
+        skew=detect_collective_skew(
+            timelines, skew_ratio_threshold=skew_ratio_threshold
+        ),
+    )

@@ -1,0 +1,169 @@
+"""Markdown waiting-time report.
+
+Renders one run's classified timelines, the waiting-time analysis, and
+the metrics snapshot as a self-contained markdown document — the
+human-readable artifact of ``repro trace`` (the Chrome JSON and SVG are
+the machine/visual ones).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping, Optional
+
+from repro.obs.timeline import CATEGORIES, WAIT_CATEGORIES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.patterns import WaitingTimeAnalysis
+    from repro.obs.timeline import Timelines
+
+
+def _md_table(headers: list[str], rows: list[tuple]) -> str:
+    out = ["| " + " | ".join(headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        out.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def _fmt_s(x: float) -> str:
+    return f"{x:.6g} s"
+
+
+def waiting_time_report(
+    timelines: "Timelines",
+    analysis: "WaitingTimeAnalysis",
+    title: str = "Waiting-time report",
+    meta: Optional[Mapping[str, Any]] = None,
+    metrics: Optional[Mapping[str, Mapping[str, float]]] = None,
+    top_ranks: int = 10,
+) -> str:
+    """Assemble the full markdown report.
+
+    ``meta`` renders as a key/value header (benchmark, cluster, ranks…);
+    ``metrics`` appends the engine-metrics snapshot; ``top_ranks`` caps
+    the per-rank attribution tables of large runs.
+    """
+    lines = [f"# {title}", ""]
+    if timelines.partial:
+        lines += [
+            "> **Partial trace** — the collector retained only a tail of "
+            "the run (streaming ring); all numbers cover that window.",
+            "",
+        ]
+    if meta:
+        lines.append(
+            _md_table(
+                ["run", "value"], [(k, v) for k, v in meta.items()]
+            )
+        )
+        lines.append("")
+
+    # --- classification summary ---------------------------------------------
+    lines += ["## Where the time went", ""]
+    times = analysis.time_by_category
+    fracs = analysis.fractions
+    rows = [
+        (cat, _fmt_s(times[cat]), f"{100.0 * fracs[cat]:.1f} %")
+        for cat in CATEGORIES
+        if cat in times
+    ]
+    lines.append(_md_table(["segment category", "rank-time", "share"], rows))
+    lines += [
+        "",
+        f"Waiting categories ({', '.join(sorted(WAIT_CATEGORIES))}) "
+        f"consume **{100.0 * analysis.wait_fraction:.1f} %** of all traced "
+        "rank-time.",
+        "",
+    ]
+
+    # --- findings -------------------------------------------------------------
+    lines += ["## Findings", ""]
+    for finding in analysis.findings():
+        lines.append(f"- {finding}")
+    lines.append("")
+
+    # --- ripple attribution ---------------------------------------------------
+    ripple = analysis.ripple
+    if ripple.detected:
+        dom = ripple.dominant
+        lines += [
+            "## Rendezvous serialization ripple", "",
+            f"{len(ripple.chains)} wait chain(s) found (threshold "
+            f"{_fmt_s(ripple.min_wait)}, min depth {ripple.min_depth}); "
+            f"the dominant front blocks {dom.depth} ranks in sequence:",
+            "",
+        ]
+        rows = [
+            (s.rank, s.kind, s.category, f"{s.t0:.6g}", f"{s.t1:.6g}",
+             _fmt_s(s.duration))
+            for s in dom.segments[: max(top_ranks, 10)]
+        ]
+        lines.append(
+            _md_table(
+                ["rank", "call", "category", "t0", "t1", "blocked"], rows
+            )
+        )
+        if dom.depth > max(top_ranks, 10):
+            lines.append(
+                f"\n… {dom.depth - max(top_ranks, 10)} more ranks in this "
+                "chain."
+            )
+        lines += ["", "Per-rank blocked time (worst first):", ""]
+        worst = sorted(
+            ripple.wait_by_rank.items(), key=lambda kv: -kv[1]
+        )[:top_ranks]
+        lines.append(
+            _md_table(
+                ["rank", "p2p blocked"],
+                [(r, _fmt_s(w)) for r, w in worst],
+            )
+        )
+        lines.append("")
+
+    # --- skew attribution -----------------------------------------------------
+    skew = analysis.skew
+    if skew.detected:
+        lines += [
+            "## Collective skew", "",
+            skew.summary() + ".",
+            "",
+        ]
+        rows = []
+        for r in sorted(
+            skew.excess_by_rank,
+            key=lambda r: -skew.excess_by_rank[r],
+        )[:top_ranks]:
+            rows.append(
+                (
+                    r,
+                    "**slow**" if r in skew.slow_ranks else "",
+                    _fmt_s(skew.excess_by_rank[r]),
+                    _fmt_s(skew.collective_wait_by_rank.get(r, 0.0)),
+                )
+            )
+        lines.append(
+            _md_table(
+                ["rank", "role", "excess compute", "collective wait"], rows
+            )
+        )
+        lines.append("")
+
+    # --- metrics --------------------------------------------------------------
+    if metrics:
+        lines += ["## Engine metrics", ""]
+        rows = [
+            (source, metric, f"{value:g}")
+            for source in sorted(metrics)
+            for metric, value in sorted(metrics[source].items())
+        ]
+        lines.append(_md_table(["source", "metric", "value"], rows))
+        lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def write_report(path: str, report: str) -> str:
+    """Write a rendered report; returns ``path``."""
+    with open(path, "w") as fh:
+        fh.write(report)
+    return path

@@ -1,0 +1,310 @@
+"""Per-rank timelines with ITAC-style waiting-time classification.
+
+The raw trace (:class:`~repro.perfmon.trace.TraceCollector`) records
+*what call* each rank was in; this module reconstructs *why the time was
+spent*.  Every trace interval is classified into one of six segment
+categories:
+
+``compute``
+    The rank executed kernel code.
+``eager-send``
+    An ``MPI_Send`` that completed in the eager protocol's CPU overhead
+    — the payload was buffered and the sender moved on immediately.
+``rendezvous-wait``
+    An ``MPI_Send`` that blocked: the message was above the eager
+    threshold and the sender stalled until the receiver posted its
+    receive.  Chains of these are the raw material of the paper's
+    minisweep serialization ripple (Sect. 4.1.5).
+``recv-wait``
+    Receive-side blocking (``MPI_Recv`` / ``MPI_Wait`` /
+    ``MPI_Sendrecv``) that lasted longer than the pure protocol + wire
+    cost — the rank waited for a message that had not been *sent* yet.
+``network-transfer``
+    Receive-side time explainable by protocol and wire cost alone: the
+    matching send was already in flight and the rank only paid the
+    transfer.
+``collective-wait``
+    Any collective call (barrier, allreduce, bcast, …).  Collective time
+    is almost entirely waiting for the slowest participant; the paper's
+    lbm inset shows one slow rank exporting its delay to every other
+    rank through exactly this category.
+
+Classification thresholds are derived from the run's
+:class:`~repro.machine.network.NetworkSpec` (see
+:func:`eager_send_bound` and :func:`recv_wait_floor`); the exact rules
+are documented in ``docs/observability.md`` and pinned by hand-computed
+boundary tests in ``tests/test_obs.py``.
+
+Building timelines is a pure *read* of an existing trace — it never
+touches simulation state, so attaching it is zero-perturbation by
+construction (enforced end to end by the golden differential in
+:mod:`repro.validate.differential`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.network import NetworkSpec
+    from repro.perfmon.trace import TraceCollector, TraceInterval
+
+#: Segment categories (stable strings — they appear in exported artifacts).
+COMPUTE = "compute"
+EAGER_SEND = "eager-send"
+RENDEZVOUS_WAIT = "rendezvous-wait"
+RECV_WAIT = "recv-wait"
+NETWORK_TRANSFER = "network-transfer"
+COLLECTIVE_WAIT = "collective-wait"
+
+#: All categories, in canonical display order.
+CATEGORIES = (
+    COMPUTE,
+    EAGER_SEND,
+    RENDEZVOUS_WAIT,
+    RECV_WAIT,
+    NETWORK_TRANSFER,
+    COLLECTIVE_WAIT,
+)
+
+#: Categories that are *waiting* (time the rank made no progress).
+WAIT_CATEGORIES = frozenset(
+    {RENDEZVOUS_WAIT, RECV_WAIT, COLLECTIVE_WAIT}
+)
+
+#: Trace interval kinds that are collective calls.
+COLLECTIVE_KINDS = frozenset(
+    {
+        "MPI_Allreduce",
+        "MPI_Barrier",
+        "MPI_Bcast",
+        "MPI_Reduce",
+        "MPI_Allgather",
+        "MPI_Scatter",
+        "MPI_Gather",
+        "MPI_Alltoall",
+    }
+)
+
+#: Receive-side blocking kinds (classified recv-wait / network-transfer).
+RECV_SIDE_KINDS = frozenset({"MPI_Recv", "MPI_Wait", "MPI_Sendrecv"})
+
+#: Relative tolerance on the eager-send duration comparison; an eager
+#: blocking send costs *exactly* ``per_message_overhead`` in the model,
+#: the epsilon only absorbs decimal round-tripping of exported times.
+_EAGER_RTOL = 1e-9
+
+
+def eager_send_bound(network: "NetworkSpec") -> float:
+    """Longest duration an ``MPI_Send`` interval can have and still be an
+    eager send.
+
+    In the engine an eager blocking send completes after exactly
+    ``per_message_overhead`` seconds (the payload is buffered; see
+    :meth:`repro.smpi.comm.Communicator.isend`), so any send interval
+    longer than this bound must have taken the rendezvous path and
+    blocked on the receiver.
+    """
+    return network.per_message_overhead * (1.0 + _EAGER_RTOL)
+
+
+def recv_wait_floor(network: "NetworkSpec") -> float:
+    """Longest receive-side duration explainable without waiting.
+
+    A receive whose matching message was already in flight pays at most
+    the rendezvous handshake, one inter-node latency, and two message
+    overheads (its own completion plus the sender's RTS processing)::
+
+        floor = rendezvous_handshake + latency + 2 * per_message_overhead
+
+    Anything longer means the rank sat waiting for a message that had
+    not been sent (or not progressed) yet, and is classified
+    ``recv-wait``.  The floor deliberately excludes the byte-transfer
+    term — message sizes are not recorded per interval — so very large
+    transfers are conservatively counted as waiting; for the paper's
+    benchmarks (halo exchanges of at most a few MiB) the wire time is
+    orders of magnitude below any wait this module reports on.
+    """
+    return (
+        network.rendezvous_handshake
+        + network.latency
+        + 2.0 * network.per_message_overhead
+    )
+
+
+def classify_kind(kind: str, duration: float, network: "NetworkSpec") -> str:
+    """Map one trace interval to its segment category.
+
+    The rules (pinned by hand-computed boundary tests):
+
+    1. a non-``MPI_`` kind is ``compute`` (custom compute labels too);
+    2. a collective kind is ``collective-wait``;
+    3. ``MPI_Send`` is ``eager-send`` iff its duration is within
+       :func:`eager_send_bound`, else ``rendezvous-wait``;
+    4. receive-side kinds are ``network-transfer`` iff their duration is
+       within :func:`recv_wait_floor`, else ``recv-wait``.
+    """
+    if not kind.startswith("MPI_"):
+        return COMPUTE
+    if kind in COLLECTIVE_KINDS:
+        return COLLECTIVE_WAIT
+    if kind == "MPI_Send":
+        if duration <= eager_send_bound(network):
+            return EAGER_SEND
+        return RENDEZVOUS_WAIT
+    # receive side: MPI_Recv / MPI_Wait / MPI_Sendrecv (and any unknown
+    # future MPI kind — waiting is the conservative default)
+    if duration <= recv_wait_floor(network):
+        return NETWORK_TRANSFER
+    return RECV_WAIT
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One classified slice of one rank's timeline."""
+
+    rank: int
+    t0: float
+    t1: float
+    category: str
+    kind: str
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass(frozen=True)
+class RankTimeline:
+    """One rank's classified segments, in start-time order."""
+
+    rank: int
+    segments: tuple[Segment, ...]
+
+    def time_by_category(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for s in self.segments:
+            out[s.category] = out.get(s.category, 0.0) + s.duration
+        return out
+
+    @property
+    def compute_time(self) -> float:
+        return sum(s.duration for s in self.segments if s.category == COMPUTE)
+
+    @property
+    def wait_time(self) -> float:
+        """Total time in waiting categories (see :data:`WAIT_CATEGORIES`)."""
+        return sum(
+            s.duration for s in self.segments if s.category in WAIT_CATEGORIES
+        )
+
+    def in_category(self, category: str) -> tuple[Segment, ...]:
+        return tuple(s for s in self.segments if s.category == category)
+
+
+@dataclass(frozen=True)
+class Timelines:
+    """All ranks' classified timelines plus the classification context.
+
+    ``partial`` is true when the source trace retained only a tail of
+    its intervals (streaming mode with a ring); aggregate numbers then
+    cover the retained window only.
+    """
+
+    by_rank: dict[int, RankTimeline]
+    network: "NetworkSpec"
+    partial: bool = False
+
+    @property
+    def ranks(self) -> list[int]:
+        return sorted(self.by_rank)
+
+    @property
+    def nranks(self) -> int:
+        return len(self.by_rank)
+
+    def rank(self, rank: int) -> RankTimeline:
+        return self.by_rank[rank]
+
+    def span(self) -> tuple[float, float]:
+        t0 = min(
+            (tl.segments[0].t0 for tl in self.by_rank.values() if tl.segments),
+            default=0.0,
+        )
+        t1 = max(
+            (tl.segments[-1].t1 for tl in self.by_rank.values() if tl.segments),
+            default=0.0,
+        )
+        return (t0, t1)
+
+    def segments(self) -> list[Segment]:
+        """Every segment of every rank, ordered by (t0, rank)."""
+        out = [s for tl in self.by_rank.values() for s in tl.segments]
+        out.sort(key=lambda s: (s.t0, s.rank))
+        return out
+
+    def time_by_category(self, rank: Optional[int] = None) -> dict[str, float]:
+        """Aggregate (or one rank's) time per segment category."""
+        if rank is not None:
+            return self.by_rank[rank].time_by_category()
+        out: dict[str, float] = {}
+        for tl in self.by_rank.values():
+            for k, v in tl.time_by_category().items():
+                out[k] = out.get(k, 0.0) + v
+        return out
+
+    def fractions(self, rank: Optional[int] = None) -> dict[str, float]:
+        """Share of traced time per category (the paper's '75 % waiting')."""
+        times = self.time_by_category(rank)
+        total = sum(times.values())
+        if total == 0.0:
+            return {}
+        return {k: v / total for k, v in times.items()}
+
+    def wait_by_rank(self) -> dict[int, float]:
+        """Per-rank total waiting time, for attribution tables."""
+        return {r: tl.wait_time for r, tl in sorted(self.by_rank.items())}
+
+
+def build_timelines(
+    trace: "TraceCollector",
+    network: "NetworkSpec",
+    ranks: Optional[Iterable[int]] = None,
+) -> Timelines:
+    """Classify a collected trace into per-rank timelines.
+
+    ``ranks`` optionally restricts the result to a subset of ranks
+    (exports of huge runs usually want a representative slice).  Raises
+    ``ValueError`` for a streaming trace that retained no intervals —
+    there is nothing to classify; re-run with ``trace=True`` or a ring.
+    """
+    retained = trace.intervals
+    if not retained and len(trace):
+        raise ValueError(
+            "trace retained no intervals (streaming mode without a ring); "
+            "collect with trace=True or TraceCollector(streaming=True, "
+            "ring=N) to build timelines"
+        )
+    wanted = None if ranks is None else set(ranks)
+    per_rank: dict[int, list[Segment]] = {}
+    for iv in retained:
+        if wanted is not None and iv.rank not in wanted:
+            continue
+        seg = Segment(
+            rank=iv.rank,
+            t0=iv.t0,
+            t1=iv.t1,
+            category=classify_kind(iv.kind, iv.t1 - iv.t0, network),
+            kind=iv.kind,
+        )
+        per_rank.setdefault(iv.rank, []).append(seg)
+    by_rank = {}
+    for r, segs in per_rank.items():
+        segs.sort(key=lambda s: s.t0)
+        by_rank[r] = RankTimeline(rank=r, segments=tuple(segs))
+    return Timelines(
+        by_rank=by_rank,
+        network=network,
+        partial=len(retained) < len(trace),
+    )

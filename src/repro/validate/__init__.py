@@ -39,6 +39,7 @@ __all__ = [
     "regenerate",
     "sanitize",
     "differential_run",
+    "observability_differential",
 ]
 
 _LAZY = {
@@ -48,6 +49,7 @@ _LAZY = {
     "regenerate": "repro.validate.golden",
     "sanitize": "repro.validate.perturb",
     "differential_run": "repro.validate.differential",
+    "observability_differential": "repro.validate.differential",
 }
 
 

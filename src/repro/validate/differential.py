@@ -250,6 +250,118 @@ def differential_run(
     )
 
 
+# --- observability zero-perturbation differential ---------------------------
+
+
+@dataclass(frozen=True)
+class ObservabilityReport:
+    """Outcome of one observability zero-perturbation check."""
+
+    benchmark: str
+    cluster: str
+    nprocs: int
+    suite: str
+    plain_digest: str
+    observed_digest: str
+    #: the checked-in golden digest, when a golden corpus was consulted
+    golden_digest: Optional[str]
+    mismatches: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        head = (
+            f"{self.benchmark} on {self.cluster} nprocs={self.nprocs}: "
+            "observability differential"
+        )
+        if self.ok:
+            return f"{head} — zero-perturbation"
+        lines = [f"{head} — {len(self.mismatches)} MISMATCH(ES)"]
+        lines += ["  " + m for m in self.mismatches]
+        return "\n".join(lines)
+
+
+def observability_differential(
+    benchmark: Union[str, Benchmark],
+    cluster: Union[str, ClusterSpec],
+    nprocs: int,
+    suite: str = "tiny",
+    sim_steps: Optional[int] = None,
+    golden_dir: Optional[str] = None,
+) -> ObservabilityReport:
+    """Prove attaching observability does not perturb results.
+
+    Runs the job twice — plain (production flags, fast-forward eligible)
+    and with a full trace plus the complete :mod:`repro.obs` pipeline
+    (timeline classification, both pattern detectors, metrics snapshot,
+    all three exporters) driven over it — and asserts the two result
+    fingerprints are bit-identical.  With ``golden_dir``, both must also
+    match the checked-in golden digest when the point is part of the
+    corpus (the traced run not only equals today's plain run, it equals
+    the historical record).
+    """
+    from repro.harness.runner import run  # lazy: harness imports us
+    from repro.machine.registry import get_cluster
+    from repro.spechpc.suite import get_benchmark
+
+    bench = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
+    clus = get_cluster(cluster) if isinstance(cluster, str) else cluster
+
+    plain = run(bench, clus, nprocs, suite=suite, sim_steps=sim_steps)
+    traced = run(bench, clus, nprocs, suite=suite, sim_steps=sim_steps,
+                 trace=True)
+
+    # drive the whole observability pipeline — every derived artifact is
+    # built from the finished run, so none of this may move the result
+    from repro.obs import chrome_trace_json, observe, render_svg_timeline
+
+    obs = observe(traced)
+    obs.report()
+    chrome_trace_json(obs.timelines)
+    render_svg_timeline(obs.timelines)
+
+    fp_plain = fingerprint(plain)
+    fp_traced = fingerprint(traced)
+    mismatches: list[str] = []
+    if fp_traced != fp_plain:
+        field = record_diff(fp_plain.record, fp_traced.record) or "<digest only>"
+        mismatches.append(f"traced vs plain: {field}")
+
+    golden_digest: Optional[str] = None
+    if golden_dir is not None:
+        from repro.validate.golden import golden_cases, load_fingerprint
+
+        for case in golden_cases():
+            if (
+                case.benchmark == bench.name
+                and get_cluster(case.cluster).name == clus.name
+                and case.nprocs == nprocs
+                and case.suite == suite
+                and sim_steps is None
+            ):
+                golden = load_fingerprint(golden_dir, case)
+                golden_digest = golden.digest
+                if fp_traced.digest != golden.digest:
+                    mismatches.append(
+                        f"traced vs golden {case.slug}: digest "
+                        f"{fp_traced.digest[:16]}… != {golden.digest[:16]}…"
+                    )
+                break
+
+    return ObservabilityReport(
+        benchmark=bench.name,
+        cluster=clus.name,
+        nprocs=nprocs,
+        suite=suite,
+        plain_digest=fp_plain.digest,
+        observed_digest=fp_traced.digest,
+        golden_digest=golden_digest,
+        mismatches=tuple(mismatches),
+    )
+
+
 # --- bandwidth-scheduler differential ---------------------------------------
 
 

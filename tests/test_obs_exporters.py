@@ -1,0 +1,136 @@
+"""Exporter coverage: golden Chrome trace for a deterministic 2-rank
+ping-pong, SVG structure, and markdown report content."""
+
+import json
+import os
+
+import pytest
+
+from repro.machine import CLUSTER_A
+from repro.obs import (
+    COLLECTIVE_WAIT,
+    COMPUTE,
+    EAGER_SEND,
+    RENDEZVOUS_WAIT,
+    build_timelines,
+    chrome_trace_json,
+    render_svg_timeline,
+    to_chrome_trace,
+    waiting_time_report,
+)
+from repro.obs.export_svg import CATEGORY_COLORS
+from repro.obs.patterns import analyze_waiting
+from repro.perfmon.trace import TraceCollector
+from repro.smpi import MpiRuntime
+
+GOLDEN = os.path.join(
+    os.path.dirname(__file__), "golden", "chrome_pingpong_2rank.json"
+)
+
+
+@pytest.fixture(scope="module")
+def pingpong_timelines():
+    """A deterministic 2-rank job exercising every p2p flavor: compute,
+    an eager send, a rendezvous send blocked on a late receiver, a
+    buffered-eager pickup, and a barrier."""
+
+    def body(comm):
+        if comm.rank == 0:
+            yield comm.compute(1e-3)
+            yield comm.send(1, nbytes=1024)          # eager (64 KiB limit)
+            yield comm.send(1, nbytes=256 * 1024)    # rendezvous: blocks
+            yield comm.barrier()
+        else:
+            yield comm.compute(2e-3)                 # sender waits on us
+            yield comm.recv(0)                       # buffered eager pickup
+            yield comm.recv(0)                       # completes rendezvous
+            yield comm.barrier()
+
+    trace = TraceCollector()
+    rt = MpiRuntime(CLUSTER_A, 2, trace=trace)
+    rt.launch(body)
+    return build_timelines(trace, CLUSTER_A.network)
+
+
+def test_pingpong_classification(pingpong_timelines):
+    cats0 = [s.category for s in pingpong_timelines.rank(0).segments]
+    assert cats0[0] == COMPUTE
+    assert EAGER_SEND in cats0
+    assert RENDEZVOUS_WAIT in cats0
+    assert COLLECTIVE_WAIT in cats0
+    # the rendezvous send blocked roughly the receiver's extra compute
+    rdv = pingpong_timelines.rank(0).in_category(RENDEZVOUS_WAIT)
+    assert len(rdv) == 1
+    assert rdv[0].duration == pytest.approx(1e-3, rel=0.2)
+
+
+def test_chrome_trace_matches_golden(pingpong_timelines):
+    """The serialized Chrome trace is byte-identical to the checked-in
+    golden.  A diff means either the exporter's format changed or the
+    engine's timing of this elementary job moved — both must be
+    deliberate: rerun with ``REPRO_REGEN_GOLDEN=1`` on a clean tree and
+    commit the updated file."""
+    got = chrome_trace_json(pingpong_timelines, label="pingpong-2rank")
+    if os.environ.get("REPRO_REGEN_GOLDEN"):  # pragma: no cover - regen path
+        with open(GOLDEN, "w") as fh:
+            fh.write(got + "\n")
+        pytest.fail(f"regenerated {GOLDEN}; rerun without REPRO_REGEN_GOLDEN")
+    expected = open(GOLDEN).read().rstrip("\n")
+    assert got == expected
+
+
+def test_chrome_trace_structure(pingpong_timelines):
+    doc = to_chrome_trace(pingpong_timelines, label="x")
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in meta} == {"thread_name", "thread_sort_index"}
+    assert len(meta) == 2 * pingpong_timelines.nranks
+    assert len(spans) == sum(
+        len(tl.segments) for tl in pingpong_timelines.by_rank.values()
+    )
+    # X events are named by MPI kind, categorized by classification, and
+    # carry microsecond ts/dur plus the original second-resolution times
+    for e in spans:
+        assert e["ts"] >= 0.0
+        assert e["dur"] >= 0.0
+        assert e["cat"] == e["args"]["category"]
+        assert e["ts"] == pytest.approx(e["args"]["t0_s"] * 1e6)
+    # serialization is deterministic
+    assert chrome_trace_json(pingpong_timelines) == chrome_trace_json(
+        pingpong_timelines
+    )
+
+
+def test_svg_structure(pingpong_timelines):
+    svg = render_svg_timeline(pingpong_timelines, title="pingpong")
+    assert svg.startswith("<svg") and svg.rstrip().endswith("</svg>")
+    assert "pingpong" in svg
+    for rank in pingpong_timelines.ranks:
+        assert f"rank {rank}" in svg
+    # every used category appears with its legend color
+    for cat in pingpong_timelines.time_by_category():
+        assert CATEGORY_COLORS[cat] in svg
+    # no scripts: the artifact must be safe to embed
+    assert "<script" not in svg
+
+
+def test_svg_rank_subset(pingpong_timelines):
+    svg = render_svg_timeline(pingpong_timelines, ranks=[1])
+    assert "rank 1" in svg and "rank 0" not in svg
+
+
+def test_markdown_report_sections(pingpong_timelines):
+    analysis = analyze_waiting(pingpong_timelines)
+    md = waiting_time_report(
+        pingpong_timelines,
+        analysis,
+        title="pingpong report",
+        meta={"ranks": 2},
+        metrics={"engine": {"events": 7}},
+    )
+    assert md.startswith("# pingpong report")
+    assert "## Where the time went" in md
+    assert "## Findings" in md
+    assert "## Engine metrics" in md
+    assert "| engine | events | 7 |" in md

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Docstring cross-reference checker for the ``repro`` public API.
+
+Scans every source file under ``src/repro/`` for Sphinx-style roles
+(``:class:`...```, ``:mod:`...```, ``:func:`...```, ``:meth:`...```,
+``:attr:`...```, ``:data:`...```, ``:exc:`...```) and verifies that
+each fully-qualified ``repro.*`` target actually imports/resolves.
+Dangling references rot silently otherwise — a rename breaks dozens of
+docstrings with no test noticing — and they render as broken links in
+the generated API docs (the CI docs job builds them with pdoc).
+
+References may wrap across docstring lines (whitespace inside the
+backticks is normalized away) and may use the Sphinx ``~`` shortening
+prefix.  Unqualified targets (no ``repro.`` prefix) are skipped: they
+are resolved relative to their module by Sphinx and are not checkable
+without a full build.
+
+Exit code 0 when every reference resolves, 1 with a ``file:line``
+listing otherwise.
+
+Usage:
+    PYTHONPATH=src python tools/check_api_docs.py [src_root]
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+
+ROLE_RE = re.compile(
+    r":(?:class|mod|func|meth|attr|data|exc|obj):`([^`]+)`", re.DOTALL
+)
+
+
+def normalize(ref: str) -> str:
+    """Strip the ``~`` prefix and any whitespace/newlines (wrapped
+    references like ``repro.faults.plan.\\nDegradedLink``)."""
+    ref = ref.strip().lstrip("~")
+    ref = re.sub(r"\s+", "", ref)
+    return ref.rstrip("().")
+
+
+def resolves(ref: str) -> bool:
+    """True when ``ref`` names an importable module or an attribute
+    chain hanging off one."""
+    parts = ref.split(".")
+    for i in range(len(parts), 0, -1):
+        modname = ".".join(parts[:i])
+        try:
+            mod = importlib.import_module(modname)
+        except ImportError:
+            continue
+        obj = mod
+        for attr in parts[i:]:
+            try:
+                obj = getattr(obj, attr)
+            except AttributeError:
+                return False
+        return True
+    return False
+
+
+def iter_refs(path: Path):
+    """Yield (lineno, raw_ref) for every role reference in the file."""
+    text = path.read_text()
+    for m in ROLE_RE.finditer(text):
+        lineno = text.count("\n", 0, m.start()) + 1
+        yield lineno, m.group(1)
+
+
+def main(argv: list[str]) -> int:
+    src = Path(argv[1]).resolve() if len(argv) > 1 else Path("src").resolve()
+    pkg_root = src / "repro"
+    if not pkg_root.is_dir():
+        print(f"check_api_docs: no package at {pkg_root}", file=sys.stderr)
+        return 1
+    sys.path.insert(0, str(src))
+
+    checked = 0
+    skipped = 0
+    errors: list[str] = []
+    for path in sorted(pkg_root.rglob("*.py")):
+        for lineno, raw in iter_refs(path):
+            ref = normalize(raw)
+            if not ref.startswith("repro."):
+                skipped += 1
+                continue
+            checked += 1
+            if not resolves(ref):
+                rel = path.relative_to(src)
+                errors.append(f"{rel}:{lineno}: dangling reference "
+                              f":role:`{ref}`")
+    if errors:
+        print(f"check_api_docs: {len(errors)} dangling reference(s):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"check_api_docs: OK — {checked} qualified reference(s) resolve "
+          f"({skipped} unqualified skipped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation surface.
+
+Walks the checked-in markdown (README.md, DESIGN.md, EXPERIMENTS.md,
+CHANGES.md, docs/*.md), extracts every inline link, and verifies:
+
+* relative file links resolve to an existing file or directory;
+* fragment links (``file.md#section`` or ``#section``) match a heading
+  in the target file, using GitHub's anchor slugging;
+* external links are syntactically sane (``http(s)://`` — never
+  fetched; CI must not depend on the network).
+
+Exit code 0 when every link resolves, 1 with a ``file:line`` listing
+otherwise.
+
+Usage:
+    python tools/check_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+DOC_GLOBS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "CHANGES.md",
+             "ROADMAP.md", "docs/*.md")
+
+#: inline links: [text](target) — images share the syntax via ![
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading → anchor transformation."""
+    # drop inline code/emphasis markers and links' URL part
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("_", "_")
+    text = text.strip().lower()
+    # keep word chars, spaces and hyphens; spaces become hyphens
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set[str]:
+    anchors: dict[str, int] = {}
+    out: set[str] = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = anchors.get(slug, 0)
+        anchors[slug] = n + 1
+        out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
+
+
+def iter_links(path: Path):
+    """Yield (lineno, target) for every inline link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors: list[str] = []
+    for lineno, target in iter_links(path):
+        where = f"{path.relative_to(root)}:{lineno}"
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("<") or "://" in target:
+            errors.append(f"{where}: malformed link target {target!r}")
+            continue
+        file_part, _, fragment = target.partition("#")
+        dest = path if not file_part else (path.parent / file_part).resolve()
+        if not dest.exists():
+            errors.append(f"{where}: broken link -> {target} "
+                          f"(no such file {file_part})")
+            continue
+        if fragment:
+            if dest.is_dir() or dest.suffix.lower() != ".md":
+                continue  # anchors into non-markdown are out of scope
+            if fragment not in heading_anchors(dest):
+                errors.append(f"{where}: broken anchor -> {target} "
+                              f"(no heading slugs to '#{fragment}')")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    files: list[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(root.glob(pattern)))
+    if not files:
+        print(f"check_links: no markdown found under {root}", file=sys.stderr)
+        return 1
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path, root))
+    if errors:
+        print(f"check_links: {len(errors)} broken link(s):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    nlinks = sum(1 for p in files for _ in iter_links(p))
+    print(f"check_links: OK — {nlinks} link(s) across {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
