@@ -1,14 +1,14 @@
 """Engine microbenchmark: DES fast path, memoization, matching, sweeps,
-and the paper-scale fast-forward.
+and the paper-scale replay tiers.
 
 Quantifies the performance work on the simulation engine itself (not a
 paper figure): event throughput of the run-queue fast path versus the
 pure-heap reference engine, the per-run phase-cost cache, the combined
 effect on a full-node tiny sweep, and — with ``-m paperscale`` — full
 64-node jobs (the scale of the paper's Figs. 5-6) comparing the
-optimized engine (indexed matching + steady-state fast-forward) against
-the pre-PR reference flags.  Run with ``--json`` to emit the
-``BENCH_engine.json`` perf-trajectory artifact.
+optimized engine (indexed matching + steady-state fast-forward + the
+wavefront level-set tier) against the pre-PR reference flags.  Run with
+``--json`` to emit the ``BENCH_engine.json`` perf-trajectory artifact.
 """
 
 import time
@@ -22,8 +22,10 @@ from repro.harness import ascii_table, run, scaling_sweep
 from repro.machine import get_cluster
 from repro.spechpc import get_benchmark
 
-#: Reference flags restoring the pre-optimization engine end to end.
-PRE_PR_FLAGS = dict(fast_forward=False, matcher="linear")
+#: Reference flags restoring the pre-optimization engine end to end
+#: (``fast_forward=False`` alone would force the wavefront tier, so the
+#: reference must disable both replay tiers explicitly).
+PRE_PR_FLAGS = dict(fast_forward=False, matcher="linear", wavefront=False)
 
 
 def _timed(fn):
@@ -220,7 +222,8 @@ def test_fast_engine_equivalence_smoke(benchmark, perf_records):
     assert fast.meta["fast_forward"] is True
     assert _identical(fast, ref), "optimized engine diverged from reference"
     for flag in (
-        dict(fast_forward=False),
+        dict(fast_forward=False),           # forces the wavefront tier
+        dict(fast_forward=False, wavefront=False),
         dict(matcher="linear"),
         dict(fast_path=False),
         dict(memoize=False),
@@ -240,28 +243,79 @@ def test_fast_engine_equivalence_smoke(benchmark, perf_records):
         "identical": True,
         "fast_forward_engaged": True,
     })
+    assert t_ref / t_fast >= 1.0, "engine regression: smoke case below 1x"
+
+
+def test_wavefront_smoke(benchmark, perf_records):
+    """CI smoke case for the wavefront tier: one-node minisweep — no
+    collective, skewed step boundaries — with enough steps for the DAG
+    replay to engage; must agree bit-for-bit with the pre-PR reference
+    and never regress below it."""
+    cluster = get_cluster("ClusterA")
+    bench = get_benchmark("minisweep")
+    n = cluster.node.cores
+    steps = 12
+
+    def compare():
+        run(bench, cluster, n, sim_steps=steps)  # warm caches/allocators
+        t_fast, fast = _timed(lambda: run(bench, cluster, n, sim_steps=steps))
+        t_ref, ref = _timed(
+            lambda: run(bench, cluster, n, sim_steps=steps, **PRE_PR_FLAGS)
+        )
+        return fast, t_fast, ref, t_ref
+
+    fast, t_fast, ref, t_ref = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert fast.meta["wavefront"] is True
+    assert ref.meta["wavefront"] is False
+    assert _identical(fast, ref), "wavefront tier diverged from reference"
+    wf = fast.meta["metrics"]["wavefront"]
+    print()
+    print(f"minisweep 1-node x {steps} steps: optimized {t_fast:.2f}s, "
+          f"pre-PR flags {t_ref:.2f}s ({t_ref / t_fast:.2f}x), "
+          f"levels={wf['levels']:.0f}, events_saved={wf['events_saved']:.0f}")
+    perf_records.append({
+        "case": "smoke_minisweep_1node_wavefront",
+        "nprocs": n,
+        "sim_steps": steps,
+        "optimized_s": round(t_fast, 4),
+        "reference_s": round(t_ref, 4),
+        "speedup": round(t_ref / t_fast, 3),
+        "identical": True,
+        "wavefront_engaged": True,
+        "dag_levels": wf["levels"],
+        "events_saved": wf["events_saved"],
+    })
+    assert t_ref / t_fast >= 1.0, "engine regression: wavefront smoke below 1x"
 
 
 @pytest.mark.paperscale
 def test_paper_scale_64node(benchmark, perf_records):
-    """Acceptance target: >= 5x combined on the paper-scale 64-node lbm +
-    minisweep cases versus the pre-PR engine, bit-identical throughout.
+    """Acceptance targets: >= 5x on the paper-scale 64-node minisweep
+    case (the wavefront tier's raison d'être), >= 5x combined, and **no
+    case below 1x** — bit-identical throughout.
 
     lbm (torus halo exchange + allreduce) runs a 128-step slice of its
-    600-step tiny workload: its step structure is exactly periodic, so
-    the steady-state fast-forward simulates four steps and replays the
-    rest analytically.  minisweep has no collective (Table 1) — its step
-    boundaries never synchronize globally, fast-forward correctly
-    declines, and its gain comes from indexed matching alone; it runs
-    its default two representative steps.
+    600-step tiny workload: its step structure is exactly periodic and
+    globally synchronized, so the steady-state fast-forward simulates
+    four steps and replays the rest analytically.  minisweep has no
+    collective (Table 1) and weather's halo pipeline keeps its step
+    boundaries skewed — the synchronized tier declines both, and the
+    wavefront tier carries them: the journaled step compiles once into
+    a rank x step dependency DAG and the remaining steps replay as
+    vectorized level-set relaxation, O(levels) instead of O(events).
     """
     cluster = replace(get_cluster("ClusterA"), max_nodes=64)
     n = 64 * cluster.node.cores
-    cases = [("lbm", 128), ("minisweep", None)]
+    # (benchmark, sim_steps, expected engaged tier)
+    cases = [
+        ("lbm", 128, "sync"),
+        ("minisweep", 40, "wavefront"),
+        ("weather", 128, "wavefront"),
+    ]
 
     def compare():
         out = {}
-        for name, steps in cases:
+        for name, steps, tier in cases:
             bench = get_benchmark(name)
             t_fast, fast = _timed(
                 lambda: run(bench, cluster, n, sim_steps=steps)
@@ -270,16 +324,16 @@ def test_paper_scale_64node(benchmark, perf_records):
                 lambda: run(bench, cluster, n, sim_steps=steps, **PRE_PR_FLAGS)
             )
             assert _identical(fast, ref), f"{name} diverged from reference"
-            out[name] = (t_fast, t_ref, fast.meta["fast_forward"])
+            assert fast.meta["fast_forward"] is True, f"{name}: no tier engaged"
+            engaged = "wavefront" if fast.meta["wavefront"] else "sync"
+            assert engaged == tier, f"{name}: {engaged} engaged, expected {tier}"
+            out[name] = (t_fast, t_ref, engaged)
         return out
 
     timings = benchmark.pedantic(compare, rounds=1, iterations=1)
-    assert timings["lbm"][2] is True          # fast-forward engaged
-    assert timings["minisweep"][2] is False   # declined (no collective)
     rows = [
-        (name, f"{t_fast:.2f}", f"{t_ref:.2f}", f"{t_ref / t_fast:.2f}x",
-         "yes" if ff else "no")
-        for name, (t_fast, t_ref, ff) in timings.items()
+        (name, f"{t_fast:.2f}", f"{t_ref:.2f}", f"{t_ref / t_fast:.2f}x", tier)
+        for name, (t_fast, t_ref, tier) in timings.items()
     ]
     t_fast_all = sum(v[0] for v in timings.values())
     t_ref_all = sum(v[1] for v in timings.values())
@@ -288,12 +342,12 @@ def test_paper_scale_64node(benchmark, perf_records):
                  f"{combined:.2f}x", "-"))
     print()
     print(ascii_table(
-        ["case", "optimized [s]", "pre-PR flags [s]", "speedup", "ff"],
+        ["case", "optimized [s]", "pre-PR flags [s]", "speedup", "tier"],
         rows,
         title=f"Paper scale: 64 nodes x {cluster.node.cores} ranks "
         f"({n} ranks), bit-identical",
     ))
-    for name, (t_fast, t_ref, ff) in timings.items():
+    for name, (t_fast, t_ref, tier) in timings.items():
         perf_records.append({
             "case": f"paper_scale_{name}_64node",
             "nprocs": n,
@@ -301,7 +355,7 @@ def test_paper_scale_64node(benchmark, perf_records):
             "reference_s": round(t_ref, 4),
             "speedup": round(t_ref / t_fast, 3),
             "identical": True,
-            "fast_forward_engaged": ff,
+            "tier": tier,
         })
     perf_records.append({
         "case": "paper_scale_combined_64node",
@@ -309,4 +363,8 @@ def test_paper_scale_64node(benchmark, perf_records):
         "reference_s": round(t_ref_all, 4),
         "speedup": round(combined, 3),
     })
+    # hard no-regression gate: every case must at least break even
+    for name, (t_fast, t_ref, _) in timings.items():
+        assert t_ref / t_fast >= 1.0, f"engine regression on {name}"
+    assert timings["minisweep"][1] / timings["minisweep"][0] >= 5.0
     assert combined >= 5.0

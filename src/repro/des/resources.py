@@ -28,6 +28,17 @@ and a callback carrying a stale epoch returns immediately.  (The old
 reference guard compared ``sim.now`` against the scheduled completion
 time with a ``1e-12`` float tolerance — a rebalance landing within the
 tolerance window could be mistaken for the real completion.)
+
+``light=True`` (virtual-clock only) additionally enables a *solo-flow
+fast path*: while exactly one flow is active — the common case for runs
+whose replay tier is structurally ineligible and which are below paper
+scale, where the harness hints that nothing will ever consume the full
+bookkeeping — the flow skips the finish-time heap entirely.  The
+completion time is computed with the exact virtual-clock arithmetic
+(``(V + amount) - V`` is *not* exactly ``amount`` in floats), so the
+timing is bitwise identical; a second flow joining retroactively
+materializes the solo flow into the heap (entry order, hence tie order,
+preserved) and the epoch bump cancels the solo callback.
 """
 
 from __future__ import annotations
@@ -67,6 +78,7 @@ class BandwidthResource:
         capacity: float,
         name: str = "resource",
         scheduler: str = "virtual-clock",
+        light: bool = False,
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -79,6 +91,8 @@ class BandwidthResource:
         self.capacity = capacity
         self.name = name
         self.scheduler = scheduler
+        self.light = light and scheduler == "virtual-clock"
+        self._solo: _Flow | None = None  # light solo-flow fast path
         self._flows: list[_Flow] = []    # reference mode only
         self._nflows = 0                 # virtual-clock mode only
         self._last_update = 0.0
@@ -134,6 +148,19 @@ class BandwidthResource:
 
     def _complete_vclock(self) -> None:
         self._advance_vclock()
+        solo = self._solo
+        if solo is not None:
+            # light solo completion: same sequence as the heap path —
+            # advance, retire, snap the virtual clock to the flow's exact
+            # finish value, fire — with no heap traffic at all
+            self._solo = None
+            solo.finished = True
+            self._nflows -= 1
+            if solo.finish_v > self._vclock:
+                self._vclock = solo.finish_v
+            solo.done.fire(self.sim.now)
+            self._reschedule_vclock()
+            return
         heap = self._finish_heap
         while heap and heap[0][2].finished:
             heappop(heap)
@@ -141,20 +168,26 @@ class BandwidthResource:
             # the epoch guard guarantees no rebalance happened since this
             # completion was scheduled, so the heap head *is* the flow it
             # was scheduled for — complete it unconditionally (immune to
-            # virtual-clock rounding), then any co-finishers within eps
-            # (simultaneous finishers complete in entry order via the
-            # tiebreak counter — matching the reference's scan order)
-            _, _, head = heappop(heap)
+            # virtual-clock rounding), together with any co-finishers
+            # within eps.  The batch fires in *entry* order (the tiebreak
+            # counter), not heap order: co-finishers' virtual finish
+            # times can differ by float noise in either direction, and
+            # the reference scheduler's scan completes simultaneous
+            # finishers in entry order
+            _, tb, head = heappop(heap)
             head.finished = True
             self._nflows -= 1
             if head.finish_v > self._vclock:
                 self._vclock = head.finish_v
-            head.done.fire(self.sim.now)
+            batch = [(tb, head)]
             eps = 1e-9 * self.capacity
             while heap and not heap[0][2].finished and heap[0][0] <= self._vclock + eps:
-                _, _, flow = heappop(heap)
+                _, tb, flow = heappop(heap)
                 flow.finished = True
                 self._nflows -= 1
+                batch.append((tb, flow))
+            batch.sort()
+            for _, flow in batch:
                 flow.done.fire(self.sim.now)
         self._reschedule_vclock()
 
@@ -206,8 +239,32 @@ class BandwidthResource:
             flow = _Flow(remaining=amount, done=Signal(f"{self.name}-flow"))
             flow.finish_v = self._vclock + amount
             self._nflows += 1
-            heappush(self._finish_heap, (flow.finish_v, next(self._tiebreak), flow))
-            self._reschedule_vclock()
+            if self.light and self._nflows == 1:
+                # solo fast path: no heap entry; completion time uses the
+                # exact virtual-clock expression of the n=1 heap path
+                self._solo = flow
+                self._epoch += 1
+                t_done = (
+                    self.sim.now
+                    + max(0.0, flow.finish_v - self._vclock)
+                    * self._nflows / self.capacity
+                )
+                self._schedule_completion(t_done)
+            else:
+                if self._solo is not None:
+                    # a second flow joins: retroactively materialize the
+                    # solo flow (entry order preserved — it draws its
+                    # tiebreak before the newcomer); the reschedule's
+                    # epoch bump cancels the solo completion callback
+                    heappush(
+                        self._finish_heap,
+                        (self._solo.finish_v, next(self._tiebreak), self._solo),
+                    )
+                    self._solo = None
+                heappush(
+                    self._finish_heap, (flow.finish_v, next(self._tiebreak), flow)
+                )
+                self._reschedule_vclock()
         else:
             self._advance_reference()
             flow = _Flow(remaining=amount, done=Signal(f"{self.name}-flow"))

@@ -89,6 +89,7 @@ class RunSpec:
     memoize: bool = True
     matcher: str = "indexed"
     fast_forward: bool = True
+    wavefront: bool = True
     faults: Optional["FaultPlan"] = None
     max_events: Optional[int] = None
     sim_time_limit: Optional[float] = None
@@ -129,6 +130,7 @@ def execute(spec: RunSpec) -> RunResult:
         memoize=spec.memoize,
         matcher=spec.matcher,
         fast_forward=spec.fast_forward,
+        wavefront=spec.wavefront,
         faults=spec.faults,
         max_events=spec.max_events,
         sim_time_limit=spec.sim_time_limit,

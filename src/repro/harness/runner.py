@@ -30,6 +30,7 @@ def run(
     memoize: bool = True,
     matcher: str = "indexed",
     fast_forward: bool = True,
+    wavefront: bool = True,
     faults: Optional[FaultPlan] = None,
     max_events: Optional[int] = None,
     sim_time_limit: Optional[float] = None,
@@ -75,6 +76,16 @@ def run(
         structure is observed to be exactly periodic, remaining steps are
         advanced analytically with bit-identical statistics.  Runs with
         noise, faults, or tracing force full fidelity regardless.
+    wavefront:
+        Allow the wavefront replay tier (see
+        :mod:`repro.spechpc.wavefront`): periodic steps whose boundaries
+        are *not* globally synchronized — KBA sweeps, skewed halo
+        pipelines — are compiled into a dependency DAG and advanced with
+        vectorized level-set replay, bit-identical to full simulation.
+        Shares the fast-forward's eligibility gating;
+        ``fast_forward=False, wavefront=True`` forces the wavefront tier
+        even for structures the synchronized tier could handle (the
+        validation configuration).
     faults:
         A :class:`~repro.faults.plan.FaultPlan` to inject (slow ranks,
         OS-noise bursts, degraded links, rank crashes).  ``None`` or an
@@ -154,6 +165,32 @@ def run(
         from repro.validate.invariants import InvariantChecker
 
         checker = InvariantChecker(nprocs)
+
+    # shared tier gating: full fidelity is forced (no controller)
+    # whenever anything can perturb or observe individual steps — noise,
+    # faults, tracing, invariants, perturbation, or an un-memoized
+    # (generation-less) pricing model
+    from repro.spechpc.fastforward import (
+        PAPER_SCALE_RANKS,
+        FastForwardController,
+        replay_ineligibility,
+    )
+
+    tier_declined = replay_ineligibility(
+        noise=noise,
+        faults=injector,
+        trace=collector,
+        checker=checker,
+        perturb_seed=perturb_seed,
+        memoize=memoize,
+        sim_steps=steps,
+    )
+    tier_active = tier_declined is None and (fast_forward or wavefront)
+    # light-machinery hint: a structurally ineligible small run skips the
+    # matching-stamp and virtual-clock bookkeeping nothing will consume
+    light = (
+        not tier_active and nprocs < PAPER_SCALE_RANKS and perturb_seed is None
+    )
     runtime = MpiRuntime(
         cluster,
         nprocs,
@@ -164,24 +201,23 @@ def run(
         matcher=matcher,
         perturb_seed=perturb_seed,
         checker=checker,
+        light=light,
     )
     ctx.runtime = runtime
-    if (
-        fast_forward
-        and noise is None
-        and injector is None
-        and collector is None
-        and checker is None
-        and perturb_seed is None
-        and memoize
-        and steps >= 5
-    ):
-        # full fidelity is forced (no controller) whenever anything can
-        # perturb or observe individual steps: noise, faults, tracing,
-        # or an un-memoized (generation-less) pricing model
-        from repro.spechpc.fastforward import FastForwardController
+    if tier_active:
+        if wavefront:
+            from repro.spechpc.wavefront import WavefrontController
 
-        ctx.fast_forward = FastForwardController(runtime, steps, ctx.exec_model)
+            ctl = WavefrontController(
+                runtime, steps, ctx.exec_model, allow_sync=fast_forward
+            )
+        else:
+            ctl = FastForwardController(runtime, steps, ctx.exec_model)
+        ctx.fast_forward = ctl
+        runtime.tier_metrics = ctl.metrics
+    else:
+        code = tier_declined[0] if tier_declined is not None else "disabled"
+        runtime.tier_metrics = lambda code=code: {f"declined.{code}": 1.0}
     job = runtime.launch(
         benchmark.make_body(ctx), max_events=max_events, deadline=sim_time_limit
     )
@@ -217,6 +253,11 @@ def run(
         "fast_forward": (
             ctx.fast_forward is not None
             and getattr(ctx.fast_forward, "engaged", False)
+        ),
+        "wavefront": (
+            ctx.fast_forward is not None
+            and getattr(ctx.fast_forward, "mode", None) == "wavefront"
+            and ctx.fast_forward.engaged
         ),
         "metrics": run_metrics(runtime),
     }

@@ -27,6 +27,7 @@ def scaling_sweep(
     memoize: bool = True,
     matcher: str = "indexed",
     fast_forward: bool = True,
+    wavefront: bool = True,
     faults: Optional[FaultPlan] = None,
     timeout: Optional[float] = None,
     retries: int = 0,
@@ -79,6 +80,7 @@ def scaling_sweep(
             memoize=memoize,
             matcher=matcher,
             fast_forward=fast_forward,
+            wavefront=wavefront,
             faults=faults,
             max_events=max_events,
             sim_time_limit=sim_time_limit,

@@ -142,7 +142,9 @@ def bandwidth_metrics(resource: Any) -> dict[str, float]:
 def runtime_registry(runtime: "MpiRuntime") -> MetricsRegistry:
     """A registry wired with every standard source the runtime carries:
     always ``engine`` and ``mailboxes``; ``faults``/``trace`` when the
-    corresponding subsystem is attached."""
+    corresponding subsystem is attached; ``wavefront`` when the runner
+    set tier-decision counters (``eligible``/``levels``/``events_saved``
+    on engage, ``declined.<reason>`` otherwise)."""
     reg = MetricsRegistry()
     reg.register("engine", lambda: engine_metrics(runtime.sim))
     reg.register("mailboxes", lambda: mailbox_metrics(runtime.mailboxes))
@@ -150,6 +152,8 @@ def runtime_registry(runtime: "MpiRuntime") -> MetricsRegistry:
         reg.register("faults", lambda: fault_metrics(runtime.faults))
     if runtime.trace is not None:
         reg.register("trace", lambda: trace_metrics(runtime.trace))
+    if getattr(runtime, "tier_metrics", None) is not None:
+        reg.register("wavefront", runtime.tier_metrics)
     return reg
 
 

@@ -31,6 +31,20 @@ posted-receive order — are preserved structurally.  This is the matching
 half of the validation subsystem's determinism sanitizer
 (:mod:`repro.validate.perturb`): a result that shifts under the shuffle
 depends on a tie-break MPI never promised.
+
+Light mode (structurally ineligible small runs)
+-----------------------------------------------
+``Mailbox(..., light=True)`` skips the per-call sequence stamping on the
+hot path: stamps exist only to order *queued* items against each other
+(the wildcard probe compares arrival stamps, the delivery scan compares
+post stamps — never across sides), so they can be assigned lazily at
+queue-append time from the same counter, preserving queue order exactly.
+A call that matches immediately never draws a stamp.  The runner enables
+this only when the run's replay tier is structurally ineligible and the
+rank count is below the paper-scale threshold — small wavefront runs
+stop paying for machinery they can never use.  Results are bit-identical;
+light is ignored (forced off) for the linear matcher and under the
+tie-shuffle, whose RNG stream consumes state per delivery.
 """
 
 from __future__ import annotations
@@ -95,6 +109,7 @@ class Mailbox:
         "rank",
         "indexed",
         "tie_shuffle",
+        "light",
         "_seq",
         "_arrival_q",
         "_post_q",
@@ -109,10 +124,12 @@ class Mailbox:
         rank: int,
         indexed: bool = True,
         tie_shuffle: Optional[random.Random] = None,
+        light: bool = False,
     ) -> None:
         self.rank = rank
         self.indexed = indexed
         self.tie_shuffle = tie_shuffle
+        self.light = light and indexed and tie_shuffle is None
         self._seq = 0
         if indexed:
             # (src, tag) -> FIFO deque; wildcard posts live under keys
@@ -138,9 +155,14 @@ class Mailbox:
         and the caller must wait on ``post.match_signal`` (fired with the
         matching :class:`SendArrival`).
         """
-        seq = self._seq
-        self._seq = seq + 1
-        post = RecvPost(src=src, tag=tag, posted_time=now, seq=seq)
+        if self.light:
+            # stamp lazily at queue time: stamps only order queued posts
+            # against each other, and an immediate match never needs one
+            post = RecvPost(src=src, tag=tag, posted_time=now)
+        else:
+            seq = self._seq
+            self._seq = seq + 1
+            post = RecvPost(src=src, tag=tag, posted_time=now, seq=seq)
         if not self.indexed:
             for i, arr in enumerate(self._arrival_q):
                 if post.matches(arr.src, arr.tag):
@@ -151,11 +173,12 @@ class Mailbox:
 
         arr_by_key = self._arr_by_key
         if src != ANY_SOURCE and tag != ANY_TAG:
-            q = arr_by_key.get((src, tag))
-            if q:
-                self._n_arrivals -= 1
-                return q.popleft(), post
-        else:
+            if self._n_arrivals:
+                q = arr_by_key.get((src, tag))
+                if q:
+                    self._n_arrivals -= 1
+                    return q.popleft(), post
+        elif self._n_arrivals:
             # wildcard receive: earliest-stamped arrival among the heads
             # of every matching key queue (queue order == stamp order).
             # Under perturbation the cross-queue choice keys on
@@ -184,6 +207,10 @@ class Mailbox:
             if best_q is not None:
                 self._n_arrivals -= 1
                 return best_q.popleft(), post
+        if self.light:
+            seq = self._seq
+            self._seq = seq + 1
+            post.seq = seq
         q = self._post_by_key.get((src, tag))
         if q is None:
             q = self._post_by_key[(src, tag)] = deque()
@@ -196,12 +223,13 @@ class Mailbox:
     def deliver(self, arrival: SendArrival) -> Optional[RecvPost]:
         """Register an arriving message; return the matching posted receive
         if one exists (removed from the queue), else queue the arrival."""
-        seq = self._seq
-        self._seq = seq + 1
-        arrival.seq = seq
         shuffle = self.tie_shuffle
-        if shuffle is not None:
-            arrival.jitter = shuffle.getrandbits(16)
+        if not self.light:
+            seq = self._seq
+            self._seq = seq + 1
+            arrival.seq = seq
+            if shuffle is not None:
+                arrival.jitter = shuffle.getrandbits(16)
         if not self.indexed:
             for i, post in enumerate(self._post_q):
                 if post.matches(arrival.src, arrival.tag):
@@ -228,24 +256,29 @@ class Mailbox:
 
         # posted-receive order is stamp order; an arrival can match at
         # most four post keys (exact + the three wildcard shapes)
-        post_by_key = self._post_by_key
-        best_q = None
-        best_seq = -1
-        for key in (
-            (arrival.src, arrival.tag),
-            (arrival.src, ANY_TAG),
-            (ANY_SOURCE, arrival.tag),
-            (ANY_SOURCE, ANY_TAG),
-        ):
-            q = post_by_key.get(key)
-            if q:
-                head_seq = q[0].seq
-                if best_q is None or head_seq < best_seq:
-                    best_q = q
-                    best_seq = head_seq
-        if best_q is not None:
-            self._n_posts -= 1
-            return best_q.popleft()
+        if self._n_posts:
+            post_by_key = self._post_by_key
+            best_q = None
+            best_seq = -1
+            for key in (
+                (arrival.src, arrival.tag),
+                (arrival.src, ANY_TAG),
+                (ANY_SOURCE, arrival.tag),
+                (ANY_SOURCE, ANY_TAG),
+            ):
+                q = post_by_key.get(key)
+                if q:
+                    head_seq = q[0].seq
+                    if best_q is None or head_seq < best_seq:
+                        best_q = q
+                        best_seq = head_seq
+            if best_q is not None:
+                self._n_posts -= 1
+                return best_q.popleft()
+        if self.light:
+            seq = self._seq
+            self._seq = seq + 1
+            arrival.seq = seq
         key = (arrival.src, arrival.tag)
         q = self._arr_by_key.get(key)
         if q is None:

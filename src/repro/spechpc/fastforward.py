@@ -44,12 +44,15 @@ Protocol (driven by :class:`StepLoop` at step boundaries)
 
 Fidelity is forced (the controller is never created) for runs with
 noise, fault injection, tracing, ``memoize=False``, or
-``fast_forward=False`` — those simulate every step as before.
+``fast_forward=False`` — those simulate every step as before.  The
+shared gating lives in :func:`replay_ineligibility` so the runner and
+the wavefront tier (:mod:`repro.spechpc.wavefront`) apply exactly the
+same rules.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional, Sequence, Union
 
 import numpy as np
 
@@ -63,6 +66,50 @@ if TYPE_CHECKING:  # pragma: no cover
 class ReplayUnsupported(Exception):
     """The recorded op structure cannot be replayed (falls back to full
     event-level simulation; never escapes the controller)."""
+
+
+#: Rank count at or above which a run counts as "paper scale" for the
+#: light-machinery hint: below it, runs whose replay tier is structurally
+#: ineligible skip the indexed-matching stamp bookkeeping (see
+#: :mod:`repro.smpi.mailbox`) because nothing will ever consume it.
+PAPER_SCALE_RANKS = 256
+
+
+def replay_ineligibility(
+    *,
+    noise: Any = None,
+    faults: Any = None,
+    trace: Any = None,
+    checker: Any = None,
+    perturb_seed: Optional[int] = None,
+    memoize: bool = True,
+    sim_steps: int = 0,
+) -> Optional[tuple[str, str]]:
+    """Why a run can never engage a replay tier, or ``None`` if it may.
+
+    This is the single source of truth for the *structural* gating shared
+    by the steady-state fast-forward and the wavefront tier: anything
+    that perturbs or observes individual steps (noise, faults, tracing,
+    invariant checking, schedule perturbation, un-memoized pricing) or
+    leaves no step to skip forces full fidelity.  Returns a
+    ``(code, reason)`` pair — the code is a stable slug used for the
+    ``wavefront.declined.<code>`` metric.
+    """
+    if noise is not None:
+        return ("noise", "compute noise requires full fidelity")
+    if faults is not None:
+        return ("faults", "fault injection requires full fidelity")
+    if trace is not None:
+        return ("tracing", "tracing observes every step")
+    if checker is not None:
+        return ("invariants", "invariant checking observes every event")
+    if perturb_seed is not None:
+        return ("perturb", "schedule perturbation forbids fixed tie-breaks")
+    if not memoize:
+        return ("nomemo", "un-memoized pricing has no stable generation")
+    if sim_steps < FastForwardController.PARK + 1:
+        return ("steps", "no steps left after the recording prologue")
+    return None
 
 
 # --------------------------------------------------------------------------
@@ -219,10 +266,19 @@ class Replayer:
         self.nprocs = nprocs
         self.stats = stats
 
-    def run(self, t_start: float, nsteps: int) -> list[float]:
-        """Replay ``nsteps`` steps from the synchronized instant
-        ``t_start``; returns the final per-rank clocks."""
-        ranks = [_ReplayRank(self.journals[r], t_start) for r in range(self.nprocs)]
+    def run(
+        self, t_start: Union[float, Sequence[float]], nsteps: int
+    ) -> list[float]:
+        """Replay ``nsteps`` steps from ``t_start`` — a single
+        synchronized instant or one clock per rank (skewed wavefront
+        boundaries); returns the final per-rank clocks."""
+        if isinstance(t_start, (int, float)):
+            starts = [float(t_start)] * self.nprocs
+        else:
+            starts = [float(t) for t in t_start]
+        ranks = [
+            _ReplayRank(self.journals[r], starts[r]) for r in range(self.nprocs)
+        ]
         for _ in range(nsteps):
             self._run_step(ranks)
             for rr in ranks:
@@ -721,12 +777,21 @@ class FastForwardController:
         self.dead = sim_steps < self.PARK + 1  # nothing left to skip
         self.engaged = False
         self._journals: dict[int, list[list]] = {}   # step -> per-rank ops
-        self._boundary_now: dict[int, list[float]] = {}
+        #: boundary index -> per-rank clock (rank-indexed; None = not there
+        #: yet) — rank-indexed so skewed wavefront boundaries keep their
+        #: per-rank identity instead of arrival order
+        self._boundary_now: dict[int, list[Optional[float]]] = {}
         self._arrived: dict[int, int] = {}
         self._park_signal = Signal("fast-forward-decision")
         self._park = False
         self._gen0: Optional[int] = None
         self.abort_reason: Optional[str] = None
+        self.abort_code: Optional[str] = None
+        #: replay depth and analytically-skipped op count, set on engage
+        #: (exposed via :meth:`metrics` for the wavefront observability
+        #: counters; the sync tier reports its column count as depth)
+        self.levels = 0
+        self.events_saved = 0
 
     # --- per-rank boundary hook -------------------------------------------
 
@@ -764,45 +829,85 @@ class FastForwardController:
 
     def _note_boundary(self, idx: int, rank: int, now: float) -> bool:
         """Record a rank's boundary timestamp; True for the last arrival."""
-        self._boundary_now.setdefault(idx, []).append(now)
+        nows = self._boundary_now.get(idx)
+        if nows is None:
+            nows = self._boundary_now[idx] = [None] * self.nprocs
+        nows[rank] = now
         n = self._arrived.get(idx, 0) + 1
         self._arrived[idx] = n
         return n == self.nprocs
 
-    def _abort(self, reason: str) -> None:
+    def _abort(self, reason: str, code: str = "aborted") -> None:
         self.abort_reason = reason
+        self.abort_code = code
         self.dead = True
 
     # --- decision ----------------------------------------------------------
 
-    def _decide(self) -> None:
-        """Last rank at the DECIDE boundary: check eligibility and arm the
-        parking boundary (nothing blocks here — ranks already proceeded)."""
+    def _common_decline_reason(self) -> Optional[tuple[str, str]]:
+        """Checks every replay tier shares: supported ops, steps left,
+        stable pricing, complete and periodic journals.  Returns a
+        ``(code, reason)`` pair or ``None``."""
         rec = self.recorder
         if rec.unsupported is not None:
-            return self._abort(f"unsupported op: {rec.unsupported}")
+            return ("unsupported-op", f"unsupported op: {rec.unsupported}")
         if self.sim_steps < self.PARK + 1:
-            return self._abort("no steps left to fast-forward")
+            return ("steps", "no steps left to fast-forward")
         gen = getattr(self.exec_model, "generation", None)
         if self._gen0 is None or gen != self._gen0:
-            return self._abort("phase pricing not stable while recording")
+            return ("pricing-unstable", "phase pricing not stable while recording")
         j1 = self._journals.get(self.RECORD_FIRST)
         j2 = self._journals.get(self.RECORD_FIRST + 1)
         if j1 is None or j2 is None or any(x is None for x in j1 + j2):
-            return self._abort("incomplete journals")
+            return ("incomplete-journals", "incomplete journals")
         for r in range(self.nprocs):
             if j1[r] != j2[r]:
-                return self._abort(f"rank {r} step structure not periodic")
+                return ("not-periodic", f"rank {r} step structure not periodic")
+        return None
+
+    def _sync_decline_reason(self) -> Optional[tuple[str, str]]:
+        """Checks specific to the *synchronized* replay tier: every step
+        ends in a full-communicator collective and all ranks cross each
+        boundary at one instant."""
+        j1 = self._journals[self.RECORD_FIRST]
+        for r in range(self.nprocs):
             if not j1[r] or j1[r][-1][0] != "coll":
-                return self._abort(
+                return (
+                    "no-collective-boundary",
                     f"rank {r} step does not end in a collective "
-                    "(boundaries not globally synchronized)"
+                    "(boundaries not globally synchronized)",
                 )
         for idx in (self.RECORD_FIRST + 1, self.DECIDE):
-            nows = self._boundary_now.get(idx, [])
-            if len(nows) != self.nprocs or any(t != nows[0] for t in nows):
-                return self._abort("step boundaries not synchronized")
+            nows = self._boundary_now.get(idx)
+            if (
+                nows is None
+                or any(t is None for t in nows)
+                or any(t != nows[0] for t in nows)
+            ):
+                return ("boundaries-skewed", "step boundaries not synchronized")
+        return None
+
+    def _decide(self) -> None:
+        """Last rank at the DECIDE boundary: check eligibility and arm the
+        parking boundary (nothing blocks here — ranks already proceeded)."""
+        declined = self._common_decline_reason() or self._sync_decline_reason()
+        if declined is not None:
+            return self._abort(declined[1], declined[0])
         self._park = True
+
+    # --- observability -------------------------------------------------------
+
+    def metrics(self) -> dict[str, float]:
+        """Post-run tier-decision counters (the ``wavefront`` metrics
+        source; see :mod:`repro.obs.metrics`)."""
+        if self.engaged:
+            return {
+                "eligible": 1.0,
+                "levels": float(self.levels),
+                "events_saved": float(self.events_saved),
+            }
+        code = self.abort_code if self.abort_code is not None else "undecided"
+        return {f"declined.{code}": 1.0}
 
     # --- engagement ---------------------------------------------------------
 
@@ -843,10 +948,12 @@ class FastForwardController:
                     now, remaining
                 )
         except ReplayUnsupported as exc:
-            self._abort(str(exc))
+            self._abort(str(exc), "validation")
             self._park_signal.fire(("go", None))
             return
         self.engaged = True
+        self.levels = max(len(j) for j in journals)
+        self.events_saved = remaining * sum(len(j) for j in journals)
         self._park_signal.fire(("ff", finals))
 
 

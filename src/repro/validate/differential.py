@@ -8,11 +8,14 @@ executor vs the serial loop.  Every pair claims bit-identical results;
 this module is where that claim is *checked* rather than assumed.
 
 :func:`differential_run` executes one job in every mode of the flag
-matrix (16 = fast_path × matcher × memoize × fast_forward) plus a
-workers>1 sweep, fingerprints each (see :mod:`repro.validate.golden`),
-and — for the trace-compatible subset — diffs complete event timelines
-against the all-reference mode, reporting the first mismatching trace
-record with its mode, rank, time, and kind.
+matrix (24 = fast_path × matcher × memoize × replay tier, the tier being
+off / fast-forward / fast-forward+wavefront) plus a workers>1 sweep,
+fingerprints each (see :mod:`repro.validate.golden`), and — for the
+trace-compatible subset — diffs complete event timelines against the
+all-reference mode, reporting the first mismatching trace record with
+its mode, rank, time, and kind.  (The fourth tier combination — the
+wavefront tier *forced* with the synchronized tier disabled — is covered
+by the golden-corpus test in ``tests/test_wavefront.py``.)
 
 :func:`bandwidth_scheduler_differential` covers the one deliberately
 *non*-bitwise pair: the two :class:`~repro.des.resources.
@@ -41,30 +44,40 @@ class Mode:
     matcher: str
     memoize: bool
     fast_forward: bool
+    wavefront: bool = False
 
     @property
     def label(self) -> str:
+        tier = (
+            "wf" if self.wavefront
+            else ("ff" if self.fast_forward else "noff")
+        )
         return (
             f"{'fastpath' if self.fast_path else 'heap'}"
             f"+{self.matcher}"
             f"+{'memo' if self.memoize else 'nomemo'}"
-            f"+{'ff' if self.fast_forward else 'noff'}"
+            f"+{tier}"
         )
 
 
 #: The all-reference mode every other mode is diffed against: pure heap,
 #: linear matcher, fresh pricing, full stepping.
 REFERENCE_MODE = Mode(
-    fast_path=False, matcher="linear", memoize=False, fast_forward=False
+    fast_path=False, matcher="linear", memoize=False, fast_forward=False,
+    wavefront=False,
 )
+
+#: Replay-tier axis of the matrix: tier off, synchronized fast-forward,
+#: fast-forward with the wavefront tier on top (the production default).
+_TIERS = ((False, False), (True, False), (True, True))
 
 
 def flag_matrix() -> list[Mode]:
-    """All 16 engine modes, reference first."""
+    """All 24 engine modes, reference first."""
     modes = [
-        Mode(fast_path=fp, matcher=m, memoize=mz, fast_forward=ff)
-        for fp, m, mz, ff in itertools.product(
-            (False, True), ("linear", "indexed"), (False, True), (False, True)
+        Mode(fast_path=fp, matcher=m, memoize=mz, fast_forward=ff, wavefront=wf)
+        for fp, m, mz, (ff, wf) in itertools.product(
+            (False, True), ("linear", "indexed"), (False, True), _TIERS
         )
     ]
     modes.sort(key=lambda m: m != REFERENCE_MODE)  # stable: reference first
@@ -166,6 +179,7 @@ def differential_run(
             bench, clus, nprocs, suite=suite, sim_steps=sim_steps,
             fast_path=mode.fast_path, matcher=mode.matcher,
             memoize=mode.memoize, fast_forward=mode.fast_forward,
+            wavefront=mode.wavefront,
         )
         for mode in modes
     }
@@ -178,10 +192,10 @@ def differential_run(
             mode: run(
                 bench, clus, nprocs, suite=suite, sim_steps=sim_steps,
                 trace=True, fast_path=mode.fast_path, matcher=mode.matcher,
-                memoize=mode.memoize, fast_forward=False,
+                memoize=mode.memoize, fast_forward=False, wavefront=False,
             ).trace
             for mode in modes
-            if not mode.fast_forward
+            if not mode.fast_forward and not mode.wavefront
         }
 
     mismatches: list[ModeMismatch] = []
@@ -195,7 +209,7 @@ def differential_run(
         first = None
         base_mode = Mode(
             fast_path=mode.fast_path, matcher=mode.matcher,
-            memoize=mode.memoize, fast_forward=False,
+            memoize=mode.memoize, fast_forward=False, wavefront=False,
         )
         if base_mode in traces:
             first = _first_trace_diff(traces[REFERENCE_MODE], traces[base_mode])
@@ -228,7 +242,7 @@ def differential_run(
         ] * 2
         pooled = run_many(specs, workers=2)
         nmodes += 1
-        default_fp = fps[Mode(True, "indexed", True, True)]
+        default_fp = fps[Mode(True, "indexed", True, True, True)]
         for i, res in enumerate(pooled):
             fp = fingerprint(res)
             if fp != default_fp:
@@ -386,7 +400,10 @@ def bandwidth_scheduler_differential(
     The schedulers share one fluid model but integrate it differently
     (virtual clock vs lazy re-walk), so floating-point association
     differs: completion *order* must match exactly, completion *times*
-    to ``rel_tol`` relative.  Returns the mismatches (empty = conformant).
+    to ``rel_tol`` relative.  The virtual clock's ``light`` solo-flow
+    fast path claims *bitwise* identity with the full bookkeeping, so it
+    is additionally compared against plain virtual-clock exactly.
+    Returns the mismatches (empty = conformant).
     """
     from repro.des.resources import BandwidthResource
     from repro.des.simulator import Delay, Simulator
@@ -396,9 +413,11 @@ def bandwidth_scheduler_differential(
         (rng.uniform(0.0, 1.0), rng.uniform(1e6, 4e9)) for _ in range(flows)
     ]
 
-    def drive(scheduler: str) -> list[tuple[int, float]]:
+    def drive(scheduler: str, light: bool = False) -> list[tuple[int, float]]:
         sim = Simulator(fast_path=False)
-        nic = BandwidthResource(sim, capacity=capacity, scheduler=scheduler)
+        nic = BandwidthResource(
+            sim, capacity=capacity, scheduler=scheduler, light=light
+        )
         done: list[tuple[int, float]] = []
 
         def flow_body(i: int, start: float, amount: float):
@@ -416,9 +435,28 @@ def bandwidth_scheduler_differential(
         return done
 
     vclock = drive("virtual-clock")
+    vlight = drive("virtual-clock", light=True)
     reference = drive("reference")
 
     mismatches: list[SchedulerMismatch] = []
+    if vlight != vclock:
+        first = next(
+            (
+                (a, b) for a, b in zip(vclock, vlight) if a != b
+            ),
+            ((-1, 0.0), (-1, 0.0)),
+        )
+        mismatches.append(
+            SchedulerMismatch(
+                flow=first[0][0],
+                kind="light",
+                detail=(
+                    "light solo fast path is not bitwise identical to "
+                    f"virtual-clock: {first[1]!r} vs {first[0]!r} "
+                    f"({len(vlight)} vs {len(vclock)} completions)"
+                ),
+            )
+        )
     for (iv, tv), (ir, tr) in zip(vclock, reference):
         if iv != ir:
             mismatches.append(

@@ -204,12 +204,17 @@ def test_fast_forward_engages_bit_identical(name):
 
 def test_fast_forward_ineligible_structure_falls_back():
     """minisweep has no collective, so step boundaries never synchronize:
-    fast-forward must decline and the run stays bit-identical."""
+    the *synchronized* tier must decline (wavefront disabled) and the run
+    stays bit-identical; with the wavefront tier allowed (the default)
+    the same structure engages and is still bit-identical."""
     bench = get_benchmark("minisweep")
-    fast = run(bench, CLUSTER_A, 12, sim_steps=6)
+    sync_only = run(bench, CLUSTER_A, 12, sim_steps=6, wavefront=False)
     ref = run(bench, CLUSTER_A, 12, sim_steps=6, **_REF)
-    assert fast.meta["fast_forward"] is False
-    assert _fields(fast) == _fields(ref)
+    assert sync_only.meta["fast_forward"] is False
+    assert _fields(sync_only) == _fields(ref)
+    wf = run(bench, CLUSTER_A, 12, sim_steps=6)
+    assert wf.meta["wavefront"] is True
+    assert _fields(wf) == _fields(ref)
 
 
 @pytest.mark.parametrize(

@@ -165,18 +165,19 @@ def test_sanitize_rejects_bad_args():
 
 def test_flag_matrix_shape():
     modes = flag_matrix()
-    assert len(modes) == 16
-    assert len(set(modes)) == 16
+    assert len(modes) == 24
+    assert len(set(modes)) == 24
     assert modes[0] == REFERENCE_MODE
     labels = {m.label for m in modes}
     assert "heap+linear+nomemo+noff" in labels
     assert "fastpath+indexed+memo+ff" in labels
+    assert "fastpath+indexed+memo+wf" in labels
 
 
 def test_differential_run_conformant():
     rep = differential_run("soma", "A", 8, workers=False)
     assert rep.ok
-    assert rep.modes == 16
+    assert rep.modes == 24
     assert "conformant" in rep.summary()
 
 
@@ -185,7 +186,7 @@ def test_differential_run_workers_axis():
         "lbm", "A", 4, trace_diff=False, workers=True
     )
     assert rep.ok
-    assert rep.modes == 17  # 16 engine modes + the workers=2 sweep
+    assert rep.modes == 25  # 24 engine modes + the workers=2 sweep
 
 
 def test_bandwidth_scheduler_differential_clean():
