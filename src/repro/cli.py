@@ -7,7 +7,10 @@ Commands
 ``trace``     traced run -> Chrome trace JSON (Perfetto-loadable), SVG
               timeline, markdown waiting-time report (see
               ``docs/observability.md``)
-``sweep``     scaling sweep (core-level or node-level)
+``sweep``     scaling sweep (core-level or node-level; ``--executor``
+              picks serial/local-pool/fabric backends, ``--listen``
+              accepts fabric workers)
+``worker``    join a fabric sweep manager as a TCP worker
 ``compare``   ClusterB-over-ClusterA acceleration factor
 ``report``    suite-wide summary (acceleration + efficiency + class)
 ``validate``  golden fingerprints + schedule-perturbation sanitizer +
@@ -119,6 +122,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_hostport(value: str) -> tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {value!r}"
+        )
+    return (host or "0.0.0.0", int(port))
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     cluster = get_cluster(args.cluster)
     bench = get_benchmark(args.benchmark)
@@ -135,15 +147,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     tolerant = bool(
         args.timeout is not None or args.retries or args.resume or args.faults
     )
-    series = scaling_sweep(bench, cluster, counts, suite=suite,
-                           repeats=args.repeats, noise_sigma=0.015 if args.repeats > 1 else 0.0,
-                           workers=args.workers,
-                           wavefront=args.wavefront,
-                           faults=_load_faults(args.faults),
-                           timeout=args.timeout,
-                           retries=args.retries,
-                           tolerate_failures=tolerant,
-                           checkpoint=args.resume)
+    executor = args.executor
+    if executor == "fabric":
+        from repro.harness.fabric import FabricExecutor
+
+        if args.listen is None:
+            print("sweep: --executor fabric requires --listen HOST:PORT",
+                  file=sys.stderr)
+            return 2
+        executor = FabricExecutor(args.listen, echo=print)
+        host, port = executor.address
+        print(f"fabric manager listening on {host}:{port} — join workers "
+              f"with: python -m repro worker --connect {host}:{port}")
+    elif args.listen is not None:
+        print("sweep: --listen only applies to --executor fabric",
+              file=sys.stderr)
+        return 2
+    try:
+        series = scaling_sweep(bench, cluster, counts, suite=suite,
+                               repeats=args.repeats,
+                               noise_sigma=0.015 if args.repeats > 1 else 0.0,
+                               workers=args.workers,
+                               wavefront=args.wavefront,
+                               faults=_load_faults(args.faults),
+                               timeout=args.timeout,
+                               retries=args.retries,
+                               tolerate_failures=tolerant,
+                               checkpoint=args.resume,
+                               executor=executor)
+    finally:
+        if not isinstance(executor, (str, type(None))):
+            executor.shutdown()
     sp = series.speedups()
     rows = [
         (
@@ -183,6 +217,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for f in series.failures:
             print(f"  {f.summary()}")
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.harness.fabric import worker_loop
+
+    host, port = args.connect
+    return worker_loop(
+        host,
+        port,
+        name=args.name,
+        reconnect=args.reconnect,
+        heartbeat_interval=args.heartbeat,
+        echo=print,
+    )
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -422,13 +470,44 @@ def build_parser() -> argparse.ArgumentParser:
                          "exponential backoff")
     ps.add_argument("--resume", metavar="CKPT.jsonl",
                     help="JSONL checkpoint: completed points are restored "
-                         "from (and new ones appended to) this file")
+                         "from (and new ones appended to) this file; "
+                         "compacted atomically on load, and doubles as the "
+                         "fabric lease journal")
+    ps.add_argument("--executor", choices=["serial", "local", "fabric"],
+                    default=None,
+                    help="where points run (default: auto — a local pool "
+                         "when -j/--timeout ask for one, else serial); "
+                         "'fabric' fans out over TCP workers (--listen)")
+    ps.add_argument("--listen", type=_parse_hostport, default=None,
+                    metavar="HOST:PORT",
+                    help="with --executor fabric: address to accept "
+                         "workers on (port 0 picks a free port)")
     ps.add_argument("--metrics", action="store_true",
                     help="print engine metrics aggregated over all runs "
                          "(includes the wavefront tier-decision counters)")
     ps.add_argument("--no-wavefront", action="store_false", dest="wavefront",
                     help="disable the wavefront replay tier for every point")
     ps.set_defaults(fn=_cmd_sweep)
+
+    pw = sub.add_parser(
+        "worker",
+        help="join a fabric sweep as a worker (see `repro sweep "
+             "--executor fabric`)",
+    )
+    pw.add_argument("--connect", type=_parse_hostport, required=True,
+                    metavar="HOST:PORT",
+                    help="manager address printed by `repro sweep --listen`")
+    pw.add_argument("--name", default=None,
+                    help="worker name (default: hostname-pid)")
+    pw.add_argument("--reconnect", type=float, default=30.0, metavar="SEC",
+                    help="window to keep retrying a refused or dropped "
+                         "connection — covers workers started before the "
+                         "manager and managers restarted with --resume "
+                         "(default: 30)")
+    pw.add_argument("--heartbeat", type=float, default=0.5, metavar="SEC",
+                    help="heartbeat interval offered at handshake "
+                         "(the manager's interval wins; default: 0.5)")
+    pw.set_defaults(fn=_cmd_worker)
 
     pc = sub.add_parser("compare", help="ClusterB over ClusterA")
     pc.add_argument("benchmark")

@@ -8,7 +8,19 @@ timeout, bounded retries, structured :class:`FailedRun` records,
 checkpoint/resume) — see :mod:`repro.harness.parallel`.
 """
 
-from repro.harness.checkpoint import load_checkpoint, spec_key
+from repro.harness.checkpoint import (
+    compact,
+    load_checkpoint,
+    load_journal,
+    spec_key,
+)
+from repro.harness.executors import (
+    Executor,
+    ExecutorCapabilities,
+    LocalPoolExecutor,
+    SerialExecutor,
+)
+from repro.harness.fabric import FabricExecutor, worker_loop
 from repro.harness.parallel import RunFailedError, RunSpec, run_many
 from repro.harness.results import FailedRun, RunResult, ScalingPoint, ScalingSeries
 from repro.harness.runner import run
@@ -32,4 +44,12 @@ __all__ = [
     "fmt_float",
     "spec_key",
     "load_checkpoint",
+    "load_journal",
+    "compact",
+    "Executor",
+    "ExecutorCapabilities",
+    "SerialExecutor",
+    "LocalPoolExecutor",
+    "FabricExecutor",
+    "worker_loop",
 ]

@@ -1,18 +1,37 @@
-"""JSONL sweep checkpointing.
+"""JSONL sweep checkpointing and the fabric lease journal.
 
-A checkpoint file holds one JSON line per *successfully completed* sweep
-point, keyed by a stable digest of the point's :class:`~repro.harness.
-parallel.RunSpec`.  A killed sweep re-run with the same checkpoint path
-restores every recorded point without re-simulating it and continues from
-the first missing one; points whose spec changed (different seed, suite,
-fault plan, ...) get fresh keys and re-run automatically.
+A checkpoint file holds one JSON line per record.  Two record kinds
+share the file:
 
-Failed points are deliberately *not* recorded: on resume they are retried
-— the common reason to resume is that whatever killed the sweep (OOM, a
-node reboot, a buggy fault plan since fixed) has been addressed.
+* ``result`` — a *successfully completed* sweep point, keyed by a stable
+  digest of the point's :class:`~repro.harness.parallel.RunSpec`.  A
+  killed sweep re-run with the same checkpoint path restores every
+  recorded point without re-simulating it and continues from the first
+  missing one; points whose spec changed (different seed, suite, fault
+  plan, ...) get fresh keys and re-run automatically.
+* ``event`` — a work-state transition journaled by the fabric manager
+  (``lease`` / ``requeue`` / ``complete`` / ``failed`` / ``timeout`` /
+  ``duplicate``).  Events are observability for crash forensics: after a
+  manager crash the result records alone reconstruct the remaining work
+  (everything without a result re-runs), and the trailing events say
+  which specs were in flight and on which worker when the manager died.
+
+Failed points are deliberately *not* recorded as results: on resume they
+are retried — the common reason to resume is that whatever killed the
+sweep (OOM, a node reboot, a buggy fault plan since fixed) has been
+addressed.
 
 The format is append-only and crash-tolerant: a truncated final line
-(killed mid-write) is skipped on load.
+(killed mid-write) is skipped on load.  Appends are last-record-wins, so
+a key written twice (a point re-run after a partial resume) resolves to
+the newest result; :func:`compact` rewrites the file atomically with one
+line per completed key and no events — :func:`~repro.harness.parallel.
+run_many` invokes it on every resume so checkpoint files do not grow
+without bound across retry/resume cycles.
+
+Schema history: version 1 records (``{"version": 1, "key": ..., and
+"result": ...}``) are still read; new records carry ``"schema": 2`` and
+an explicit ``"kind"``.
 """
 
 from __future__ import annotations
@@ -24,8 +43,12 @@ from typing import Any
 
 from repro.harness.results import RunResult
 
-#: Format marker written with every record (bump on incompatible change).
-CHECKPOINT_VERSION = 1
+#: Schema stamp written with every new record (bump on incompatible change).
+CHECKPOINT_SCHEMA = 2
+#: Schemas the loader accepts (1 = the original result-only format).
+ACCEPTED_SCHEMAS = (1, 2)
+#: Back-compat alias for the original name.
+CHECKPOINT_VERSION = CHECKPOINT_SCHEMA
 
 
 def spec_key(spec: Any) -> str:
@@ -52,32 +75,66 @@ def spec_key(spec: Any) -> str:
     return hashlib.sha256(raw.encode()).hexdigest()[:24]
 
 
+def _parse_line(line: str) -> dict[str, Any] | None:
+    """One JSONL line -> normalized ``{"kind": ..., "key": ..., ...}``
+    doc, or ``None`` for blank/corrupt/unknown-schema lines."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        doc = json.loads(line)
+        schema = doc.get("schema", doc.get("version"))
+        if schema not in ACCEPTED_SCHEMAS:
+            return None
+        kind = doc.get("kind", "result")  # schema-1 records are results
+        if kind == "result":
+            return {
+                "kind": "result",
+                "key": doc["key"],
+                "result": RunResult.from_checkpoint_dict(doc["result"]),
+            }
+        if kind == "event":
+            out = {k: v for k, v in doc.items() if k != "schema"}
+            out["key"]  # events must be keyed
+            return out
+        return None
+    except (ValueError, KeyError, TypeError):
+        # truncated/corrupt trailing line from a killed writer: skip it
+        return None
+
+
 def load_checkpoint(path: str) -> dict[str, RunResult]:
-    """Read every valid record; missing file means an empty checkpoint."""
+    """Read every valid result record (last record wins per key);
+    missing file means an empty checkpoint."""
     if not os.path.exists(path):
         return {}
     records: dict[str, RunResult] = {}
     with open(path) as fh:
         for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                doc = json.loads(line)
-                if doc.get("version") != CHECKPOINT_VERSION:
-                    continue
-                records[doc["key"]] = RunResult.from_checkpoint_dict(doc["result"])
-            except (ValueError, KeyError, TypeError):
-                # truncated/corrupt trailing line from a killed writer:
-                # ignore and let the point re-run
-                continue
+            doc = _parse_line(line)
+            if doc is not None and doc["kind"] == "result":
+                records[doc["key"]] = doc["result"]
     return records
+
+
+def load_journal(path: str) -> list[dict[str, Any]]:
+    """Read every valid event record, in file (= chronological) order."""
+    if not os.path.exists(path):
+        return []
+    events: list[dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            doc = _parse_line(line)
+            if doc is not None and doc["kind"] == "event":
+                events.append(doc)
+    return events
 
 
 def append_checkpoint(path: str, key: str, result: RunResult) -> None:
     """Durably append one completed point."""
     record = {
-        "version": CHECKPOINT_VERSION,
+        "schema": CHECKPOINT_SCHEMA,
+        "kind": "result",
         "key": key,
         "result": result.to_checkpoint_dict(),
     }
@@ -85,3 +142,56 @@ def append_checkpoint(path: str, key: str, result: RunResult) -> None:
         fh.write(json.dumps(record) + "\n")
         fh.flush()
         os.fsync(fh.fileno())
+
+
+def append_event(path: str, event: str, key: str, **fields: Any) -> None:
+    """Append one work-state transition (lease/requeue/complete/...).
+
+    Events are flushed but not fsynced: they are forensic breadcrumbs,
+    not the source of truth for resume — losing the tail of the journal
+    in a crash costs nothing but detail in the post-mortem.
+    """
+    record = {
+        "schema": CHECKPOINT_SCHEMA,
+        "kind": "event",
+        "event": event,
+        "key": key,
+        **fields,
+    }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record) + "\n")
+        fh.flush()
+
+
+def compact(path: str) -> int:
+    """Atomically rewrite ``path`` with one result line per key.
+
+    Keeps the *last* result per key (the newest re-run wins), drops
+    transient event records and corrupt lines, and replaces the file via
+    an fsynced temporary so a crash mid-compaction leaves either the old
+    or the new file — never a torn one.  Returns the number of result
+    records kept.  A missing file is a no-op.
+    """
+    if not os.path.exists(path):
+        return 0
+    records: dict[str, RunResult] = {}
+    with open(path) as fh:
+        for line in fh:
+            doc = _parse_line(line)
+            if doc is not None and doc["kind"] == "result":
+                # dict insertion order keeps first-completion order while
+                # the assignment keeps the newest record per key
+                records[doc["key"]] = doc["result"]
+    tmp = path + ".compact.tmp"
+    with open(tmp, "w") as fh:
+        for key, result in records.items():
+            fh.write(json.dumps({
+                "schema": CHECKPOINT_SCHEMA,
+                "kind": "result",
+                "key": key,
+                "result": result.to_checkpoint_dict(),
+            }) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return len(records)

@@ -2,10 +2,21 @@
 
 A scaling sweep is embarrassingly parallel: every (nprocs, repeat) point
 is an independent simulation with its own seed.  :func:`run_many` fans a
-list of :class:`RunSpec` out over a ``ProcessPoolExecutor`` and returns
-the results **in submission order**, so callers get exactly the list the
-serial loop would have produced — determinism lives in the per-point
-seeds, not in scheduling.
+list of :class:`RunSpec` out over a pluggable :class:`~repro.harness.
+executors.Executor` and returns the results **in submission order**, so
+callers get exactly the list the serial loop would have produced —
+determinism lives in the per-point seeds, not in scheduling.
+
+Executors (see :mod:`repro.harness.executors`)
+----------------------------------------------
+``executor=None`` keeps the historical auto-selection: a local process
+pool when ``workers > 1`` or a ``timeout`` demands process isolation,
+otherwise in-process serial execution.  Pass ``"serial"``, ``"local"``,
+or a constructed executor instance — e.g. a
+:class:`~repro.harness.fabric.FabricExecutor` listening for TCP workers
+on other machines — to choose explicitly.  The failure policy below is
+identical for every backend because it lives in one shared driver, not
+in the backends.
 
 Failure tolerance
 -----------------
@@ -14,10 +25,12 @@ buggy fault plans, hung runs (Brunst et al. stress that anomalies
 dominate SPEChpc campaigns).  ``run_many`` therefore supports:
 
 * ``retries`` — bounded re-execution with deterministic exponential
-  backoff (``backoff * 2**k`` seconds before retry ``k``);
+  backoff, jittered per ``(spec, attempt)`` (seeded, no wall-clock
+  randomness) so simultaneous retry storms decorrelate;
 * ``timeout`` — a per-point wall-clock budget; a point that produces no
   result in time is recorded as failed and its (possibly hung) worker
-  pool is abandoned and rebuilt so later points are not starved;
+  is abandoned so later points are not starved — the fabric instead
+  retries the spec on another worker;
 * ``tolerate_failures`` — failed points come back as structured
   :class:`~repro.harness.results.FailedRun` records in the result list
   (exception type, message, traceback, spec identity) instead of
@@ -25,10 +38,12 @@ dominate SPEChpc campaigns).  ``run_many`` therefore supports:
   :class:`RunFailedError` naming the spec;
 * ``checkpoint`` — a JSONL file (see :mod:`repro.harness.checkpoint`)
   appended after every completed point; re-running with the same path
-  restores completed points and simulates only the rest;
-* pool-death fallback — if the worker pool breaks (a worker was
-  OOM-killed or crashed the interpreter), the remaining points fall back
-  to in-process serial execution rather than losing the sweep.
+  restores completed points and simulates only the rest.  The file is
+  compacted atomically on every resume (last record wins per spec) and,
+  under the fabric, doubles as the lease journal;
+* worker-death fallback — a broken local pool degrades the remaining
+  points to serial execution (same timeout/retry/checkpoint policy);
+  a lost fabric worker re-queues its leased specs to the survivors.
 
 Worker exceptions are shipped back as plain strings (type name, message,
 formatted traceback), never as pickled exception objects — an error type
@@ -39,29 +54,29 @@ that cannot cross the process boundary still surfaces as a precise
 Caveats
 -------
 * Results must cross a process boundary, so ``trace=True`` is rejected
-  for ``workers > 1`` (and for ``timeout``, which forces process
-  isolation): an ITAC-style trace of a large run is far bigger than the
-  run's summary.  Trace-free :class:`~repro.harness.results.RunResult`
-  records are plain frozen dataclasses of scalars and dicts — cheap to
-  pickle.
+  for ``workers > 1``, for ``timeout`` (which forces process isolation),
+  and for any executor other than in-process serial: an ITAC-style
+  trace of a large run is far bigger than the run's summary.  Trace-free
+  :class:`~repro.harness.results.RunResult` records are plain frozen
+  dataclasses of scalars and dicts — cheap to pickle.
 * Benchmark and cluster objects ride along via pickle.  The bundled
   benchmarks are stateless singletons and specs are frozen dataclasses;
-  custom benchmarks only need to be importable from the worker.
+  custom benchmarks only need to be importable from the worker — for
+  fabric workers, importable on the *worker's machine*.
 """
 
 from __future__ import annotations
 
-import time
 import traceback as _traceback
-import warnings
-from collections import deque
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as _FuturesTimeout
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
-from repro.harness.checkpoint import append_checkpoint, load_checkpoint, spec_key
+from repro.harness.checkpoint import (
+    append_checkpoint,
+    compact,
+    load_checkpoint,
+    spec_key,
+)
 from repro.harness.results import FailedRun, RunResult
 from repro.machine.cluster import ClusterSpec
 from repro.spechpc.base import Benchmark
@@ -70,6 +85,10 @@ try:  # FaultPlan is optional in a spec; import only for typing/pickling
     from repro.faults.plan import FaultPlan
 except ImportError:  # pragma: no cover - faults is part of the package
     FaultPlan = None  # type: ignore
+
+#: Executor names ``run_many`` can construct itself (the fabric needs a
+#: listen address, so it must be constructed by the caller or the CLI).
+EXECUTOR_NAMES = ("serial", "local", "fabric")
 
 
 @dataclass(frozen=True)
@@ -142,10 +161,11 @@ def execute(spec: RunSpec) -> RunResult:
 def _execute_packed(spec: RunSpec):
     """Worker entry point: success or a fully string-ified failure.
 
-    The return value is always picklable, so an exception type that
-    cannot cross the process boundary (custom attributes, local classes)
-    still comes back as a structured record instead of poisoning the
-    pool with a ``PicklingError``.
+    The return value is always picklable (and, for the fabric,
+    JSON-able via the result's checkpoint dict), so an exception type
+    that cannot cross the process boundary (custom attributes, local
+    classes) still comes back as a structured record instead of
+    poisoning the pool with a ``PicklingError``.
     """
     try:
         return ("ok", execute(spec))
@@ -174,10 +194,33 @@ def _failure(
     )
 
 
-def _backoff_sleep(backoff: float, attempt: int) -> None:
-    """Deterministic exponential backoff before retry ``attempt`` (1-based)."""
-    if backoff > 0.0:
-        time.sleep(backoff * (2 ** (attempt - 1)))
+def _resolve_executor(executor, workers: int, npending: int, timeout):
+    from repro.harness.executors import LocalPoolExecutor, SerialExecutor
+
+    pool_width = max(1, min(workers, npending))
+    if executor is None:
+        # historical auto-selection: a pool whenever parallelism or
+        # process isolation (timeout) is called for
+        if timeout is not None or pool_width > 1:
+            return LocalPoolExecutor(pool_width)
+        return SerialExecutor()
+    if isinstance(executor, str):
+        if executor == "serial":
+            return SerialExecutor()
+        if executor == "local":
+            return LocalPoolExecutor(pool_width)
+        if executor == "fabric":
+            raise ValueError(
+                "the fabric executor needs a listen address — construct "
+                "repro.harness.fabric.FabricExecutor((host, port)) and pass "
+                "the instance, or use the CLI: repro sweep --executor "
+                "fabric --listen HOST:PORT"
+            )
+        raise ValueError(
+            f"unknown executor {executor!r}: choose one of "
+            f"{', '.join(EXECUTOR_NAMES)}, or pass an Executor instance"
+        )
+    return executor
 
 
 def run_many(
@@ -188,13 +231,17 @@ def run_many(
     backoff: float = 0.05,
     tolerate_failures: bool = False,
     checkpoint: Optional[str] = None,
+    executor=None,
 ) -> list[Union[RunResult, FailedRun]]:
-    """Execute every spec, ``workers`` at a time; results in spec order.
+    """Execute every spec over the chosen executor; results in spec order.
 
     See the module docstring for the failure-tolerance contract.  With
     the default flags the behavior is unchanged from the plain executor:
-    all points run once, the first failure propagates.
+    all points run once, in this process, and the first failure
+    propagates.
     """
+    from repro.harness.executors import drive
+
     specs = list(specs)
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -225,6 +272,12 @@ def run_many(
     results: list = [None] * len(specs)
     keys: Optional[list[str]] = None
     if checkpoint is not None:
+        # last-record-wins compaction: retry/resume cycles append
+        # duplicate keys and the fabric appends lease-journal events;
+        # resume is the natural point to fold the file back to one
+        # result line per completed spec (atomically — a crash here
+        # leaves the old file intact)
+        compact(checkpoint)
         keys = [spec_key(s) for s in specs]
         saved = load_checkpoint(checkpoint)
         for i, key in enumerate(keys):
@@ -239,135 +292,24 @@ def run_many(
 
     if not pending:
         return results
-    use_pool = timeout is not None or min(workers, len(pending)) > 1
-    if use_pool:
-        _run_pool(
-            specs,
-            pending,
-            record,
-            min(workers, len(pending)),
-            timeout,
-            retries,
-            backoff,
-            tolerate_failures,
+
+    ex = _resolve_executor(executor, workers, len(pending), timeout)
+    if has_trace and (ex.capabilities.parallel or ex.capabilities.distributed):
+        raise ValueError(
+            f"trace collection requires in-process serial execution; the "
+            f"{ex.name!r} executor ships results across a process or "
+            "machine boundary"
         )
-    else:
-        _run_serial(specs, pending, record, retries, backoff, tolerate_failures)
+    if checkpoint is not None:
+        ex.journal_path = checkpoint
+    drive(
+        ex,
+        specs,
+        pending,
+        record,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        tolerate_failures=tolerate_failures,
+    )
     return results
-
-
-def _run_serial(
-    specs: Sequence[RunSpec],
-    pending: Sequence[int],
-    record: Callable,
-    retries: int,
-    backoff: float,
-    tolerate: bool,
-) -> None:
-    for i in pending:
-        spec = specs[i]
-        attempts = 0
-        while True:
-            attempts += 1
-            try:
-                record(i, execute(spec))
-                break
-            except Exception as exc:
-                if attempts <= retries:
-                    _backoff_sleep(backoff, attempts)
-                    continue
-                if not tolerate:
-                    raise
-                record(
-                    i,
-                    _failure(
-                        spec,
-                        type(exc).__name__,
-                        str(exc),
-                        _traceback.format_exc(),
-                        attempts,
-                    ),
-                )
-                break
-
-
-def _run_pool(
-    specs: Sequence[RunSpec],
-    pending: Sequence[int],
-    record: Callable,
-    workers: int,
-    timeout: Optional[float],
-    retries: int,
-    backoff: float,
-    tolerate: bool,
-) -> None:
-    pool = ProcessPoolExecutor(max_workers=workers)
-    order = deque(pending)
-    attempts = {i: 1 for i in pending}
-    futures = {i: pool.submit(_execute_packed, specs[i]) for i in pending}
-    try:
-        while order:
-            i = order[0]
-            spec = specs[i]
-            try:
-                packed = futures[i].result(timeout=timeout)
-            except _FuturesTimeout:
-                order.popleft()
-                failure = _failure(
-                    spec,
-                    "TimeoutError",
-                    f"no result within the per-point timeout of {timeout}s",
-                    "",
-                    attempts[i],
-                )
-                if not tolerate:
-                    raise RunFailedError(failure)
-                record(i, failure)
-                # the worker running this point may be hung; abandon the
-                # pool and rebuild it so later points are not starved
-                # behind a dead slot (the old workers are left to die on
-                # their own — they are daemonic to this process)
-                pool.shutdown(wait=False, cancel_futures=True)
-                pool = ProcessPoolExecutor(max_workers=workers)
-                futures = {
-                    j: pool.submit(_execute_packed, specs[j]) for j in order
-                }
-                continue
-            except BrokenProcessPool:
-                # a worker died hard (OOM kill, interpreter crash): the
-                # pool is unusable.  Gracefully fall back to in-process
-                # serial execution for every unresolved point.
-                warnings.warn(
-                    "worker pool died; falling back to serial execution "
-                    f"for {len(order)} remaining sweep point(s)",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                pool.shutdown(wait=False)
-                _run_serial(specs, list(order), record, retries, backoff, tolerate)
-                return
-            except Exception as exc:
-                # e.g. the spec itself failed to pickle on submission
-                packed = (
-                    "failed",
-                    type(exc).__name__,
-                    str(exc),
-                    _traceback.format_exc(),
-                )
-            if packed[0] == "ok":
-                order.popleft()
-                record(i, packed[1])
-                continue
-            _, etype, emsg, tb = packed
-            if attempts[i] <= retries:
-                _backoff_sleep(backoff, attempts[i])
-                attempts[i] += 1
-                futures[i] = pool.submit(_execute_packed, specs[i])
-                continue
-            order.popleft()
-            failure = _failure(spec, etype, emsg, tb, attempts[i])
-            if not tolerate:
-                raise RunFailedError(failure)
-            record(i, failure)
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)

@@ -36,6 +36,7 @@ def scaling_sweep(
     checkpoint: Optional[str] = None,
     max_events: Optional[int] = None,
     sim_time_limit: Optional[float] = None,
+    executor=None,
 ) -> ScalingSeries:
     """Run ``benchmark`` at each process count, ``repeats`` times each.
 
@@ -63,6 +64,14 @@ def scaling_sweep(
     ``faults`` applies one :class:`~repro.faults.plan.FaultPlan` to every
     point; ``max_events`` / ``sim_time_limit`` arm the per-run hang
     watchdogs (see :func:`~repro.harness.runner.run`).
+
+    ``executor`` selects where the points run (see
+    :mod:`repro.harness.executors`): ``None`` auto-selects as before,
+    ``"serial"``/``"local"`` force a backend, and a
+    :class:`~repro.harness.fabric.FabricExecutor` instance fans the
+    sweep out over TCP workers on other machines — the series is
+    field-for-field identical regardless, because every point's seed is
+    a pure function of ``(nprocs, repeat)``.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -99,6 +108,7 @@ def scaling_sweep(
         backoff=backoff,
         tolerate_failures=tolerate_failures,
         checkpoint=checkpoint,
+        executor=executor,
     )
 
     points: list[ScalingPoint] = []

@@ -40,6 +40,7 @@ __all__ = [
     "sanitize",
     "differential_run",
     "observability_differential",
+    "executor_differential",
 ]
 
 _LAZY = {
@@ -50,6 +51,7 @@ _LAZY = {
     "sanitize": "repro.validate.perturb",
     "differential_run": "repro.validate.differential",
     "observability_differential": "repro.validate.differential",
+    "executor_differential": "repro.validate.differential",
 }
 
 

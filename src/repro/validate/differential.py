@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import itertools
 import random
+import threading
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -492,4 +493,100 @@ def bandwidth_scheduler_differential(
                 ),
             )
         )
+    return mismatches
+
+
+# --- executor differential --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExecutorMismatch:
+    """One spec whose result differs between an executor and the serial
+    in-process reference."""
+
+    executor: str
+    nprocs: int
+    seed: int
+    field: str
+
+    def summary(self) -> str:
+        return (
+            f"{self.executor}: nprocs={self.nprocs} seed={self.seed} "
+            f"differs at {self.field}"
+        )
+
+
+def executor_differential(
+    benchmark: Union[str, Benchmark] = "lbm",
+    cluster: Union[str, ClusterSpec] = "A",
+    proc_counts=(1, 2),
+    suite: str = "tiny",
+    sim_steps: Optional[int] = 1,
+    executors=("serial", "local", "fabric"),
+    fabric_workers: int = 2,
+) -> list[ExecutorMismatch]:
+    """Run one small grid through every executor backend and compare
+    fingerprints against the in-process serial reference.
+
+    The executor contract (:mod:`repro.harness.executors`) is that the
+    backend chooses *where* a spec runs, never *what* it computes: the
+    result list must be field-for-field identical whether the points ran
+    in this process, in a local pool, or on fabric workers across the
+    network.  ``"fabric"`` here spins up an in-process manager on a
+    loopback port with ``fabric_workers`` worker *threads* — same wire
+    protocol and lease machinery as real cross-machine workers, no
+    subprocess cost.  Returns the mismatches (empty = conformant).
+    """
+    from repro.harness.fabric import FabricExecutor, worker_loop
+    from repro.harness.parallel import RunSpec, run_many
+    from repro.machine.registry import get_cluster
+    from repro.spechpc.suite import get_benchmark
+
+    bench = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
+    clus = get_cluster(cluster) if isinstance(cluster, str) else cluster
+
+    specs = [
+        RunSpec(
+            benchmark=bench, cluster=clus, nprocs=n, suite=suite,
+            sim_steps=sim_steps, seed=1000 * n,
+        )
+        for n in proc_counts
+    ]
+    reference = [fingerprint(r) for r in run_many(specs, executor="serial")]
+
+    mismatches: list[ExecutorMismatch] = []
+    for name in executors:
+        if name == "fabric":
+            ex = FabricExecutor(("127.0.0.1", 0))
+            host, port = ex.address
+            threads = [
+                threading.Thread(
+                    target=worker_loop,
+                    args=(host, port),
+                    kwargs={"name": f"diff-{i}", "reconnect": 5.0},
+                    daemon=True,
+                )
+                for i in range(fabric_workers)
+            ]
+            for t in threads:
+                t.start()
+            try:
+                results = run_many(specs, executor=ex)
+            finally:
+                ex.shutdown()
+            for t in threads:
+                t.join(timeout=10.0)
+        else:
+            results = run_many(specs, workers=2, executor=name)
+        for spec, ref, res in zip(specs, reference, results):
+            fp = fingerprint(res)
+            if fp == ref:
+                continue
+            field = record_diff(ref.record, fp.record) or "<digest only>"
+            mismatches.append(
+                ExecutorMismatch(
+                    executor=name, nprocs=spec.nprocs, seed=spec.seed,
+                    field=field,
+                )
+            )
     return mismatches

@@ -60,3 +60,41 @@ def test_unknown_benchmark_raises():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# --- executor selection and the fabric worker subcommand --------------------
+
+
+def test_sweep_explicit_serial_executor(capsys):
+    assert main(["sweep", "lbm", "--counts", "1,2", "--executor", "serial"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+
+
+def test_sweep_fabric_requires_listen(capsys):
+    assert main(["sweep", "lbm", "--executor", "fabric"]) == 2
+    assert "--listen" in capsys.readouterr().err
+
+
+def test_sweep_listen_without_fabric_rejected(capsys):
+    assert main(["sweep", "lbm", "--listen", "127.0.0.1:7071"]) == 2
+    assert "--executor fabric" in capsys.readouterr().err
+
+
+def test_worker_parser_defaults():
+    args = build_parser().parse_args(["worker", "--connect", "127.0.0.1:7071"])
+    assert args.connect == ("127.0.0.1", 7071)
+    assert args.reconnect == 30.0
+    assert args.heartbeat == 0.5
+    assert args.name is None
+
+
+def test_listen_hostport_defaults_to_all_interfaces():
+    args = build_parser().parse_args(["sweep", "lbm", "--listen", ":7071"])
+    assert args.listen == ("0.0.0.0", 7071)
+
+
+def test_worker_exits_1_when_manager_unreachable(capsys):
+    # nothing listens on the discard port; no reconnect window
+    assert main(["worker", "--connect", "127.0.0.1:9", "--reconnect", "0"]) == 1
+    assert "cannot reach manager" in capsys.readouterr().out

@@ -1,0 +1,541 @@
+"""Fabric chaos suite: framing, handshake, leases, heartbeats, worker
+death, duplicate suppression, and manager-crash resume.
+
+Every chaos scenario ends with the same assertion: the surviving sweep
+is fingerprint-identical to an uninterrupted local run.  Subprocess
+workers are real ``python -m repro worker`` processes; scripted workers
+are raw sockets speaking just enough protocol to misbehave on cue.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.harness import (
+    FailedRun,
+    RunSpec,
+    load_checkpoint,
+    load_journal,
+    run_many,
+    spec_key,
+)
+from repro.harness.fabric import (
+    FABRIC_PROTO,
+    FabricExecutor,
+    FrameError,
+    recv_frame,
+    send_frame,
+    worker_loop,
+)
+from repro.machine import CLUSTER_A
+from repro.spechpc import get_benchmark
+from repro.validate.golden import fingerprint
+
+from tests.test_robust_harness import QuickBenchmark, SleepyBenchmark
+
+WORKER_ENV = dict(
+    os.environ,
+    PYTHONPATH=os.pathsep.join(
+        [
+            os.path.join(os.path.dirname(__file__), os.pardir, "src"),
+            os.path.join(os.path.dirname(__file__), os.pardir),
+        ]
+    ),
+)
+
+
+def _specs(n=3, sleep=None):
+    if sleep is not None:
+        return [
+            RunSpec(
+                benchmark=SleepyBenchmark(sleep), cluster=CLUSTER_A,
+                nprocs=k + 1, seed=1000 * (k + 1),
+            )
+            for k in range(n)
+        ]
+    b = get_benchmark("lbm")
+    return [
+        RunSpec(benchmark=b, cluster=CLUSTER_A, nprocs=k + 1, sim_steps=1,
+                seed=1000 * (k + 1))
+        for k in range(n)
+    ]
+
+
+def _wait(predicate, timeout=10.0, what="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+class ScriptedWorker:
+    """A raw socket speaking just enough fabric protocol to misbehave."""
+
+    def __init__(self, address, name="scripted", heartbeat=None):
+        self.sock = socket.create_connection(address, timeout=5.0)
+        send_frame(self.sock, {
+            "type": "hello", "proto": FABRIC_PROTO, "worker": name,
+        })
+        self.welcome = recv_frame(self.sock)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        if heartbeat:
+            threading.Thread(
+                target=self._beat, args=(heartbeat,), daemon=True
+            ).start()
+
+    def _beat(self, interval):
+        while not self._stop.wait(interval):
+            try:
+                self.send({"type": "heartbeat"})
+            except OSError:
+                return
+
+    def recv(self):
+        return recv_frame(self.sock)
+
+    def drain(self):
+        """Read frames until the manager hangs up; never raises."""
+        try:
+            while recv_frame(self.sock) is not None:
+                pass
+        except (OSError, FrameError):
+            pass
+
+    def send(self, doc):
+        with self._lock:
+            send_frame(self.sock, doc)
+
+    def close(self):
+        self._stop.set()
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+# --- framing ----------------------------------------------------------------
+
+
+def test_frame_roundtrip_and_clean_eof():
+    a, b = socket.socketpair()
+    try:
+        send_frame(a, {"type": "hello", "n": 7})
+        assert recv_frame(b) == {"type": "hello", "n": 7}
+        a.close()
+        assert recv_frame(b) is None  # EOF on a frame boundary
+    finally:
+        b.close()
+
+
+def test_torn_frame_raises():
+    a, b = socket.socketpair()
+    try:
+        a.sendall(b"\x00\x00\x00\x10{\"tr")  # promises 16 bytes, sends 4
+        a.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            recv_frame(b)
+    finally:
+        b.close()
+
+
+def test_oversize_frame_rejected():
+    a, b = socket.socketpair()
+    try:
+        a.sendall(b"\xff\xff\xff\xff")  # 4 GiB announced
+        with pytest.raises(FrameError, match="exceeds"):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_invalid_payload_rejected():
+    a, b = socket.socketpair()
+    try:
+        payload = b"not json at all"
+        a.sendall(len(payload).to_bytes(4, "big") + payload)
+        with pytest.raises(FrameError, match="invalid frame payload"):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+# --- handshake --------------------------------------------------------------
+
+
+def test_manager_rejects_protocol_mismatch():
+    ex = FabricExecutor(("127.0.0.1", 0))
+    try:
+        sock = socket.create_connection(ex.address, timeout=5.0)
+        send_frame(sock, {"type": "hello", "proto": 99, "worker": "old"})
+        reply = recv_frame(sock)
+        assert reply["type"] == "reject"
+        assert "99" in reply["reason"] and str(FABRIC_PROTO) in reply["reason"]
+        sock.close()
+    finally:
+        ex.shutdown()
+
+
+def test_worker_loop_exits_1_on_rejection():
+    server = socket.create_server(("127.0.0.1", 0))
+    host, port = server.getsockname()[:2]
+
+    def fake_manager():
+        sock, _ = server.accept()
+        recv_frame(sock)  # the hello
+        send_frame(sock, {"type": "reject", "reason": "stale build"})
+        sock.close()
+
+    t = threading.Thread(target=fake_manager, daemon=True)
+    t.start()
+    seen = []
+    rc = worker_loop(host, port, name="w", echo=seen.append)
+    server.close()
+    assert rc == 1
+    assert any("stale build" in m for m in seen)
+
+
+def test_worker_loop_exits_1_when_manager_unreachable():
+    # a port nothing listens on; no reconnect window
+    server = socket.create_server(("127.0.0.1", 0))
+    host, port = server.getsockname()[:2]
+    server.close()
+    assert worker_loop(host, port, name="w", reconnect=0.0) == 1
+
+
+# --- parity + journal (the no-chaos baseline) -------------------------------
+
+
+def test_fabric_matches_serial_and_journals(tmp_path):
+    specs = _specs()
+    ref = [fingerprint(r) for r in run_many(specs)]
+    ck = str(tmp_path / "ck.jsonl")
+    ex = FabricExecutor(("127.0.0.1", 0), heartbeat_interval=0.2)
+    host, port = ex.address
+    threads = [
+        threading.Thread(
+            target=worker_loop, args=(host, port),
+            kwargs={"name": f"w{i}", "reconnect": 5.0}, daemon=True,
+        )
+        for i in range(2)
+    ]
+    for t in threads:
+        t.start()
+    out = run_many(specs, executor=ex, checkpoint=ck)
+    for t in threads:
+        t.join(timeout=10.0)
+    assert [fingerprint(r) for r in out] == ref
+    events = load_journal(ck)
+    assert {e["event"] for e in events} >= {"lease", "complete"}
+    assert len(load_checkpoint(ck)) == len(specs)
+    # resume re-simulates nothing and compacts the journal away
+    again = run_many(specs, executor="serial", checkpoint=ck)
+    assert [fingerprint(r) for r in again] == ref
+    assert load_journal(ck) == []
+
+
+def test_truncated_checkpoint_tail_tolerated_on_resume(tmp_path):
+    specs = _specs(2)
+    ck = str(tmp_path / "ck.jsonl")
+    results = run_many(specs, checkpoint=ck)
+    lines = open(ck).readlines()
+    with open(ck, "w") as fh:
+        fh.writelines(lines[:-1])
+        fh.write(lines[-1][: len(lines[-1]) // 2])  # killed mid-append
+    out = run_many(specs, checkpoint=ck)  # torn point re-runs, survivor kept
+    assert [fingerprint(r) for r in out] == [fingerprint(r) for r in results]
+    assert len(load_checkpoint(ck)) == 2
+
+
+# --- chaos: worker SIGKILL mid-lease ----------------------------------------
+
+
+def _spawn_worker(port, name, heartbeat=0.2, reconnect=10.0):
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--connect", f"127.0.0.1:{port}", "--name", name,
+            "--heartbeat", str(heartbeat), "--reconnect", str(reconnect),
+        ],
+        env=WORKER_ENV,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def test_worker_sigkill_mid_lease_requeues_to_survivor(tmp_path):
+    specs = _specs(4, sleep=0.8)
+    ref = [fingerprint(r) for r in run_many(specs, workers=2)]
+    ck = str(tmp_path / "ck.jsonl")
+    ex = FabricExecutor(("127.0.0.1", 0), heartbeat_interval=0.2)
+    port = ex.address[1]
+    victim = _spawn_worker(port, "victim")
+    survivor = _spawn_worker(port, "survivor")
+    out_box = {}
+
+    def sweep():
+        out_box["results"] = run_many(specs, executor=ex, checkpoint=ck)
+
+    t = threading.Thread(target=sweep, daemon=True)
+    t.start()
+    try:
+        # kill the victim once it demonstrably holds a lease
+        _wait(
+            lambda: any(
+                e["event"] == "lease" and e.get("worker") == "victim"
+                for e in load_journal(ck)
+            ),
+            what="a lease on the victim worker",
+        )
+        victim.kill()
+        t.join(timeout=30.0)
+        assert not t.is_alive(), "sweep did not finish after worker death"
+    finally:
+        victim.kill()
+        survivor.kill()
+        victim.wait(timeout=10.0)
+        survivor.wait(timeout=10.0)
+        ex.shutdown()
+    results = out_box["results"]
+    assert [fingerprint(r) for r in results] == ref
+    events = load_journal(ck)
+    assert any(e["event"] == "requeue" for e in events)
+    assert any(
+        e["event"] == "complete" and e.get("worker") == "survivor"
+        for e in events
+    )
+
+
+# --- chaos: heartbeat expiry ------------------------------------------------
+
+
+def test_silent_worker_dropped_and_lease_requeued(tmp_path):
+    specs = _specs(1)
+    ref = fingerprint(run_many(specs)[0])
+    ck = str(tmp_path / "ck.jsonl")
+    ex = FabricExecutor(
+        ("127.0.0.1", 0), heartbeat_interval=0.1, heartbeat_grace=0.4
+    )
+    host, port = ex.address
+    got_work = threading.Event()
+
+    def mute_script():
+        w = ScriptedWorker(ex.address, name="mute")  # never heartbeats
+        frame = w.recv()
+        if frame and frame.get("type") == "work":
+            got_work.set()
+        # ... then goes silent; the manager must declare it lost
+        w.drain()
+
+    def rescue_script():
+        got_work.wait(10.0)
+        worker_loop(host, port, name="rescue", reconnect=5.0)
+
+    threading.Thread(target=mute_script, daemon=True).start()
+    rescue = threading.Thread(target=rescue_script, daemon=True)
+    rescue.start()
+    out = run_many(specs, executor=ex, checkpoint=ck)
+    rescue.join(timeout=10.0)
+    assert fingerprint(out[0]) == ref
+    events = load_journal(ck)
+    requeues = [e for e in events if e["event"] == "requeue"]
+    assert requeues and "no heartbeat" in requeues[0]["reason"]
+    assert any(
+        e["event"] == "complete" and e.get("worker") == "rescue"
+        for e in events
+    )
+
+
+# --- chaos: late duplicate result -------------------------------------------
+
+
+def test_stale_result_after_lease_timeout_is_dropped(tmp_path):
+    spec = RunSpec(benchmark=QuickBenchmark(), cluster=CLUSTER_A, nprocs=1)
+    real = run_many([spec])[0]
+    forged = replace(real, elapsed=999.0).to_checkpoint_dict()
+    ck = str(tmp_path / "ck.jsonl")
+    ex = FabricExecutor(("127.0.0.1", 0), heartbeat_interval=0.2)
+    ex.journal_path = ck
+    host, port = ex.address
+    send_stale = threading.Event()
+    done = threading.Event()
+
+    def laggard_script():
+        w = ScriptedWorker(ex.address, name="laggard", heartbeat=0.1)
+        frame = w.recv()  # the work frame; then sit on it past the timeout
+        send_stale.wait(15.0)
+        w.send({
+            "type": "result", "item": frame["item"], "lease": frame["lease"],
+            "status": "ok", "result": forged,
+        })
+        w.close()  # and never come back for more
+        done.set()
+
+    threading.Thread(target=laggard_script, daemon=True).start()
+    try:
+        ex.prepare([spec], timeout=0.8)
+        ex.submit(0, spec)
+        out1 = ex.collect()  # the manager-side lease expiry
+        assert out1.kind == "timeout" and out1.worker == "laggard"
+        # the driver's retry: resubmit, on a fresh worker
+        threading.Thread(
+            target=worker_loop, args=(host, port),
+            kwargs={"name": "honest", "reconnect": 5.0}, daemon=True,
+        ).start()
+        ex.submit(0, spec)
+        send_stale.set()
+        _wait(done.is_set, what="the stale result send")
+        out2 = ex.collect()
+    finally:
+        ex.shutdown()
+    assert out2.kind == "ok" and out2.worker == "honest"
+    assert out2.result.elapsed != 999.0
+    assert fingerprint(out2.result) == fingerprint(real)
+    events = [e["event"] for e in load_journal(ck)]
+    assert "timeout" in events and "duplicate" in events
+    assert events.count("complete") == 1
+
+
+# --- chaos: a spec that keeps killing workers -------------------------------
+
+
+def test_requeue_limit_terminalizes_worker_killer(tmp_path):
+    specs = _specs(1)
+    ck = str(tmp_path / "ck.jsonl")
+    ex = FabricExecutor(
+        ("127.0.0.1", 0), heartbeat_interval=0.2, requeue_limit=1
+    )
+    stop = threading.Event()
+
+    def doomed_workers():
+        # an endless supply of workers that die the moment they get work
+        while not stop.is_set():
+            try:
+                w = ScriptedWorker(ex.address, name="doomed", heartbeat=0.1)
+                frame = w.recv()
+            except (OSError, FrameError):
+                return  # manager gone or shutting down
+            if frame is None or stop.is_set():
+                w.close()
+                return
+            w.close()  # dies holding the lease
+
+    t = threading.Thread(target=doomed_workers, daemon=True)
+    t.start()
+    try:
+        out = run_many(
+            specs, executor=ex, checkpoint=ck, tolerate_failures=True
+        )
+    finally:
+        stop.set()
+        ex.shutdown()
+    assert isinstance(out[0], FailedRun)
+    assert out[0].error_type == "WorkerLostError"
+    assert "requeue_limit" in out[0].error_message
+    requeues = [e for e in load_journal(ck) if e["event"] == "requeue"]
+    assert len(requeues) == 2  # limit 1 + the terminal strike
+    assert len(load_checkpoint(ck)) == 0  # nothing falsely committed
+
+
+# --- acceptance: manager crash + resume, end to end -------------------------
+
+
+MANAGER_SCRIPT = """
+import json, sys
+from repro.harness import RunSpec, run_many
+from repro.harness.fabric import FabricExecutor
+from repro.machine import CLUSTER_A
+from repro.validate.golden import fingerprint
+from tests.test_robust_harness import SleepyBenchmark
+
+port, ck, out = int(sys.argv[1]), sys.argv[2], sys.argv[3]
+specs = [
+    RunSpec(benchmark=SleepyBenchmark(0.4), cluster=CLUSTER_A, nprocs=n,
+            seed=1000 * n)
+    for n in range(1, 7)
+]
+results = run_many(
+    specs,
+    executor=FabricExecutor(("127.0.0.1", port), heartbeat_interval=0.2),
+    checkpoint=ck,
+)
+with open(out, "w") as fh:
+    json.dump([fingerprint(r).digest for r in results], fh)
+"""
+
+
+def _free_port():
+    server = socket.create_server(("127.0.0.1", 0))
+    port = server.getsockname()[1]
+    server.close()
+    return port
+
+
+def _result_count(ck):
+    try:
+        return len(load_checkpoint(ck))
+    except OSError:
+        return 0
+
+
+def test_manager_crash_resume_is_fingerprint_identical(tmp_path):
+    specs = [
+        RunSpec(benchmark=SleepyBenchmark(0.4), cluster=CLUSTER_A, nprocs=n,
+                seed=1000 * n)
+        for n in range(1, 7)
+    ]
+    ref = [fingerprint(r).digest for r in run_many(specs, workers=2)]
+
+    port = _free_port()
+    ck = str(tmp_path / "ck.jsonl")
+    out = str(tmp_path / "digests.json")
+    script = str(tmp_path / "manager.py")
+    with open(script, "w") as fh:
+        fh.write(MANAGER_SCRIPT)
+
+    # workers outlive the manager: their reconnect window covers the
+    # crash-and-restart
+    workers = [_spawn_worker(port, f"w{i}", reconnect=60.0) for i in range(2)]
+    manager_cmd = [sys.executable, script, str(port), ck, out]
+    first = subprocess.Popen(manager_cmd, env=WORKER_ENV)
+    try:
+        # let it commit some — but not all — points, then kill it cold
+        _wait(
+            lambda: _result_count(ck) >= 2,
+            timeout=30.0, what="two checkpointed results",
+        )
+        first.send_signal(signal.SIGKILL)
+        first.wait(timeout=10.0)
+        assert not os.path.exists(out), "manager died before finishing"
+        resumed_from = _result_count(ck)
+        assert resumed_from >= 2
+
+        second = subprocess.run(
+            manager_cmd, env=WORKER_ENV, timeout=60.0,
+            capture_output=True, text=True,
+        )
+        assert second.returncode == 0, second.stderr
+        for w in workers:
+            assert w.wait(timeout=10.0) == 0  # clean fabric shutdown
+    finally:
+        for w in workers:
+            w.kill()
+            w.wait(timeout=10.0)
+
+    digests = json.load(open(out))
+    assert digests == ref
+    saved = load_checkpoint(ck)
+    assert {spec_key(s) for s in specs} <= set(saved)

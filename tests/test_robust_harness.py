@@ -334,14 +334,49 @@ class _BrokenPool:
 
 
 def test_broken_pool_falls_back_to_serial(monkeypatch):
-    import repro.harness.parallel as par
+    from repro.harness.executors import LocalPoolExecutor
+    from repro.harness.parallel import run_many as rm
 
-    monkeypatch.setattr(par, "ProcessPoolExecutor", _BrokenPool)
+    monkeypatch.setattr(LocalPoolExecutor, "pool_factory", _BrokenPool)
     specs = [_spec(QuickBenchmark()), _spec(QuickBenchmark(), 2)]
     with pytest.warns(RuntimeWarning, match="falling back to serial"):
-        results = par.run_many(specs, workers=2)
+        results = rm(specs, workers=2)
     assert [r.failed for r in results] == [False, False]
     assert all(r.elapsed > 0 for r in results)
+
+
+def test_broken_pool_fallback_still_enforces_timeout(monkeypatch):
+    """Satellite: the post-BrokenProcessPool serial fallback must keep
+    the per-point timeout semantics of the pool path (it used to drop
+    them silently) — slow points still fail, quick points still run."""
+    from repro.harness.executors import LocalPoolExecutor
+    from repro.harness.parallel import run_many as rm
+
+    monkeypatch.setattr(LocalPoolExecutor, "pool_factory", _BrokenPool)
+    specs = [_spec(SleepyBenchmark(seconds=8.0)), _spec(QuickBenchmark(), 2)]
+    with pytest.warns(RuntimeWarning, match="falling back to serial"):
+        results = rm(specs, workers=2, timeout=1.0, tolerate_failures=True)
+    assert results[0].failed
+    assert results[0].error_type == "TimeoutError"
+    assert not results[1].failed
+
+
+def test_fully_broken_isolation_degrades_to_in_process(monkeypatch):
+    """When even one-shot subprocesses cannot be created, the serial
+    floor warns that the timeout is unenforceable and still completes
+    the work in-process — degraded, never dead."""
+    from repro.harness.executors import LocalPoolExecutor, SerialExecutor
+    from repro.harness.parallel import run_many as rm
+
+    monkeypatch.setattr(LocalPoolExecutor, "pool_factory", _BrokenPool)
+    monkeypatch.setattr(SerialExecutor, "pool_factory", _BrokenPool)
+    specs = [_spec(QuickBenchmark()), _spec(QuickBenchmark(), 2)]
+    with pytest.warns(RuntimeWarning) as caught:
+        results = rm(specs, workers=2, timeout=5.0, tolerate_failures=True)
+    messages = [str(w.message) for w in caught]
+    assert any("falling back to serial" in m for m in messages)
+    assert any("timeout unenforced" in m for m in messages)
+    assert [r.failed for r in results] == [False, False]
 
 
 # --- failure-tolerant sweeps -------------------------------------------------
