@@ -11,6 +11,7 @@ wavefront level-set tier) against the pre-PR reference flags.  Run with
 ``--json`` to emit the ``BENCH_engine.json`` perf-trajectory artifact.
 """
 
+import os
 import time
 from dataclasses import replace
 
@@ -21,6 +22,8 @@ from repro.des import Delay, Signal, Simulator, Wait
 from repro.harness import ascii_table, run, scaling_sweep
 from repro.machine import get_cluster
 from repro.spechpc import get_benchmark
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "tests", "golden")
 
 #: Reference flags restoring the pre-optimization engine end to end
 #: (``fast_forward=False`` alone would force the wavefront tier, so the
@@ -286,6 +289,105 @@ def test_wavefront_smoke(benchmark, perf_records):
         "events_saved": wf["events_saved"],
     })
     assert t_ref / t_fast >= 1.0, "engine regression: wavefront smoke below 1x"
+
+
+def test_paper_scale_grid_predict(benchmark, perf_records):
+    """Acceptance gate for the tiered predictor: Tier A answers the full
+    paper grid — 9 benchmarks x 2 clusters x {1..64} power-of-two node
+    counts, 126 queries — in **under one second total**, every
+    golden-covered point within its stated band.  Also records the
+    per-benchmark latency and golden-relative error of all three tiers
+    (the DES rows make the screening ratio visible in the artifact)."""
+    from repro.predict import (
+        PredictionSpec,
+        SurrogatePredictionTier,
+        corpus_from_golden,
+        predict,
+    )
+    from repro.spechpc import SUITE_ORDER
+
+    node_grid = (1, 2, 4, 8, 16, 32, 64)
+    corpus = corpus_from_golden(GOLDEN_DIR)
+    truth = {(s.benchmark, s.cluster, s.nnodes): s for s in corpus}
+
+    def grid_pass():
+        t0 = time.perf_counter()
+        out = {}
+        for name in SUITE_ORDER:
+            for cl in ("A", "B"):
+                for nnodes in node_grid:
+                    out[name, cl, nnodes] = predict(
+                        PredictionSpec(name, cl, nnodes), tier="analytic"
+                    )
+        return time.perf_counter() - t0, out
+
+    def compare():
+        grid_pass()  # warm caches/allocators
+        return min((grid_pass() for _ in range(2)), key=lambda tr: tr[0])
+
+    t_grid, preds = benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    rows = []
+    for name in SUITE_ORDER:
+        # analytic: latency re-measured per benchmark, error vs golden
+        t0 = time.perf_counter()
+        for cl in ("A", "B"):
+            for nnodes in node_grid:
+                predict(PredictionSpec(name, cl, nnodes), tier="analytic")
+        t_analytic = (time.perf_counter() - t0) / (2 * len(node_grid))
+
+        gold = [s for s in corpus if s.benchmark == name]
+        a_err = s_err = 0.0
+        tier_b = SurrogatePredictionTier(corpus)
+        t_surr = 0.0
+        for s in gold:
+            spec = PredictionSpec(
+                name, s.cluster, s.nnodes, suite=s.suite, nprocs=s.nprocs
+            )
+            a = predict(spec, tier="analytic")
+            assert abs(a.runtime / s.elapsed - 1.0) <= a.band
+            a_err = max(a_err, abs(a.runtime / s.elapsed - 1.0))
+            t0 = time.perf_counter()
+            b = tier_b.predict(spec)
+            t_surr += time.perf_counter() - t0
+            s_err = max(s_err, abs(b.runtime / s.elapsed - 1.0))
+        t_surr /= len(gold)
+
+        # DES reference latency: one 1-node ground-truth run
+        t_des, _ = _timed(lambda: run(
+            get_benchmark(name), get_cluster("A"),
+            get_cluster("A").cores_per_node,
+        ))
+        rows.append((name, t_analytic, t_surr, t_des, a_err, s_err))
+        perf_records.append({
+            "case": f"predict_{name}",
+            "analytic_ms": round(1e3 * t_analytic, 3),
+            "surrogate_ms": round(1e3 * t_surr, 3),
+            "des_ms": round(1e3 * t_des, 1),
+            "analytic_rel_err": round(a_err, 4),
+            "surrogate_rel_err": round(s_err, 6),
+        })
+
+    print()
+    print(ascii_table(
+        ["benchmark", "analytic [ms]", "surrogate [ms]", "DES [ms]",
+         "analytic err", "surrogate err"],
+        [(n, f"{a * 1e3:.2f}", f"{s * 1e3:.2f}", f"{d * 1e3:.0f}",
+          f"{100 * ae:.1f}%", f"{100 * se:.2g}%")
+         for n, a, s, d, ae, se in rows],
+        title=f"Tiered prediction vs DES ({len(preds)}-query paper grid "
+        f"in {t_grid:.3f}s)",
+    ))
+    perf_records.append({
+        "case": "predict_paper_grid_analytic",
+        "queries": len(preds),
+        "total_s": round(t_grid, 4),
+    })
+    assert t_grid < 1.0, (
+        f"analytic tier took {t_grid:.2f}s for the paper grid (gate: 1s)"
+    )
+    # the surrogate is an interpolator: exact at every golden point
+    assert all(se < 1e-9 for *_, se in rows)
 
 
 @pytest.mark.paperscale

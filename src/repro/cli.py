@@ -13,9 +13,13 @@ Commands
 ``worker``    join a fabric sweep manager as a TCP worker
 ``compare``   ClusterB-over-ClusterA acceleration factor
 ``report``    suite-wide summary (acceleration + efficiency + class)
+``predict``   tiered prediction (analytic / surrogate / auto / des) of
+              the paper's scaling grid with predicted-vs-simulated
+              error bars (see ``docs/prediction.md``)
 ``validate``  golden fingerprints + schedule-perturbation sanitizer +
-              cross-mode differential conformance (``--regen`` rewrites
-              the golden corpus; refuses on a dirty git tree)
+              cross-mode differential conformance + prediction-tier
+              differential (``--regen`` rewrites the golden corpus;
+              refuses on a dirty git tree)
 """
 
 from __future__ import annotations
@@ -283,6 +287,98 @@ def _cmd_report(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_golden_dir() -> str:
+    import os
+
+    return os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        "tests",
+        "golden",
+    )
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.predict import (
+        PredictionCorpus,
+        PredictionSpec,
+        corpus_from_golden,
+        predict,
+    )
+
+    golden_dir = args.golden_dir or _default_golden_dir()
+    benchmarks = (
+        list(SUITE_ORDER)
+        if args.benchmarks is None
+        else [get_benchmark(b).name for b in args.benchmarks.split(",")]
+    )
+    clusters = ["A", "B"] if args.cluster == "both" else [args.cluster]
+    node_counts = [int(n) for n in args.nodes.split(",")]
+
+    # reference corpus: DES ground truth for the error-bar column (and
+    # the surrogate's training data)
+    if args.corpus is not None:
+        corpus = PredictionCorpus(args.corpus)
+    else:
+        corpus = corpus_from_golden(golden_dir)
+    truth = {(s.benchmark, s.cluster, s.suite, s.nprocs): s for s in corpus}
+
+    rows = []
+    violations = 0
+    t0 = time.perf_counter()
+    for bname in benchmarks:
+        for cname in clusters:
+            cluster = get_cluster(cname)
+            for nnodes in node_counts:
+                spec = PredictionSpec(
+                    benchmark=bname, cluster=cname, nnodes=nnodes,
+                    suite=args.suite,
+                )
+                pred = predict(
+                    spec, tier=args.tier, corpus=corpus,
+                    allow_des=not args.no_des,
+                )
+                ref = truth.get((
+                    bname, cluster.name, args.suite,
+                    nnodes * cluster.cores_per_node,
+                ))
+                if ref is not None and pred.tier != "des":
+                    err = pred.runtime / ref.elapsed - 1.0
+                    ok = abs(err) <= pred.band
+                    violations += not ok
+                    vs_des = f"{100 * err:+.1f}% {'ok' if ok else 'VIOLATED'}"
+                else:
+                    vs_des = "-"
+                rows.append((
+                    bname,
+                    cname,
+                    nnodes,
+                    pred.details.get("fallback") or pred.tier,
+                    fmt_time(pred.runtime),
+                    f"±{100 * pred.band:.0f}%",
+                    fmt_energy(pred.energy.total_energy),
+                    vs_des,
+                ))
+    elapsed = time.perf_counter() - t0
+
+    print(ascii_table(
+        ["benchmark", "cl", "nodes", "tier", "runtime", "band", "energy",
+         "vs DES"],
+        rows,
+        title=f"tiered prediction ({args.suite}, tier={args.tier})",
+    ))
+    compared = sum(1 for r in rows if r[-1] != "-")
+    print(f"\n{len(rows)} predictions in {elapsed:.3f} s "
+          f"({compared} with DES ground truth; corpus: {len(corpus)} samples)")
+    if violations:
+        print(f"{violations} prediction(s) exceeded their stated error band")
+        return 1
+    if compared:
+        print("every compared prediction is within its stated error band")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     import os
 
@@ -295,11 +391,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
     golden_dir = args.golden_dir
     if golden_dir is None:
-        golden_dir = os.path.join(
-            os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
-            "tests",
-            "golden",
-        )
+        golden_dir = _default_golden_dir()
 
     if args.regen:
         try:
@@ -328,6 +420,17 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
         for mm in bandwidth_scheduler_differential():
             failures.append(f"scheduler {mm.kind}: {mm.detail}")
+
+    if not args.skip_prediction:
+        # one pass over the whole golden corpus (the tiers answer every
+        # benchmark from a single profile, so this is not per-benchmark)
+        from repro.validate.prediction import prediction_differential
+
+        failures.extend(prediction_differential(
+            golden_dir,
+            benchmarks=tuple(benchmarks),
+            clusters=tuple(clusters),
+        ))
 
     for bname in benchmarks:
         for cname in clusters:
@@ -520,6 +623,33 @@ def build_parser() -> argparse.ArgumentParser:
         fn=_cmd_report
     )
 
+    pp = sub.add_parser(
+        "predict",
+        help="tiered prediction of the scaling grid with "
+             "predicted-vs-simulated error bars",
+    )
+    pp.add_argument("--benchmarks", "-b", default=None,
+                    help="comma-separated subset (default: all nine)")
+    pp.add_argument("--cluster", "-c", default="both",
+                    choices=["A", "B", "both"])
+    pp.add_argument("--suite", "-s", default="tiny")
+    pp.add_argument("--nodes", default="1,2,4,8,16,32,64",
+                    help="comma-separated node counts "
+                         "(default: the paper grid, 1..64 powers of two)")
+    pp.add_argument("--tier", default="analytic",
+                    choices=["auto", "analytic", "surrogate", "des"],
+                    help="prediction fidelity (default: analytic — the "
+                         "whole grid in well under a second)")
+    pp.add_argument("--corpus", metavar="CORPUS.jsonl", default=None,
+                    help="surrogate corpus file (default: seeded "
+                         "in-memory from the golden fingerprints)")
+    pp.add_argument("--no-des", action="store_true",
+                    help="with --tier auto: never escalate to the "
+                         "simulator; degrade to the analytic answer")
+    pp.add_argument("--golden-dir", default=None,
+                    help="golden corpus directory (default: tests/golden)")
+    pp.set_defaults(fn=_cmd_predict)
+
     pv = sub.add_parser(
         "validate",
         help="golden fingerprints, perturbation sanitizer, differential "
@@ -537,6 +667,9 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--skip-golden", action="store_true")
     pv.add_argument("--skip-perturb", action="store_true")
     pv.add_argument("--skip-differential", action="store_true")
+    pv.add_argument("--skip-prediction", action="store_true",
+                    help="skip the prediction-tier differential "
+                         "(analytic/surrogate vs DES ground truth)")
     pv.add_argument("--golden-dir", default=None,
                     help="golden corpus directory (default: tests/golden)")
     pv.add_argument("--regen", action="store_true",

@@ -37,6 +37,8 @@ def scaling_sweep(
     max_events: Optional[int] = None,
     sim_time_limit: Optional[float] = None,
     executor=None,
+    tier: str = "des",
+    corpus=None,
 ) -> ScalingSeries:
     """Run ``benchmark`` at each process count, ``repeats`` times each.
 
@@ -72,9 +74,31 @@ def scaling_sweep(
     sweep out over TCP workers on other machines — the series is
     field-for-field identical regardless, because every point's seed is
     a pure function of ``(nprocs, repeat)``.
+
+    ``tier`` selects the prediction fidelity (see :mod:`repro.predict`):
+    the default ``"des"`` simulates every point with the engine, exactly
+    as before; ``"analytic"`` / ``"surrogate"`` / ``"auto"`` answer
+    points from the tiered predictor and synthesize the results — with
+    ``"auto"``, any point the cheap tiers cannot defend is escalated to
+    the DES and fed into ``corpus`` (an ephemeral in-memory corpus by
+    default, so escalations within one sweep teach the surrogate the
+    later points).  Predicted points are deterministic, so repeats are
+    replicated like noiseless DES repeats.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    if tier != "des":
+        return _predicted_sweep(
+            benchmark, cluster, proc_counts, suite=suite, repeats=repeats,
+            tier=tier, corpus=corpus, tolerate_failures=tolerate_failures,
+            des_kwargs=dict(
+                sim_steps=sim_steps, noise_sigma=noise_sigma,
+                fast_path=fast_path, memoize=memoize, matcher=matcher,
+                fast_forward=fast_forward, wavefront=wavefront,
+                faults=faults, max_events=max_events,
+                sim_time_limit=sim_time_limit,
+            ),
+        )
 
     def spec(n: int, rep: int) -> RunSpec:
         return RunSpec(
@@ -139,6 +163,88 @@ def scaling_sweep(
         details = "; ".join(f.summary() for f in failures[:4])
         raise RuntimeError(
             f"scaling sweep of {benchmark.name!r} on {cluster.name!r} lost "
+            f"every point ({len(failures)} failure(s)): {details}"
+        )
+    return ScalingSeries(
+        benchmark=benchmark.name,
+        cluster=cluster.name,
+        suite=suite,
+        points=tuple(points),
+        failures=tuple(failures),
+    )
+
+
+def _predicted_sweep(
+    benchmark: Benchmark,
+    cluster: ClusterSpec,
+    proc_counts: Sequence[int],
+    suite: str,
+    repeats: int,
+    tier: str,
+    corpus,
+    tolerate_failures: bool,
+    des_kwargs: dict,
+) -> ScalingSeries:
+    """Answer a sweep from the tiered predictor (``tier != "des"``).
+
+    Points run in order so that ``tier="auto"`` escalations feed the
+    corpus before later (usually larger) points query it.
+    """
+    import traceback as _tb
+
+    from repro.predict import (
+        PredictionCorpus,
+        PredictionSpec,
+        ProfileUnsupported,
+        predict,
+        prediction_to_result,
+    )
+
+    if corpus is None:
+        corpus = PredictionCorpus()
+    points: list[ScalingPoint] = []
+    failures: list[FailedRun] = []
+    for n in proc_counts:
+        spec = PredictionSpec(
+            benchmark=benchmark.name,
+            cluster=cluster.name,
+            nnodes=cluster.nodes_for(n),
+            suite=suite,
+            nprocs=n,
+            benchmark_obj=benchmark,
+            cluster_obj=cluster,
+        )
+        try:
+            pred = predict(
+                spec, tier=tier, corpus=corpus,
+                seed=1000 * n, **des_kwargs,
+            )
+            first = prediction_to_result(pred)
+        except (ProfileUnsupported, ValueError) as exc:
+            if not tolerate_failures:
+                raise
+            failures.append(FailedRun(
+                benchmark=benchmark.name,
+                cluster=cluster.name,
+                suite=suite,
+                nprocs=n,
+                seed=1000 * n,
+                error_type=type(exc).__name__,
+                error_message=str(exc),
+                traceback=_tb.format_exc(),
+            ))
+            continue
+        runs = [first]
+        for rep in range(1, repeats):
+            clone = copy.deepcopy(first)
+            runs.append(
+                replace(clone, meta={**clone.meta, "seed": 1000 * n + rep})
+            )
+        points.append(ScalingPoint(nprocs=n, runs=tuple(runs)))
+    if not points:
+        details = "; ".join(f.summary() for f in failures[:4])
+        raise RuntimeError(
+            f"predicted sweep of {benchmark.name!r} on {cluster.name!r} lost "
             f"every point ({len(failures)} failure(s)): {details}"
         )
     return ScalingSeries(

@@ -90,7 +90,16 @@ def timeline_samples(trace, buckets: int = 50) -> list[RooflineSample]:
     flops = [0.0] * buckets
     mem = [0.0] * buckets
     for iv in trace.intervals:
-        if iv.duration <= 0 or (iv.flops == 0 and iv.mem_bytes == 0):
+        if iv.flops == 0 and iv.mem_bytes == 0:
+            continue
+        if iv.duration <= 0:
+            # zero-duration interval (e.g. a replayed or instantaneous
+            # phase): no span to spread over, but its counters are real —
+            # deposit them whole into the bucket containing t0 instead of
+            # dividing by the zero duration below
+            b = min(buckets - 1, max(0, int((iv.t0 - t_min) / dt)))
+            flops[b] += iv.flops
+            mem[b] += iv.mem_bytes
             continue
         b0 = max(0, int((iv.t0 - t_min) / dt))
         b1 = min(buckets - 1, int((iv.t1 - t_min) / dt))

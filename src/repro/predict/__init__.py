@@ -1,0 +1,66 @@
+"""Tiered prediction: closed-form answers in front of the DES.
+
+Three tiers answer the same question — *how long does benchmark X take
+on cluster Y at N nodes, and what does it cost in energy?* — at three
+fidelity/latency points:
+
+* **Tier A (analytic)** — :mod:`repro.predict.analytic`: a closed-form
+  Roofline/ECM + LogGP evaluator that dry-runs the benchmark body once
+  per sampled rank (no simulator, no events) and combines the recorded
+  step profile into runtime, per-phase compute/wait split, and a RAPL
+  energy estimate, each with a stated model-error band.
+* **Tier B (surrogate)** — :mod:`repro.predict.surrogate`: a numpy-only
+  inverse-distance interpolator over the corpus of completed DES runs
+  (:mod:`repro.predict.corpus`) that learns the analytic tier's
+  residuals, with leave-one-out cross-validation error per benchmark.
+* **Tier C (DES)** — the existing engine via
+  :func:`repro.harness.runner.run`, invoked automatically when the
+  cheaper tiers disagree beyond their stated bands or the query leaves
+  the corpus hull; its result feeds back into the corpus.
+
+:func:`repro.predict.api.predict` is the single entry point;
+``repro predict`` is the CLI; ``scaling_sweep(tier=...)`` threads the
+stack through the harness.  See ``docs/prediction.md``.
+"""
+
+from __future__ import annotations
+
+from repro.predict.analytic import (
+    ANALYTIC_BAND,
+    AnalyticEstimate,
+    analytic_prediction,
+)
+from repro.predict.api import (
+    AnalyticPredictionTier,
+    DesPredictionTier,
+    Prediction,
+    PredictionSpec,
+    PredictionTier,
+    SurrogatePredictionTier,
+    predict,
+    prediction_to_result,
+    strong_scaling_eligible,
+)
+from repro.predict.corpus import CorpusSample, PredictionCorpus, corpus_from_golden
+from repro.predict.profile import ProfileUnsupported
+from repro.predict.surrogate import ResidualSurrogate
+
+__all__ = [
+    "ANALYTIC_BAND",
+    "AnalyticEstimate",
+    "AnalyticPredictionTier",
+    "CorpusSample",
+    "DesPredictionTier",
+    "Prediction",
+    "PredictionCorpus",
+    "PredictionSpec",
+    "PredictionTier",
+    "ProfileUnsupported",
+    "ResidualSurrogate",
+    "SurrogatePredictionTier",
+    "analytic_prediction",
+    "corpus_from_golden",
+    "predict",
+    "prediction_to_result",
+    "strong_scaling_eligible",
+]

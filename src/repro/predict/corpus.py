@@ -1,0 +1,187 @@
+"""The prediction corpus: completed DES runs the surrogate learns from.
+
+One :class:`CorpusSample` per simulated point — the DES runtime and
+energy for a ``(benchmark, cluster, suite, nnodes)`` query.  The corpus
+follows the :mod:`repro.harness.checkpoint` idioms: an append-only JSONL
+file with a schema stamp and a stable sha256 key per sample, tolerant of
+corrupt trailing lines (a killed writer), last-record-wins on duplicate
+keys, fsynced appends, and an atomic :meth:`PredictionCorpus.compact`.
+
+Two feeders fill it:
+
+* :func:`corpus_from_golden` seeds a corpus from the golden fingerprint
+  files under ``tests/golden`` (36 DES ground-truth points, hex-float
+  encoded);
+* Tier C (:func:`repro.predict.api.predict` escalating to the DES)
+  appends every fresh simulation, so repeated queries get cheaper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+
+#: Schema stamp written with every record (bump on incompatible change).
+CORPUS_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class CorpusSample:
+    """One completed DES run, reduced to what the surrogate needs."""
+
+    benchmark: str
+    cluster: str           # registry name ("ClusterA" / "ClusterB")
+    suite: str
+    nnodes: int
+    nprocs: int
+    threads: int
+    elapsed: float         # DES full-run runtime [s]
+    total_energy: float    # DES chip + DRAM energy [J]
+
+    @property
+    def key(self) -> str:
+        return sample_key(
+            self.benchmark, self.cluster, self.suite,
+            self.nnodes, self.nprocs, self.threads,
+        )
+
+    @property
+    def group(self) -> tuple[str, str, str, int]:
+        """Interpolation group: one scaling curve."""
+        return (self.benchmark, self.cluster, self.suite, self.threads)
+
+
+def sample_key(
+    benchmark: str, cluster: str, suite: str,
+    nnodes: int, nprocs: int, threads: int,
+) -> str:
+    """Stable identity digest of one corpus point (spec_key idiom)."""
+    raw = "|".join(
+        str(x) for x in (benchmark, cluster, suite, nnodes, nprocs, threads)
+    )
+    return hashlib.sha256(raw.encode()).hexdigest()[:24]
+
+
+def _parse_line(line: str) -> CorpusSample | None:
+    """One JSONL line -> sample, or ``None`` for blank/corrupt/unknown
+    lines (truncated tail from a killed writer)."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        doc = json.loads(line)
+        if doc.get("schema") != CORPUS_SCHEMA or doc.get("kind") != "sample":
+            return None
+        return CorpusSample(**doc["sample"])
+    except (ValueError, KeyError, TypeError):
+        return None
+
+
+class PredictionCorpus:
+    """In-memory sample set with optional JSONL persistence.
+
+    ``path=None`` keeps the corpus ephemeral (one sweep's accumulation);
+    with a path, construction loads every valid record and :meth:`add`
+    durably appends.
+    """
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self._samples: dict[str, CorpusSample] = {}
+        if path is not None and os.path.exists(path):
+            with open(path) as fh:
+                for line in fh:
+                    s = _parse_line(line)
+                    if s is not None:
+                        self._samples[s.key] = s   # last record wins
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self):
+        return iter(self._samples.values())
+
+    def get(self, key: str) -> CorpusSample | None:
+        return self._samples.get(key)
+
+    def add(self, sample: CorpusSample) -> None:
+        """Insert (or replace) one sample; durably appended when backed
+        by a file."""
+        self._samples[sample.key] = sample
+        if self.path is not None:
+            record = {
+                "schema": CORPUS_SCHEMA,
+                "kind": "sample",
+                "key": sample.key,
+                "sample": asdict(sample),
+            }
+            with open(self.path, "a") as fh:
+                fh.write(json.dumps(record) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def group(self, group: tuple) -> list[CorpusSample]:
+        """Samples of one scaling curve, sorted by node count."""
+        return sorted(
+            (s for s in self._samples.values() if s.group == group),
+            key=lambda s: s.nnodes,
+        )
+
+    def groups(self) -> list[tuple]:
+        return sorted({s.group for s in self._samples.values()})
+
+    def compact(self) -> int:
+        """Atomically rewrite the backing file with one line per key
+        (fsynced temp + replace; a crash leaves old or new, never torn).
+        Returns the number of samples kept; memory-only corpora no-op."""
+        if self.path is None or not os.path.exists(self.path):
+            return len(self._samples)
+        tmp = self.path + ".compact.tmp"
+        with open(tmp, "w") as fh:
+            for key, sample in self._samples.items():
+                fh.write(json.dumps({
+                    "schema": CORPUS_SCHEMA,
+                    "kind": "sample",
+                    "key": key,
+                    "sample": asdict(sample),
+                }) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        return len(self._samples)
+
+
+def corpus_from_golden(
+    golden_dir: str, scales: tuple[int, ...] = (1, 4), path: str | None = None
+) -> PredictionCorpus:
+    """Seed a corpus from the golden DES fingerprints.
+
+    Missing files are skipped (a partially regenerated golden tree still
+    seeds what it has).
+    """
+    from repro.validate.golden import golden_cases, load_fingerprint
+
+    corpus = PredictionCorpus(path)
+    for case in golden_cases(scales=scales):
+        try:
+            fp = load_fingerprint(golden_dir, case)
+        except FileNotFoundError:
+            continue
+        rec = fp.record
+        energy = rec["energy"]
+        corpus.add(CorpusSample(
+            benchmark=rec["benchmark"],
+            cluster=rec["cluster"],
+            suite=case.suite,
+            nnodes=int(rec["nnodes"]),
+            nprocs=int(rec["nprocs"]),
+            threads=1,
+            elapsed=float.fromhex(rec["elapsed"]),
+            total_energy=(
+                float.fromhex(energy["chip_energy"])
+                + float.fromhex(energy["dram_energy"])
+            ),
+        ))
+    return corpus

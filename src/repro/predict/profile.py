@@ -1,0 +1,451 @@
+"""Dry-run step profiler: one benchmark step as a per-rank op list.
+
+Tier A needs each benchmark's *step structure* — the exact sequence of
+compute phases, point-to-point calls, and collectives one rank executes
+per representative step — without paying for the event engine.  The
+benchmark bodies already encode that structure as generators over a
+:class:`~repro.smpi.comm.Communicator`; this module drives a body with a
+:class:`RecordingComm` (every MPI method records a constant-only op and
+returns immediately — no events, no virtual time) through exactly one
+step of a fake :class:`StepLoop`, yielding a :class:`RankProfile`.
+
+The profiler is exact about structure and counters: the op list contains
+the same phase costs (priced by the real
+:class:`~repro.model.execution.ExecutionModel`), message sizes, and
+collective sequence the DES would execute, because it runs the same body
+code.  Only *timing interactions* between ranks (matching, rendezvous,
+arrival skew) are left to the closed-form combination in
+:mod:`repro.predict.analytic`.
+
+Profiling every rank would make Tier A O(nprocs) per query; instead
+:func:`sampled_ranks` picks a small set of representative ranks (always
+including both ends of the rank range, where decompositions put their
+remainder/boundary ranks) and weights each by the contiguous rank block
+it stands for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import GeneratorType
+from typing import Callable
+
+from repro.machine.cluster import ClusterSpec
+from repro.spechpc.base import Benchmark, RunContext
+
+#: Default number of representative ranks profiled per query.
+SAMPLE_LIMIT = 16
+
+
+class ProfileUnsupported(Exception):
+    """The benchmark body used an operation the dry-run profiler cannot
+    replay analytically (e.g. payload-carrying reductions whose result
+    steers control flow)."""
+
+
+# --------------------------------------------------------------------------
+# recorded ops (constants only — no absolute times)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ComputeOp:
+    seconds: float
+    flops: float = 0.0
+    simd_flops: float = 0.0
+    mem_bytes: float = 0.0
+    l3_bytes: float = 0.0
+    l2_bytes: float = 0.0
+    busy_seconds: float = 0.0
+    heat_seconds: float = 0.0
+    heat_busy_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class SendPost:
+    req: int
+    dest: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class RecvPost:
+    req: int
+    source: int
+
+
+@dataclass(frozen=True)
+class WaitOne:
+    req: int
+    kind: str
+
+
+@dataclass(frozen=True)
+class WaitAll:
+    reqs: tuple[int, ...]
+    kind: str
+
+
+@dataclass(frozen=True)
+class BlockingSend:
+    dest: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class BlockingRecv:
+    source: int
+
+
+@dataclass(frozen=True)
+class SendRecv:
+    dest: int
+    send_bytes: int
+    source: int
+    recv_bytes: int
+
+
+@dataclass(frozen=True)
+class Coll:
+    kind: str
+    nbytes: int | None
+
+
+@dataclass
+class RankProfile:
+    """One rank's recorded step plus its sampling weight."""
+
+    rank: int
+    weight: int
+    ops: list = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# recording communicator
+# --------------------------------------------------------------------------
+
+class _Token:
+    """Marker returned by recorded sub-coroutine calls; the trampoline
+    sends ``result`` back into the body in their stead."""
+
+    __slots__ = ("result",)
+
+    def __init__(self, result=None) -> None:
+        self.result = result
+
+
+class _FakeRequest:
+    __slots__ = ("req_id",)
+
+    def __init__(self, req_id: int) -> None:
+        self.req_id = req_id
+
+
+class _StepToken:
+    __slots__ = ("loop",)
+
+    def __init__(self, loop: "_ProfileLoop") -> None:
+        self.loop = loop
+
+
+class _ProfileLoop:
+    """Fake :class:`~repro.spechpc.fastforward.StepLoop` driving exactly
+    one recorded step (steps are statistically identical, so one suffices)."""
+
+    __slots__ = ("_comm", "_entered")
+
+    def __init__(self, comm: "RecordingComm") -> None:
+        self._comm = comm
+        self._entered = False
+
+    def next_step(self) -> _StepToken:
+        return _StepToken(self)
+
+    def advance(self) -> bool:
+        if self._entered:
+            return False
+        self._entered = True
+        self._comm.ops.clear()   # drop anything yielded before the loop
+        return True
+
+
+class RecordingComm:
+    """Communicator look-alike that records ops instead of simulating.
+
+    Implements exactly the surface the nine suite bodies use; anything
+    else (payload reductions, wildcard receives) raises
+    :class:`ProfileUnsupported` so callers can fall back to the DES.
+    """
+
+    __slots__ = ("rank", "size", "ops", "_next_req")
+
+    def __init__(self, rank: int, size: int) -> None:
+        self.rank = rank
+        self.size = size
+        self.ops: list = []
+        self._next_req = 0
+
+    # --- computation -------------------------------------------------------
+
+    def compute(
+        self,
+        seconds: float,
+        flops: float = 0.0,
+        simd_flops: float = 0.0,
+        mem_bytes: float = 0.0,
+        l3_bytes: float = 0.0,
+        l2_bytes: float = 0.0,
+        busy_seconds: float | None = None,
+        heat_seconds: float | None = None,
+        heat_busy_seconds: float | None = None,
+        label: str = "compute",
+    ) -> _Token:
+        if seconds < 0:
+            raise ValueError("compute time must be non-negative")
+        if busy_seconds is None:
+            busy_seconds = seconds
+        if heat_seconds is None:
+            heat_seconds = 0.85 * seconds
+        if heat_busy_seconds is None:
+            heat_busy_seconds = 0.85 * busy_seconds
+        self.ops.append(ComputeOp(
+            seconds, flops, simd_flops, mem_bytes, l3_bytes, l2_bytes,
+            busy_seconds, heat_seconds, heat_busy_seconds,
+        ))
+        return _Token()
+
+    def compute_cost(self, cost) -> _Token:
+        return self.compute(cost.seconds, **cost.counter_kwargs())
+
+    # --- point-to-point ----------------------------------------------------
+
+    def _new_req(self) -> int:
+        self._next_req += 1
+        return self._next_req
+
+    def isend(
+        self, dest: int, nbytes: int, tag: int = 0, payload: object = None
+    ) -> _FakeRequest:
+        if payload is not None:
+            raise ProfileUnsupported("payload-carrying sends")
+        rid = self._new_req()
+        self.ops.append(SendPost(rid, dest, nbytes))
+        return _FakeRequest(rid)
+
+    def irecv(self, source: int = -1, tag: int = -1) -> _FakeRequest:
+        if source < 0:
+            raise ProfileUnsupported("wildcard receives")
+        rid = self._new_req()
+        self.ops.append(RecvPost(rid, source))
+        return _FakeRequest(rid)
+
+    def wait(self, req: _FakeRequest, kind: str = "MPI_Wait") -> _Token:
+        self.ops.append(WaitOne(req.req_id, kind))
+        return _Token()
+
+    def waitall(self, reqs: list, kind: str = "MPI_Wait") -> _Token:
+        self.ops.append(WaitAll(tuple(r.req_id for r in reqs), kind))
+        return _Token([None] * len(reqs))
+
+    def send(
+        self, dest: int, nbytes: int, tag: int = 0, payload: object = None
+    ) -> _Token:
+        if payload is not None:
+            raise ProfileUnsupported("payload-carrying sends")
+        self.ops.append(BlockingSend(dest, nbytes))
+        return _Token()
+
+    def recv(self, source: int = -1, tag: int = -1) -> _Token:
+        if source < 0:
+            raise ProfileUnsupported("wildcard receives")
+        self.ops.append(BlockingRecv(source))
+        return _Token()
+
+    def sendrecv(
+        self,
+        dest: int,
+        send_bytes: int,
+        source: int,
+        recv_bytes: int = 0,
+        tag: int = 0,
+        payload: object = None,
+    ) -> _Token:
+        if payload is not None:
+            raise ProfileUnsupported("payload-carrying sends")
+        self.ops.append(SendRecv(dest, send_bytes, source, recv_bytes))
+        return _Token()
+
+    # --- collectives -------------------------------------------------------
+
+    def barrier(self) -> _Token:
+        self.ops.append(Coll("MPI_Barrier", None))
+        return _Token()
+
+    def allreduce(self, nbytes: int = 8) -> _Token:
+        self.ops.append(Coll("MPI_Allreduce", nbytes))
+        return _Token()
+
+    def bcast(self, nbytes: int, root: int = 0) -> _Token:
+        self.ops.append(Coll("MPI_Bcast", nbytes))
+        return _Token()
+
+    def reduce(self, nbytes: int, root: int = 0) -> _Token:
+        self.ops.append(Coll("MPI_Reduce", nbytes))
+        return _Token()
+
+    def allgather(self, total_bytes: int) -> _Token:
+        self.ops.append(Coll("MPI_Allgather", total_bytes))
+        return _Token()
+
+    def scatter(self, total_bytes: int, root: int = 0) -> _Token:
+        self.ops.append(Coll("MPI_Scatter", total_bytes))
+        return _Token()
+
+    def gather(self, total_bytes: int, root: int = 0) -> _Token:
+        self.ops.append(Coll("MPI_Gather", total_bytes))
+        return _Token()
+
+    def alltoall(self, send_bytes: int) -> _Token:
+        self.ops.append(Coll("MPI_Alltoall", send_bytes))
+        return _Token()
+
+    def allreduce_data(self, value, nbytes: int | None = None, op=None):
+        raise ProfileUnsupported("payload-carrying reductions")
+
+
+# --------------------------------------------------------------------------
+# profiling context
+# --------------------------------------------------------------------------
+
+@dataclass
+class ProfilingContext(RunContext):
+    """A :class:`RunContext` that needs no runtime: ccNUMA domain
+    populations are derived directly from the cluster's compact placement
+    (the same arithmetic :class:`~repro.smpi.runtime.MpiRuntime` applies),
+    and :meth:`step_loop` drives the one-step recording protocol."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._node_pops: dict[int, list[int]] = {}
+
+    @property
+    def nnodes(self) -> int:
+        return self.cluster.nodes_for(self.nprocs * self.threads)
+
+    def ranks_in_domain(self, rank: int) -> int:
+        node = self.cluster.node
+        cores = node.cores
+        t = self.threads
+        node_idx, core = divmod(rank * t, cores)
+        if node_idx >= self.cluster.max_nodes:
+            raise ValueError(
+                f"rank {rank} exceeds cluster capacity "
+                f"({self.cluster.max_nodes} nodes x {cores} cores)"
+            )
+        pops = self._node_pops.get(node_idx)
+        if pops is None:
+            # ranks whose first core lands on this node (compact pinning)
+            r_lo = -(-(node_idx * cores) // t)
+            r_hi = min(self.nprocs, -(-((node_idx + 1) * cores) // t))
+            pops = [0] * node.numa_domains
+            for r in range(r_lo, r_hi):
+                pops[node.locate(r * t - node_idx * cores).domain] += 1
+            self._node_pops[node_idx] = pops
+        return pops[node.locate(core).domain]
+
+    def step_loop(self, comm: RecordingComm) -> _ProfileLoop:
+        return _ProfileLoop(comm)
+
+
+def make_context(
+    cluster: ClusterSpec,
+    benchmark: Benchmark,
+    nprocs: int,
+    suite: str,
+    exec_model,
+    threads: int = 1,
+) -> ProfilingContext:
+    """Profiling context matching what the harness runner would build."""
+    return ProfilingContext(
+        cluster=cluster,
+        nprocs=nprocs,
+        workload=benchmark.workload(suite),
+        exec_model=exec_model,
+        sim_steps=benchmark.default_sim_steps(suite),
+        threads=threads,
+    )
+
+
+# --------------------------------------------------------------------------
+# rank sampling
+# --------------------------------------------------------------------------
+
+def sampled_ranks(nprocs: int, limit: int = SAMPLE_LIMIT) -> list[tuple[int, int]]:
+    """Representative ``(rank, weight)`` pairs covering ``[0, nprocs)``.
+
+    Evenly spaced (both ends always included — that is where block
+    decompositions place their remainder ranks); each sample's weight is
+    the size of the contiguous rank block whose nearest sample it is, so
+    weights sum to ``nprocs``.
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    if nprocs <= limit:
+        return [(r, 1) for r in range(nprocs)]
+    idx = sorted({round(i * (nprocs - 1) / (limit - 1)) for i in range(limit)})
+    out = []
+    for j, r in enumerate(idx):
+        lo = 0 if j == 0 else (idx[j - 1] + r) // 2 + 1
+        hi = nprocs - 1 if j == len(idx) - 1 else (r + idx[j + 1]) // 2
+        out.append((r, hi - lo + 1))
+    return out
+
+
+# --------------------------------------------------------------------------
+# the trampoline
+# --------------------------------------------------------------------------
+
+def profile_rank(
+    body: Callable[[RecordingComm], GeneratorType],
+    nprocs: int,
+    rank: int,
+    weight: int = 1,
+) -> RankProfile:
+    """Drive ``body`` for rank ``rank`` through one recorded step.
+
+    A stack-based generator trampoline stands in for the event engine:
+    yielded sub-generators are pushed and run inline; yielded op tokens
+    resolve immediately to their recorded results.
+    """
+    comm = RecordingComm(rank, nprocs)
+    stack: list[GeneratorType] = [body(comm)]
+    send = None
+    while stack:
+        try:
+            y = stack[-1].send(send)
+        except StopIteration as stop:
+            stack.pop()
+            send = stop.value
+            continue
+        if isinstance(y, _Token):
+            send = y.result
+        elif isinstance(y, GeneratorType):
+            stack.append(y)
+            send = None
+        elif isinstance(y, _StepToken):
+            send = y.loop.advance()
+        else:
+            raise ProfileUnsupported(f"body yielded {y!r}")
+    return RankProfile(rank=rank, weight=weight, ops=list(comm.ops))
+
+
+def profile_step(
+    benchmark: Benchmark,
+    ctx: ProfilingContext,
+    limit: int = SAMPLE_LIMIT,
+) -> list[RankProfile]:
+    """One-step profiles of a representative rank sample."""
+    body = benchmark.make_body(ctx)
+    return [
+        profile_rank(body, ctx.nprocs, rank, weight)
+        for rank, weight in sampled_ranks(ctx.nprocs, limit)
+    ]

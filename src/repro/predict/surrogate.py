@@ -1,0 +1,165 @@
+"""Tier B: numpy-only interpolating surrogate over the DES corpus.
+
+The surrogate does not model runtimes directly — it learns the **log
+residual** of the analytic tier, ``ln(DES / analytic)``, per scaling
+curve (one ``(benchmark, cluster, suite, threads)`` group), interpolated
+over ``x = log2(ranks)`` with power-2 inverse-distance weighting.  (The
+rank count is the interpolation axis rather than the node count so that
+sub-node domain-fill sweeps — many rank counts on one node — stay
+distinct training points.)  This
+keeps Tier B *exact at every corpus point* (interpolation, not
+regression: a query at a trained node count returns the DES value
+bit-for-bit in log space) while inheriting the analytic tier's shape
+between and — clamped — beyond them.
+
+Every group fit carries a leave-one-out cross-validation error (the
+worst relative error when predicting each corpus point from the others),
+which becomes the surrogate's stated error band with
+:data:`CV_HEADROOM` headroom.  Queries outside the group's hull
+(``[min, max]`` of the trained ``log2(ranks)``) or in groups with fewer
+than two points are flagged ``in_hull=False`` — the auto policy
+escalates those to the DES.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.predict.corpus import PredictionCorpus
+
+#: Multiplier on the LOO-CV error when stating the surrogate band.
+#: Calibrated against the fresh-DES interpolation holdouts in
+#: ``validate.prediction_differential`` (minisweep's rendezvous-chain
+#: residual is nonmonotone in nodes, so mid-hull error can exceed the
+#: LOO spread itself).
+CV_HEADROOM = 2.0
+#: Band floor: never claim better than this (one corpus point could be
+#: exactly reproduced yet its neighborhood still carry residual noise).
+BAND_FLOOR = 0.02
+#: Squared-distance epsilon below which a query *is* a training point.
+_EXACT_EPS = 1e-18
+
+
+@dataclass(frozen=True)
+class SurrogateEstimate:
+    """Tier B output for one query."""
+
+    runtime: float          # predicted full-run elapsed [s]
+    total_energy: float     # predicted chip + DRAM energy [J]
+    band: float             # claimed |pred - DES| / DES bound
+    in_hull: bool           # query inside the trained rank range?
+    cv_error: float         # group LOO-CV max relative error
+    n_samples: int          # corpus points in the group
+    residual: float         # applied ln(DES / analytic) runtime residual
+
+
+@dataclass(frozen=True)
+class _GroupFit:
+    x: np.ndarray           # log2(nprocs), sorted
+    y_runtime: np.ndarray   # ln(des / analytic) runtime residuals
+    y_energy: np.ndarray    # ln(des / analytic) energy residuals
+    cv_error: float
+
+
+def _idw(x: float, xs: np.ndarray, ys: np.ndarray) -> float:
+    """Power-2 inverse-distance interpolation, exact at training points."""
+    d2 = (xs - x) ** 2
+    hit = int(np.argmin(d2))
+    if d2[hit] < _EXACT_EPS:
+        return float(ys[hit])
+    w = 1.0 / d2
+    return float(np.dot(w, ys) / w.sum())
+
+
+def _loo_error(xs: np.ndarray, ys: np.ndarray) -> float:
+    """Worst relative error predicting each point from the others."""
+    n = len(xs)
+    if n < 2:
+        return math.inf
+    worst = 0.0
+    for i in range(n):
+        keep = np.arange(n) != i
+        y_hat = _idw(float(xs[i]), xs[keep], ys[keep])
+        worst = max(worst, abs(math.expm1(ys[i] - y_hat)))
+    return worst
+
+
+class ResidualSurrogate:
+    """Interpolating residual model over a :class:`PredictionCorpus`.
+
+    ``analytic_fn(sample) -> elapsed, total_energy`` supplies the Tier A
+    baseline at each corpus point (fits are cached per group and
+    invalidated when the group's sample count changes).
+    """
+
+    def __init__(self, corpus: PredictionCorpus, analytic_fn) -> None:
+        self.corpus = corpus
+        self._analytic_fn = analytic_fn
+        self._fits: dict[tuple, tuple[int, _GroupFit]] = {}
+
+    def _fit(self, group: tuple) -> _GroupFit | None:
+        samples = self.corpus.group(group)
+        if not samples:
+            return None
+        cached = self._fits.get(group)
+        if cached is not None and cached[0] == len(samples):
+            return cached[1]
+        xs, y_rt, y_en = [], [], []
+        for s in samples:
+            a_elapsed, a_energy = self._analytic_fn(s)
+            xs.append(math.log2(s.nprocs))
+            y_rt.append(math.log(s.elapsed / a_elapsed))
+            y_en.append(math.log(s.total_energy / a_energy))
+        x_arr = np.asarray(xs)
+        # the stated band covers runtime AND energy, so the CV error is
+        # the worse of the two residual curves
+        fit = _GroupFit(
+            x=x_arr,
+            y_runtime=np.asarray(y_rt),
+            y_energy=np.asarray(y_en),
+            cv_error=max(
+                _loo_error(x_arr, np.asarray(y_rt)),
+                _loo_error(x_arr, np.asarray(y_en)),
+            ),
+        )
+        self._fits[group] = (len(samples), fit)
+        return fit
+
+    def cv_error(self, group: tuple) -> float:
+        """Leave-one-out CV error of one scaling curve (inf if < 2 points)."""
+        fit = self._fit(group)
+        return math.inf if fit is None else fit.cv_error
+
+    def estimate(
+        self,
+        group: tuple,
+        nprocs: int,
+        analytic_elapsed: float,
+        analytic_energy: float,
+    ) -> SurrogateEstimate | None:
+        """Predict one query by correcting the analytic baseline with the
+        interpolated residual; ``None`` when the group has no samples."""
+        fit = self._fit(group)
+        if fit is None:
+            return None
+        x = math.log2(nprocs)
+        in_hull = len(fit.x) >= 2 and float(fit.x[0]) <= x <= float(fit.x[-1])
+        res_rt = _idw(x, fit.x, fit.y_runtime)
+        res_en = _idw(x, fit.x, fit.y_energy)
+        band = (
+            max(BAND_FLOOR, CV_HEADROOM * fit.cv_error)
+            if math.isfinite(fit.cv_error)
+            else math.inf
+        )
+        return SurrogateEstimate(
+            runtime=analytic_elapsed * math.exp(res_rt),
+            total_energy=analytic_energy * math.exp(res_en),
+            band=band,
+            in_hull=in_hull,
+            cv_error=fit.cv_error,
+            n_samples=len(fit.x),
+            residual=res_rt,
+        )

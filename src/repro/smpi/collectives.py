@@ -1,125 +1,49 @@
-"""Collective-communication cost models and the synchronization gate.
+"""Collective cost models (shared) and the synchronization gate.
 
-Costs follow the classical Hockney/tree formulations used by MPI libraries:
+The closed-form Hockney/tree cost formulas live in
+:mod:`repro.model.collectives` — one shared module used by both these
+SMPI gates and the analytic prediction tier
+(:mod:`repro.predict.analytic`), so the two can never drift.  They are
+re-exported here under their historical names.
 
-* ``barrier``      — dissemination, ``ceil(log2 P)`` rounds of small messages;
-* ``allreduce``    — recursive doubling, ``ceil(log2 P)`` rounds carrying the
-  payload plus a per-byte reduction cost;
-* ``bcast``/``reduce`` — binomial tree, ``ceil(log2 P)`` rounds;
-* ``allgather``    — ring, ``P-1`` steps each moving ``nbytes / P``.
-
-Rounds are priced with the *slowest* link class the job uses: a job
-spanning several nodes pays inter-node latency for at least the top
-``log2(nnodes)`` rounds; the remaining rounds are intra-node.  The gate
-itself enforces the synchronizing semantics: no rank leaves before the
-last one arrives (arrival skew thus shows up as per-rank MPI time, exactly
-as in the paper's ITAC breakdowns).
+The gate itself enforces the synchronizing semantics: no rank leaves
+before the last one arrives (arrival skew thus shows up as per-rank MPI
+time, exactly as in the paper's ITAC breakdowns).
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.des.simulator import Signal
-from repro.machine.network import NetworkSpec
+from repro.model.collectives import (  # noqa: F401  (re-exports)
+    REDUCE_GAMMA,
+    _round_costs,
+    _rounds,
+    allgather_cost,
+    allreduce_cost,
+    alltoall_cost,
+    barrier_cost,
+    bcast_cost,
+    collective_cost,
+    gather_cost,
+    reduce_cost,
+    scatter_cost,
+)
 
-#: Per-byte cost of the local reduction operation [s/B] (vectorized sum).
-REDUCE_GAMMA = 1.0 / 20e9
-
-
-def _rounds(p: int) -> int:
-    return max(1, math.ceil(math.log2(p))) if p > 1 else 0
-
-
-def _round_costs(net: NetworkSpec, nprocs: int, nnodes: int, nbytes: float) -> float:
-    """Total latency+transfer cost of a log2(P)-round pattern."""
-    total_rounds = _rounds(nprocs)
-    inter_rounds = min(total_rounds, _rounds(max(nnodes, 1)))
-    intra_rounds = total_rounds - inter_rounds
-    t = inter_rounds * (net.latency + nbytes / net.effective_bandwidth)
-    t += intra_rounds * (net.intra_node_latency + nbytes / net.intra_node_bandwidth)
-    return t
-
-
-def barrier_cost(net: NetworkSpec, nprocs: int, nnodes: int) -> float:
-    """Dissemination barrier cost after the last rank arrives."""
-    if nprocs <= 1:
-        return 0.0
-    return _round_costs(net, nprocs, nnodes, 0.0) + net.per_message_overhead
-
-
-def allreduce_cost(net: NetworkSpec, nprocs: int, nnodes: int, nbytes: int) -> float:
-    """Recursive-doubling allreduce cost after the last rank arrives."""
-    if nprocs <= 1:
-        return 0.0
-    t = _round_costs(net, nprocs, nnodes, nbytes)
-    t += _rounds(nprocs) * nbytes * REDUCE_GAMMA
-    return t + net.per_message_overhead
-
-
-def bcast_cost(net: NetworkSpec, nprocs: int, nnodes: int, nbytes: int) -> float:
-    """Binomial-tree broadcast cost."""
-    if nprocs <= 1:
-        return 0.0
-    return _round_costs(net, nprocs, nnodes, nbytes) + net.per_message_overhead
-
-
-def reduce_cost(net: NetworkSpec, nprocs: int, nnodes: int, nbytes: int) -> float:
-    """Binomial-tree reduce cost (same round structure as bcast plus the
-    per-byte reduction)."""
-    if nprocs <= 1:
-        return 0.0
-    t = _round_costs(net, nprocs, nnodes, nbytes)
-    t += _rounds(nprocs) * nbytes * REDUCE_GAMMA
-    return t + net.per_message_overhead
-
-
-def allgather_cost(net: NetworkSpec, nprocs: int, nnodes: int, nbytes: int) -> float:
-    """Ring allgather: ``nbytes`` is the total gathered volume."""
-    if nprocs <= 1:
-        return 0.0
-    per_step = nbytes / nprocs
-    if nnodes > 1:
-        step = net.latency + per_step / net.effective_bandwidth
-    else:
-        step = net.intra_node_latency + per_step / net.intra_node_bandwidth
-    return (nprocs - 1) * step + net.per_message_overhead
-
-
-def scatter_cost(net: NetworkSpec, nprocs: int, nnodes: int, nbytes: int) -> float:
-    """Binomial-tree scatter: root holds ``nbytes`` total; each tree round
-    forwards half the remaining payload."""
-    if nprocs <= 1:
-        return 0.0
-    t = net.per_message_overhead
-    remaining = nbytes / 2.0
-    for round_idx in range(_rounds(nprocs)):
-        inter = round_idx < _rounds(max(nnodes, 1))
-        if inter:
-            t += net.latency + remaining / net.effective_bandwidth
-        else:
-            t += net.intra_node_latency + remaining / net.intra_node_bandwidth
-        remaining /= 2.0
-    return t
-
-
-def gather_cost(net: NetworkSpec, nprocs: int, nnodes: int, nbytes: int) -> float:
-    """Binomial-tree gather (mirror of scatter)."""
-    return scatter_cost(net, nprocs, nnodes, nbytes)
-
-
-def alltoall_cost(net: NetworkSpec, nprocs: int, nnodes: int, nbytes: int) -> float:
-    """Pairwise-exchange alltoall: ``nbytes`` is the per-rank send total
-    (each of the ``nprocs - 1`` steps moves ``nbytes / nprocs``)."""
-    if nprocs <= 1:
-        return 0.0
-    per_step = nbytes / nprocs
-    inter_frac = 0.0 if nnodes <= 1 else 1.0 - 1.0 / nnodes
-    step_inter = net.latency + per_step / net.effective_bandwidth
-    step_intra = net.intra_node_latency + per_step / net.intra_node_bandwidth
-    step = inter_frac * step_inter + (1.0 - inter_frac) * step_intra
-    return (nprocs - 1) * step + net.per_message_overhead
+__all__ = [
+    "REDUCE_GAMMA",
+    "barrier_cost",
+    "allreduce_cost",
+    "bcast_cost",
+    "reduce_cost",
+    "allgather_cost",
+    "scatter_cost",
+    "gather_cost",
+    "alltoall_cost",
+    "collective_cost",
+    "CollectiveGate",
+]
 
 
 @dataclass

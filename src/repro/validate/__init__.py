@@ -1,8 +1,8 @@
 """Validation subsystem: golden fingerprints, schedule-perturbation
-sanitizer, cross-mode differential conformance, and inline MPI
-invariants.
+sanitizer, cross-mode differential conformance, prediction-tier
+differential, and inline MPI invariants.
 
-The four parts answer one question from four angles — *did this change
+The five parts answer one question from five angles — *did this change
 alter simulated results it should not have?*
 
 * :mod:`repro.validate.golden` — canonical result fingerprints checked
@@ -16,6 +16,9 @@ alter simulated results it should not have?*
   (fast path × matcher × memoization × fast-forward × workers) and
   diffs complete traces; the fast flavors must be bit-identical to the
   references.
+* :mod:`repro.validate.prediction` — holds every :mod:`repro.predict`
+  tier to its own stated error band against DES ground truth (golden
+  corpus + fresh interpolation holdouts).
 * :mod:`repro.validate.invariants` — inline MPI conformance checks
   (non-overtaking, conservation, collective completeness, monotonic
   clocks) attachable to any run via ``run(..., invariants=True)``.
@@ -41,6 +44,7 @@ __all__ = [
     "differential_run",
     "observability_differential",
     "executor_differential",
+    "prediction_differential",
 ]
 
 _LAZY = {
@@ -52,6 +56,7 @@ _LAZY = {
     "differential_run": "repro.validate.differential",
     "observability_differential": "repro.validate.differential",
     "executor_differential": "repro.validate.differential",
+    "prediction_differential": "repro.validate.prediction",
 }
 
 

@@ -1,0 +1,141 @@
+"""Property tests for the prediction tiers.
+
+Two contracts that must hold for *any* input, not just the calibrated
+grid:
+
+* **Tier A monotonicity** — for the strong-scaling-eligible benchmarks
+  (see :data:`repro.predict.api.STRONG_SCALING`), adding nodes never
+  makes the analytic runtime prediction worse on the power-of-two grid.
+  A non-monotone screen would invert scaling-study conclusions even when
+  every individual point is within its band.
+* **Surrogate exactness** — the surrogate *interpolates*: at any trained
+  corpus point it returns the DES value to round-off, for any corpus
+  shape (any residual magnitudes, any node set).  A regression-style fit
+  that merely passes near the points would silently break the
+  ``validate.prediction_differential`` exactness guarantee.
+"""
+
+import math
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import get_cluster
+from repro.predict import CorpusSample, PredictionCorpus, ResidualSurrogate
+from repro.predict.api import STRONG_SCALING
+from repro.predict.surrogate import BAND_FLOOR
+
+NODE_GRID = (1, 2, 4, 8, 16, 32, 64)
+
+
+@lru_cache(maxsize=None)
+def _analytic_runtime(benchmark: str, cluster: str, nnodes: int) -> float:
+    from repro.predict import PredictionSpec, predict
+
+    return predict(
+        PredictionSpec(benchmark, cluster, nnodes), tier="analytic"
+    ).runtime
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    benchmark=st.sampled_from(STRONG_SCALING),
+    cluster=st.sampled_from(["A", "B"]),
+    pair=st.tuples(
+        st.sampled_from(NODE_GRID), st.sampled_from(NODE_GRID)
+    ).filter(lambda p: p[0] < p[1]),
+)
+def test_analytic_runtime_monotone_in_nodes(benchmark, cluster, pair):
+    small, large = pair
+    assert _analytic_runtime(benchmark, cluster, large) <= _analytic_runtime(
+        benchmark, cluster, small
+    )
+
+
+# --------------------------------------------------------------------------
+# surrogate exactness (synthetic corpora — no simulation, pure math)
+# --------------------------------------------------------------------------
+
+def _synthetic_corpus(node_counts, runtimes, energies):
+    cores = get_cluster("A").cores_per_node
+    corpus = PredictionCorpus()
+    for nnodes, elapsed, energy in zip(node_counts, runtimes, energies):
+        corpus.add(CorpusSample(
+            benchmark="synthetic", cluster="ClusterA", suite="tiny",
+            nnodes=nnodes, nprocs=nnodes * cores, threads=1,
+            elapsed=elapsed, total_energy=energy,
+        ))
+    return corpus
+
+
+positive = st.floats(min_value=1e-3, max_value=1e6,
+                     allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    node_counts=st.lists(
+        st.integers(min_value=1, max_value=1024),
+        min_size=1, max_size=8, unique=True,
+    ),
+    data=st.data(),
+)
+def test_surrogate_exact_at_every_corpus_point(node_counts, data):
+    n = len(node_counts)
+    runtimes = data.draw(st.lists(positive, min_size=n, max_size=n))
+    energies = data.draw(st.lists(positive, min_size=n, max_size=n))
+    corpus = _synthetic_corpus(node_counts, runtimes, energies)
+
+    # an arbitrary smooth analytic baseline the residuals correct
+    def analytic_fn(sample):
+        return 100.0 / sample.nnodes, 5000.0 + 3.0 * sample.nnodes
+
+    surrogate = ResidualSurrogate(corpus, analytic_fn)
+    group = ("synthetic", "ClusterA", "tiny", 1)
+    cores = get_cluster("A").cores_per_node
+    for nnodes, elapsed, energy in zip(node_counts, runtimes, energies):
+        a_rt, a_en = 100.0 / nnodes, 5000.0 + 3.0 * nnodes
+        est = surrogate.estimate(group, nnodes * cores, a_rt, a_en)
+        assert est.runtime == pytest.approx(elapsed, rel=1e-9)
+        assert est.total_energy == pytest.approx(energy, rel=1e-9)
+        assert est.n_samples == n
+        if n >= 2:
+            assert est.in_hull
+            assert math.isfinite(est.cv_error)
+            assert est.band >= BAND_FLOOR
+        else:
+            assert not est.in_hull
+            assert est.band == math.inf
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    query=st.integers(min_value=1, max_value=1024),
+    node_counts=st.lists(
+        st.integers(min_value=1, max_value=1024),
+        min_size=2, max_size=8, unique=True,
+    ),
+    data=st.data(),
+)
+def test_surrogate_residual_stays_within_training_envelope(
+    query, node_counts, data
+):
+    """IDW weights are positive and sum to one, so any interpolated
+    residual — inside or outside the hull — is bounded by the trained
+    residual extremes (no runaway extrapolation)."""
+    n = len(node_counts)
+    runtimes = data.draw(st.lists(positive, min_size=n, max_size=n))
+    energies = data.draw(st.lists(positive, min_size=n, max_size=n))
+    corpus = _synthetic_corpus(node_counts, runtimes, energies)
+
+    def analytic_fn(sample):
+        return 1.0, 1.0          # residual == ln(sample value) directly
+
+    surrogate = ResidualSurrogate(corpus, analytic_fn)
+    group = ("synthetic", "ClusterA", "tiny", 1)
+    cores = get_cluster("A").cores_per_node
+    est = surrogate.estimate(group, query * cores, 1.0, 1.0)
+    assert min(runtimes) * (1 - 1e-9) <= est.runtime <= max(runtimes) * (1 + 1e-9)
+    assert min(energies) * (1 - 1e-9) <= est.total_energy <= max(energies) * (1 + 1e-9)

@@ -55,6 +55,37 @@ def test_samples_from_real_benchmark():
     assert all(s.intensity < 1.0 for s in busy)
 
 
+def test_zero_duration_intervals_keep_their_counters():
+    """Regression: a zero-duration interval carrying counters (a
+    replayed or aggregated phase deposited at an instant) used to lose
+    its flops/bytes entirely — its bucket overlap is zero, so the
+    proportional spreading skipped it.  The counters must instead land
+    whole in the bucket containing t0, keeping the series conservative."""
+    tc = TraceCollector()
+    tc.record(0, 0.0, 0.5, "compute", flops=1e9, mem_bytes=1e8)
+    tc.record(0, 0.3, 0.3, "compute", flops=7e9, mem_bytes=3e8)
+    tc.record(0, 1.0, 1.0, "compute", flops=2e9, mem_bytes=4e8)  # at t_max
+    samples = timeline_samples(tc, buckets=5)
+    total_flops = sum(s.gflops * (s.t1 - s.t0) * 1e9 for s in samples)
+    total_mem = sum(s.mem_bw * (s.t1 - s.t0) for s in samples)
+    assert total_flops == pytest.approx(1e10, rel=1e-6)
+    assert total_mem == pytest.approx(8e8, rel=1e-6)
+    # and the instantaneous counters land where they happened, not at 0
+    # bucket 1 = [0.2, 0.4): the whole 7e9 instant plus the spread
+    # interval's share, (0.2 / 0.5) * 1e9
+    assert samples[1].gflops * (samples[1].t1 - samples[1].t0) * 1e9 == (
+        pytest.approx(7e9 + 0.4e9, rel=1e-6)
+    )
+
+
+def test_zero_duration_trace_is_empty_not_crashing():
+    """A trace whose whole span is a single instant has no time axis to
+    bucket over: the series is empty, not a ZeroDivisionError."""
+    tc = TraceCollector()
+    tc.record(0, 0.2, 0.2, "compute", flops=1e9, mem_bytes=1e8)
+    assert timeline_samples(tc, buckets=4) == []
+
+
 def test_sample_intensity_and_validation():
     s = RooflineSample(0.0, 1.0, gflops=2.0, mem_bw=1e9)
     assert s.intensity == pytest.approx(2.0)
