@@ -1,0 +1,148 @@
+"""Serving load smoke: the answer ladder under a mixed request stream.
+
+Drives ≥200 requests at a loopback ``repro serve`` instance — a
+deterministic mix of warm-cache repeats, band-negotiated predictions
+and a trickle of cold specs — and holds the service to its operational
+contract:
+
+* after warmup, ≥95% of the stream is answered **without** a DES
+  execution (the whole point of the cache + predictor front);
+* warm-cache repeats cost **zero** engine executions (ground truth:
+  :func:`repro.harness.runner.engine_run_count`, not server
+  bookkeeping) with a p99 under the 50 ms budget;
+* ``/metrics`` accounting matches what the client observed.
+
+Run with ``--json BENCH_serve.json`` to emit the per-ladder-level
+latency artifact the CI serving job uploads.
+"""
+
+import os
+import time
+
+from repro.harness.runner import engine_run_count
+from repro.serve import ServeApp, ServeClient, loopback_server
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "tests", "golden")
+
+#: the mixed stream: 200 requests, ≤5% of them cold DES
+N_WARM_SPECS = 6
+N_STREAM = 200
+N_COLD = 6
+N_PREDICT = 24
+
+#: warm-repeat latency budget (loopback p99, milliseconds)
+WARM_P99_BUDGET_MS = 50.0
+
+#: post-warmup floor on answers that needed no fresh DES execution
+HIT_RATE_FLOOR = 0.95
+
+WARM_SPECS = [
+    {"benchmark": b, "cluster": c, "nnodes": 1}
+    for b in ("soma", "tealeaf", "minisweep")
+    for c in ("A", "B")
+][:N_WARM_SPECS]
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def test_serve_load_smoke(perf_records):
+    app = ServeApp(workers=2, golden_dir=GOLDEN_DIR)
+    with loopback_server(app) as (host, port):
+        client = ServeClient(host, port)
+
+        # --- warmup: populate the store with the repeat set ------------
+        base_runs = engine_run_count()
+        for spec in WARM_SPECS:
+            assert client.run(spec).source == "des"
+        assert engine_run_count() - base_runs == N_WARM_SPECS
+
+        # --- the mixed stream ------------------------------------------
+        # deterministic interleave: mostly warm repeats, a predict
+        # request every ~8th slot, a cold spec every ~33rd
+        latencies: dict[str, list[float]] = {}
+        sources = {"store": 0, "predict": 0, "des": 0, "coalesced": 0}
+        cold_used = predict_used = 0
+        runs_before = engine_run_count()
+        for i in range(N_STREAM):
+            if i % 33 == 5 and cold_used < N_COLD:
+                spec = {**WARM_SPECS[cold_used], "seed": 9000 + cold_used}
+                band = None
+                cold_used += 1
+            elif i % 8 == 3 and predict_used < N_PREDICT:
+                spec = {**WARM_SPECS[predict_used % N_WARM_SPECS],
+                        "seed": 100 + predict_used}
+                band = 0.25
+                predict_used += 1
+            else:
+                spec = WARM_SPECS[i % N_WARM_SPECS]
+                band = None
+            t0 = time.perf_counter()
+            answer = client.run(spec, max_band=band)
+            dt = time.perf_counter() - t0
+            sources[answer.source] += 1
+            latencies.setdefault(answer.source, []).append(dt)
+        stream_des = engine_run_count() - runs_before
+
+        assert cold_used == N_COLD and predict_used == N_PREDICT
+        assert sources["des"] == stream_des == N_COLD
+        hit_rate = 1.0 - sources["des"] / N_STREAM
+        assert hit_rate >= HIT_RATE_FLOOR, (
+            f"only {100 * hit_rate:.1f}% of the stream avoided the engine"
+        )
+
+        # --- warm-repeat latency: zero DES, p99 inside the budget ------
+        runs_before = engine_run_count()
+        warm_lat = []
+        for i in range(100):
+            t0 = time.perf_counter()
+            answer = client.run(WARM_SPECS[i % N_WARM_SPECS])
+            warm_lat.append(time.perf_counter() - t0)
+            assert answer.source == "store"
+        assert engine_run_count() == runs_before, (
+            "a warm-cache repeat invoked the engine"
+        )
+        warm_p99_ms = 1e3 * _percentile(warm_lat, 0.99)
+        assert warm_p99_ms < WARM_P99_BUDGET_MS, (
+            f"warm-repeat p99 {warm_p99_ms:.2f} ms over the "
+            f"{WARM_P99_BUDGET_MS:.0f} ms budget"
+        )
+
+        # --- the server's own accounting must agree --------------------
+        metrics = client.metrics()
+        assert metrics["des_runs"] == N_WARM_SPECS + N_COLD
+        assert engine_run_count() - base_runs == N_WARM_SPECS + N_COLD
+        assert metrics["answers"]["store"] == sources["store"] + 100
+        assert metrics["answers"]["predict"] == N_PREDICT
+        assert metrics["store"]["entries"] == N_WARM_SPECS + N_COLD
+
+        record = {
+            "case": "serve_load_smoke",
+            "requests": N_STREAM + N_WARM_SPECS + 100,
+            "stream_hit_rate": hit_rate,
+            "des_runs": metrics["des_runs"],
+            "warm_p99_ms": warm_p99_ms,
+            "levels": {},
+        }
+        for source, samples in latencies.items():
+            record["levels"][source] = {
+                "count": len(samples),
+                "p50_ms": 1e3 * _percentile(samples, 0.50),
+                "p99_ms": 1e3 * _percentile(samples, 0.99),
+            }
+        perf_records.append(record)
+
+        print()
+        print(f"  stream: {N_STREAM} requests, hit rate "
+              f"{100 * hit_rate:.1f}%, {stream_des} DES run(s)")
+        for source in ("store", "predict", "des"):
+            if source in latencies:
+                lvl = record["levels"][source]
+                print(f"  {source:8s} n={lvl['count']:3d}  "
+                      f"p50={lvl['p50_ms']:7.2f} ms  "
+                      f"p99={lvl['p99_ms']:7.2f} ms")
+        print(f"  warm-repeat p99: {warm_p99_ms:.2f} ms "
+              f"(budget {WARM_P99_BUDGET_MS:.0f} ms)")

@@ -16,6 +16,10 @@ Commands
 ``predict``   tiered prediction (analytic / surrogate / auto / des) of
               the paper's scaling grid with predicted-vs-simulated
               error bars (see ``docs/prediction.md``)
+``serve``     simulation-as-a-service: asyncio HTTP front end with a
+              content-addressed result cache, band-negotiated
+              prediction answers, and single-flight DES escalation
+              (see ``docs/serving.md``)
 ``validate``  golden fingerprints + schedule-perturbation sanitizer +
               cross-mode differential conformance + prediction-tier
               differential (``--regen`` rewrites the golden corpus;
@@ -379,6 +383,62 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeApp
+
+    sweep_executor = args.executor
+    if sweep_executor == "fabric":
+        from repro.harness.fabric import FabricExecutor
+
+        if args.listen is None:
+            print("serve: --executor fabric requires --listen HOST:PORT",
+                  file=sys.stderr)
+            return 2
+        sweep_executor = FabricExecutor(args.listen, echo=print)
+        fhost, fport = sweep_executor.address
+        print(f"fabric manager listening on {fhost}:{fport} — join workers "
+              f"with: python -m repro worker --connect {fhost}:{fport} "
+              f"--reconnect 0")
+    elif args.listen is not None:
+        print("serve: --listen only applies to --executor fabric",
+              file=sys.stderr)
+        return 2
+
+    golden_dir = args.golden_dir
+    if golden_dir is None and not args.no_golden_seed:
+        golden_dir = _default_golden_dir()
+    app = ServeApp(
+        host=args.host,
+        port=args.port,
+        store_path=args.store,
+        corpus_path=args.corpus,
+        golden_dir=golden_dir,
+        workers=args.workers,
+        sweep_executor=sweep_executor,
+    )
+
+    async def _serve() -> None:
+        host, port = await app.start()
+        print(f"repro serve listening on http://{host}:{port}")
+        print(f"  store : {app.store.path or '(memory)'} "
+              f"({len(app.store)} cached result(s))")
+        print(f"  corpus: {app.corpus.path or '(memory)'} "
+              f"({len(app.corpus)} sample(s))")
+        print("  POST /run /sweep /predict — GET /status/<job> /metrics")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await app.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nserve: shut down")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     import os
 
@@ -427,6 +487,17 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         from repro.validate.prediction import prediction_differential
 
         failures.extend(prediction_differential(
+            golden_dir,
+            benchmarks=tuple(benchmarks),
+            clusters=tuple(clusters),
+        ))
+
+    if args.serving:
+        # loopback server vs direct run(): cache, predict, and cold
+        # paths must all honor the fingerprint/band contracts
+        from repro.validate.serving import serving_differential
+
+        failures.extend(serving_differential(
             golden_dir,
             benchmarks=tuple(benchmarks),
             clusters=tuple(clusters),
@@ -650,6 +721,43 @@ def build_parser() -> argparse.ArgumentParser:
                     help="golden corpus directory (default: tests/golden)")
     pp.set_defaults(fn=_cmd_predict)
 
+    pserve = sub.add_parser(
+        "serve",
+        help="simulation-as-a-service HTTP front end with a "
+             "content-addressed result cache (see docs/serving.md)",
+    )
+    pserve.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1; use "
+                             "0.0.0.0 to accept remote clients)")
+    pserve.add_argument("--port", type=int, default=8753,
+                        help="bind port (default: 8753; 0 picks a free one)")
+    pserve.add_argument("--store", metavar="STORE.jsonl", default=None,
+                        help="content-addressed result store file "
+                             "(default: in-memory; results are lost on "
+                             "shutdown)")
+    pserve.add_argument("--corpus", metavar="CORPUS.jsonl", default=None,
+                        help="prediction-corpus file fed by every DES "
+                             "answer (default: in-memory)")
+    pserve.add_argument("--golden-dir", default=None,
+                        help="seed the corpus from this golden directory "
+                             "(default: tests/golden)")
+    pserve.add_argument("--no-golden-seed", action="store_true",
+                        help="start with an empty prediction corpus")
+    pserve.add_argument("--workers", "-j", type=_positive_int, default=2,
+                        help="DES thread-pool width and run_many worker "
+                             "count for sweep batches (default: 2)")
+    pserve.add_argument("--executor", choices=["serial", "local", "fabric"],
+                        default=None,
+                        help="run_many backend for sweep batches "
+                             "(default: auto; 'fabric' fans cold batches "
+                             "out over TCP workers and keeps them joined "
+                             "across requests)")
+    pserve.add_argument("--listen", type=_parse_hostport, default=None,
+                        metavar="HOST:PORT",
+                        help="with --executor fabric: address to accept "
+                             "fabric workers on (port 0 picks a free port)")
+    pserve.set_defaults(fn=_cmd_serve)
+
     pv = sub.add_parser(
         "validate",
         help="golden fingerprints, perturbation sanitizer, differential "
@@ -670,6 +778,12 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--skip-prediction", action="store_true",
                     help="skip the prediction-tier differential "
                          "(analytic/surrogate vs DES ground truth)")
+    pv.add_argument("--serving", action="store_true",
+                    help="also run the serving differential: every "
+                         "selected golden spec through a loopback "
+                         "server must be fingerprint-identical to a "
+                         "direct run on the cold, cached, and "
+                         "band-negotiated paths")
     pv.add_argument("--golden-dir", default=None,
                     help="golden corpus directory (default: tests/golden)")
     pv.add_argument("--regen", action="store_true",

@@ -10,6 +10,7 @@ checkpoint/resume) — see :mod:`repro.harness.parallel`.
 
 from repro.harness.checkpoint import (
     compact,
+    fsync_dir,
     load_checkpoint,
     load_journal,
     spec_key,
@@ -23,7 +24,7 @@ from repro.harness.executors import (
 from repro.harness.fabric import FabricExecutor, worker_loop
 from repro.harness.parallel import RunFailedError, RunSpec, run_many
 from repro.harness.results import FailedRun, RunResult, ScalingPoint, ScalingSeries
-from repro.harness.runner import run
+from repro.harness.runner import engine_run_count, run
 from repro.harness.sweep import domain_fill_counts, node_counts, scaling_sweep
 from repro.harness.report import ascii_plot, ascii_table, fmt_float
 
@@ -46,6 +47,8 @@ __all__ = [
     "load_checkpoint",
     "load_journal",
     "compact",
+    "fsync_dir",
+    "engine_run_count",
     "Executor",
     "ExecutorCapabilities",
     "SerialExecutor",

@@ -41,6 +41,19 @@ import json
 import os
 from typing import Any
 
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "ACCEPTED_SCHEMAS",
+    "CHECKPOINT_VERSION",
+    "spec_key",
+    "load_checkpoint",
+    "load_journal",
+    "append_checkpoint",
+    "append_event",
+    "compact",
+    "fsync_dir",
+]
+
 from repro.harness.results import RunResult
 
 #: Schema stamp written with every new record (bump on incompatible change).
@@ -49,6 +62,27 @@ CHECKPOINT_SCHEMA = 2
 ACCEPTED_SCHEMAS = (1, 2)
 #: Back-compat alias for the original name.
 CHECKPOINT_VERSION = CHECKPOINT_SCHEMA
+
+
+def fsync_dir(path: str) -> None:
+    """fsync the directory containing ``path``.
+
+    ``os.replace`` makes the new name visible, but only a directory
+    fsync makes the *rename itself* durable — without it a crash after
+    an fsynced-temp-then-replace can resurrect the replaced file (the
+    data blocks survived, the directory entry update did not).  On
+    platforms without ``os.O_DIRECTORY`` (Windows) this degrades to a
+    no-op, matching fsync semantics there.
+    """
+    dirname = os.path.dirname(os.path.abspath(path))
+    flag = getattr(os, "O_DIRECTORY", None)
+    if flag is None:  # pragma: no cover - POSIX-only guard
+        return
+    dirfd = os.open(dirname, os.O_RDONLY | flag)
+    try:
+        os.fsync(dirfd)
+    finally:
+        os.close(dirfd)
 
 
 def spec_key(spec: Any) -> str:
@@ -194,4 +228,8 @@ def compact(path: str) -> int:
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+    # the temp file's bytes are durable, but the rename is not until the
+    # directory entry is too — without this a crash can resurrect the
+    # pre-compact file
+    fsync_dir(path)
     return len(records)

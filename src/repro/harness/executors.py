@@ -93,6 +93,11 @@ class Executor(ABC):
     #: set by ``run_many`` when a checkpoint is active; backends that
     #: journal work-state transitions (the fabric) append events here
     journal_path: Optional[str] = None
+    #: long-lived executors (the serving layer batches many independent
+    #: ``run_many`` calls through one backend — e.g. a fabric whose
+    #: workers must stay joined between requests) set this so
+    #: :func:`drive` leaves ``shutdown`` to the owner
+    persistent: bool = False
 
     def prepare(self, specs: Sequence, timeout: Optional[float]) -> None:
         """Called once, before the first ``submit``."""
@@ -411,4 +416,5 @@ def drive(
                 raise RunFailedError(failure)
             record(i, failure)
     finally:
-        executor.shutdown()
+        if not executor.persistent:
+            executor.shutdown()

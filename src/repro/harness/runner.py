@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 import numpy as np
@@ -14,6 +15,41 @@ from repro.perfmon.rapl import EnergyMeter, EnergyReading
 from repro.perfmon.trace import TraceCollector
 from repro.smpi.runtime import MpiRuntime
 from repro.spechpc.base import Benchmark, RunContext
+
+
+class _EngineTally:
+    """Process-wide count of DES engine executions.
+
+    Each :func:`run` call is exactly one simulator lifecycle, so this
+    counter is the ground truth for "how many times did the event
+    engine actually execute" — the serving layer's single-flight and
+    cache guarantees are asserted against it (a cache or coalesced hit
+    must not move it).  Thread-safe: the server runs the DES from a
+    thread pool.
+    """
+
+    __slots__ = ("_count", "_lock")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def bump(self) -> int:
+        with self._lock:
+            self._count += 1
+            return self._count
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+
+_engine_tally = _EngineTally()
+
+
+def engine_run_count() -> int:
+    """Total DES engine executions in this process (monotone counter)."""
+    return _engine_tally.count
 
 
 def run(
@@ -218,6 +254,7 @@ def run(
     else:
         code = tier_declined[0] if tier_declined is not None else "disabled"
         runtime.tier_metrics = lambda code=code: {f"declined.{code}": 1.0}
+    _engine_tally.bump()
     job = runtime.launch(
         benchmark.make_body(ctx), max_events=max_events, deadline=sim_time_limit
     )

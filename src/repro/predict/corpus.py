@@ -150,6 +150,10 @@ class PredictionCorpus:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self.path)
+        # make the rename itself durable, not just the temp file's bytes
+        from repro.harness.checkpoint import fsync_dir
+
+        fsync_dir(self.path)
         return len(self._samples)
 
 

@@ -1,0 +1,164 @@
+"""A small stdlib client for the ``repro serve`` HTTP API.
+
+Used by the loopback test battery, the serving differential
+(:mod:`repro.validate.serving`) and the load benchmark — and usable as
+a plain library client.  One connection per request
+(``http.client.HTTPConnection``; the server is ``Connection: close``).
+
+Responses come back as :class:`ServeAnswer` — the parsed JSON document
+plus the exact response bytes, because the single-flight contract is
+stated in *bytes*: N concurrent identical requests receive the same
+payload, byte for byte.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the server."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+@dataclass(frozen=True)
+class ServeAnswer:
+    """One /run (or per-point) answer: parsed doc + raw bytes."""
+
+    doc: dict[str, Any]
+    raw: bytes
+
+    @property
+    def source(self) -> str:
+        return self.doc["source"]
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        return self.doc.get("fingerprint")
+
+    @property
+    def band(self) -> float:
+        return float(self.doc.get("band", 0.0))
+
+    def result(self):
+        """The answer's :class:`~repro.harness.results.RunResult`."""
+        from repro.harness.results import RunResult
+
+        return RunResult.from_checkpoint_dict(self.doc["result"])
+
+
+class ServeClient:
+    """Minimal synchronous client: run / predict / sweep / status /
+    metrics."""
+
+    def __init__(self, host: str, port: int, timeout: float = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # --- plumbing ----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Any = None) -> tuple[int, bytes]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None if body is None else json.dumps(body).encode()
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            return resp.status, resp.read()
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str, body: Any = None) -> ServeAnswer:
+        status, raw = self._request(method, path, body)
+        doc = json.loads(raw)
+        if status >= 400:
+            raise ServeError(status, doc.get("error", raw.decode()))
+        return ServeAnswer(doc=doc, raw=raw)
+
+    # --- endpoints ---------------------------------------------------------
+
+    def run(self, spec: dict[str, Any], max_band: float | None = None,
+            force: bool = False) -> ServeAnswer:
+        """POST /run — one point through the answer ladder."""
+        body: dict[str, Any] = {"spec": spec}
+        if max_band is not None:
+            body["max_band"] = max_band
+        if force:
+            body["force"] = True
+        return self._json("POST", "/run", body)
+
+    def predict(self, spec: dict[str, Any], tier: str = "auto",
+                allow_des: bool = False) -> ServeAnswer:
+        """POST /predict — a band-annotated prediction, no cache."""
+        return self._json(
+            "POST", "/predict",
+            {"spec": spec, "tier": tier, "allow_des": allow_des},
+        )
+
+    def sweep(self, specs: list[dict[str, Any]],
+              max_band: float | None = None,
+              stream: bool = False) -> list[dict[str, Any]]:
+        """POST /sweep — returns the NDJSON event list (accepted,
+        point..., done).  With ``stream=True`` events are read
+        incrementally off the socket (and still returned as a list)."""
+        body: dict[str, Any] = {"specs": specs, "stream": stream}
+        if max_band is not None:
+            body["max_band"] = max_band
+        if not stream:
+            status, raw = self._request("POST", "/sweep", body)
+            if status >= 400:
+                doc = json.loads(raw)
+                raise ServeError(status, doc.get("error", raw.decode()))
+            return [json.loads(line) for line in raw.splitlines() if line]
+        return list(self.sweep_events(specs, max_band=max_band))
+
+    def sweep_events(self, specs: list[dict[str, Any]],
+                     max_band: float | None = None
+                     ) -> Iterator[dict[str, Any]]:
+        """POST /sweep with ``stream=true`` — yield events as they
+        arrive (the server writes close-delimited NDJSON)."""
+        body: dict[str, Any] = {"specs": specs, "stream": True}
+        if max_band is not None:
+            body["max_band"] = max_band
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("POST", "/sweep", body=json.dumps(body).encode(),
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            if resp.status >= 400:
+                doc = json.loads(resp.read())
+                raise ServeError(resp.status,
+                                 doc.get("error", "sweep rejected"))
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """GET /status/<job>."""
+        return self._json("GET", f"/status/{job_id}").doc
+
+    def metrics(self) -> dict[str, Any]:
+        """GET /metrics."""
+        return self._json("GET", "/metrics").doc
+
+    def healthz(self) -> bool:
+        try:
+            return bool(self._json("GET", "/healthz").doc.get("ok"))
+        except (OSError, ServeError):
+            return False

@@ -1,0 +1,101 @@
+"""Single-flight deduplication of identical in-flight requests.
+
+N concurrent requests for the same canonical spec key must cost exactly
+one engine execution: the first caller becomes the *leader* and runs the
+work; every request that arrives while the flight is open *joins* it and
+receives the leader's exact value (for the server: the same response
+bytes).  The flight closes when the work completes, so a later repeat
+hits the result store instead.
+
+asyncio-native: one event loop, futures as rendezvous points.  The
+leader executes the thunk (typically dispatching the DES to a worker
+thread); joiners ``await`` a shielded view of the leader's future so a
+cancelled joiner cannot cancel the shared work under everyone else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+
+class SingleFlight:
+    """Key -> in-flight future map with join accounting."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+        #: completed flights led / requests coalesced into another
+        #: caller's flight (for ``/metrics``)
+        self.leads = 0
+        self.joins = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def flying(self, key: str) -> bool:
+        return key in self._inflight
+
+    async def do(
+        self, key: str, thunk: Callable[[], Awaitable[Any]]
+    ) -> tuple[Any, bool]:
+        """Run ``thunk`` under single-flight semantics for ``key``.
+
+        Returns ``(value, joined)`` — ``joined`` is True when this call
+        coalesced into an already-open flight instead of executing.
+        A failing thunk propagates the same exception to the leader and
+        every joiner, and closes the flight (the next request retries).
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.joins += 1
+            return await asyncio.shield(existing), True
+
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = fut
+        try:
+            value = await thunk()
+        except BaseException as exc:
+            fut.set_exception(exc)
+            fut.exception()  # consumed here; joiners re-raise their own
+            raise
+        else:
+            fut.set_result(value)
+            self.leads += 1
+            return value, False
+        finally:
+            # close the flight only after the outcome is published, so
+            # joiners admitted during execution all share it
+            del self._inflight[key]
+
+    def claim(self, key: str) -> asyncio.Future | None:
+        """Open a flight for ``key`` without a thunk (batch execution:
+        a sweep claims its cold keys up front so concurrent ``/run``
+        requests coalesce into the batch).  Returns the future to
+        resolve via :meth:`settle`, or ``None`` if already in flight.
+        """
+        if key in self._inflight:
+            return None
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = fut
+        return fut
+
+    def settle(self, key: str, fut: asyncio.Future, value: Any = None,
+               error: BaseException | None = None) -> None:
+        """Publish a claimed flight's outcome and close it."""
+        if error is not None:
+            fut.set_exception(error)
+            fut.exception()
+        else:
+            fut.set_result(value)
+            self.leads += 1
+        if self._inflight.get(key) is fut:
+            del self._inflight[key]
+
+    async def wait(self, key: str) -> Any | None:
+        """Join an open flight for ``key`` (or return ``None`` if none
+        is open) — used by batch paths to reuse someone else's work."""
+        fut = self._inflight.get(key)
+        if fut is None:
+            return None
+        self.joins += 1
+        return await asyncio.shield(fut)

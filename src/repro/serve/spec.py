@@ -1,0 +1,256 @@
+"""Canonical request specs and their content-address keys.
+
+A serving request names a point of the simulation space.  Its identity
+— the cache key, the single-flight key, the store key — is the SHA-256
+digest of a *canonical record*: a deterministically ordered JSON
+document of every field that can change the simulated result, following
+the :mod:`repro.validate.golden` fingerprint idiom (sorted keys, exact
+encodings, schema stamp).  Two requests collide iff a direct
+:func:`repro.harness.runner.run` would produce bit-identical results
+for both.
+
+Engine-mode flags (``fast_path``, ``matcher``, ...) are deliberately
+*not* part of the identity: the validation subsystem proves all engine
+modes bit-identical, so they select an implementation, not a result.
+Fields that do change results — benchmark, cluster, scale, suite,
+threads, seed/noise, explicit step counts, fault plans — are all keyed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Bump on incompatible canonical-record change (old store records then
+#: key differently and simply miss — recompute-and-rewrite, never a
+#: wrong answer).
+SPEC_SCHEMA = 1
+
+
+class SpecError(ValueError):
+    """A malformed or unsatisfiable request spec (HTTP 400)."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SpecError(message)
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """One canonicalized serving request.
+
+    ``nprocs=None`` means fully populated nodes (``nnodes`` x cores per
+    node — the paper's multi-node axis); the resolved rank count is part
+    of the canonical record so a later cluster-table change cannot alias
+    two different runs onto one key.
+    """
+
+    benchmark: str
+    cluster: str
+    nnodes: int = 1
+    nprocs: Optional[int] = None
+    suite: str = "tiny"
+    threads: int = 1
+    seed: int = 0
+    noise_sigma: float = 0.0
+    sim_steps: Optional[int] = None
+    faults: Optional[dict[str, Any]] = field(default=None, hash=False)
+
+    @classmethod
+    def from_request(cls, doc: dict[str, Any]) -> "ServeSpec":
+        """Validate and canonicalize one request body.
+
+        Unknown fields are rejected loudly — a typo like ``"node"`` for
+        ``"nnodes"`` must not silently price a different run.
+        """
+        _require(isinstance(doc, dict), "request spec must be a JSON object")
+        allowed = {
+            "benchmark", "cluster", "nnodes", "nprocs", "suite",
+            "threads", "seed", "noise_sigma", "sim_steps", "faults",
+        }
+        unknown = sorted(set(doc) - allowed)
+        _require(not unknown, f"unknown spec field(s): {', '.join(unknown)}")
+        _require("benchmark" in doc, "spec needs a 'benchmark'")
+        _require("cluster" in doc, "spec needs a 'cluster'")
+        try:
+            spec = cls(
+                benchmark=str(doc["benchmark"]),
+                cluster=str(doc["cluster"]),
+                nnodes=int(doc.get("nnodes", 1)),
+                nprocs=None if doc.get("nprocs") is None else int(doc["nprocs"]),
+                suite=str(doc.get("suite", "tiny")),
+                threads=int(doc.get("threads", 1)),
+                seed=int(doc.get("seed", 0)),
+                noise_sigma=float(doc.get("noise_sigma", 0.0)),
+                sim_steps=(
+                    None if doc.get("sim_steps") is None
+                    else int(doc["sim_steps"])
+                ),
+                faults=doc.get("faults"),
+            )
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"malformed spec field: {exc}") from exc
+        spec.validate()
+        return spec
+
+    # --- validation / resolution ------------------------------------------
+
+    def validate(self) -> None:
+        """Resolve registry names and bounds; raises :class:`SpecError`."""
+        from repro.machine.registry import get_cluster
+        from repro.spechpc.suite import get_benchmark
+
+        _require(self.nnodes >= 1, "nnodes must be >= 1")
+        _require(self.nprocs is None or self.nprocs >= 1, "nprocs must be >= 1")
+        _require(self.threads >= 1, "threads must be >= 1")
+        _require(self.noise_sigma >= 0.0, "noise_sigma must be >= 0")
+        _require(
+            self.sim_steps is None or self.sim_steps >= 1,
+            "sim_steps must be >= 1",
+        )
+        try:
+            bench = get_benchmark(self.benchmark)
+        except (KeyError, ValueError) as exc:
+            raise SpecError(f"unknown benchmark {self.benchmark!r}") from exc
+        try:
+            cluster = get_cluster(self.cluster)
+        except (KeyError, ValueError) as exc:
+            raise SpecError(f"unknown cluster {self.cluster!r}") from exc
+        _require(
+            self.suite in bench.workloads,
+            f"benchmark {bench.name!r} has no {self.suite!r} workload "
+            f"(choose from {', '.join(sorted(bench.workloads))})",
+        )
+        if self.faults is not None:
+            self.fault_plan()  # raises SpecError on malformed plans
+        del cluster
+
+    def resolve(self):
+        """-> (Benchmark, ClusterSpec, nprocs), capacity-raised like
+        :meth:`repro.predict.api.PredictionSpec.resolve`."""
+        from dataclasses import replace
+
+        from repro.machine.registry import get_cluster
+        from repro.spechpc.suite import get_benchmark
+
+        bench = get_benchmark(self.benchmark)
+        cluster = get_cluster(self.cluster)
+        if self.nnodes > cluster.max_nodes:
+            cluster = replace(cluster, max_nodes=self.nnodes)
+        nprocs = self.nprocs or self.nnodes * cluster.cores_per_node
+        return bench, cluster, nprocs
+
+    def fault_plan(self):
+        """The request's :class:`~repro.faults.plan.FaultPlan`, or None."""
+        if self.faults is None:
+            return None
+        from repro.faults.plan import FaultPlan
+
+        try:
+            return FaultPlan.from_json(json.dumps(self.faults))
+        except Exception as exc:
+            raise SpecError(f"malformed fault plan: {exc}") from exc
+
+    def run_spec(self):
+        """The equivalent :class:`~repro.harness.parallel.RunSpec`
+        (default production engine flags — the golden configuration)."""
+        from repro.harness.parallel import RunSpec
+
+        bench, cluster, nprocs = self.resolve()
+        return RunSpec(
+            benchmark=bench,
+            cluster=cluster,
+            nprocs=nprocs,
+            suite=self.suite,
+            sim_steps=self.sim_steps,
+            noise_sigma=self.noise_sigma,
+            seed=self.seed,
+            threads_per_rank=self.threads,
+            faults=self.fault_plan(),
+        )
+
+    def prediction_spec(self):
+        """The equivalent :class:`~repro.predict.api.PredictionSpec`, or
+        ``None`` when the request uses DES-only axes (noise, faults,
+        explicit step counts) that no cheap tier can price."""
+        if (
+            self.noise_sigma != 0.0
+            or self.sim_steps is not None
+            or self.faults is not None
+        ):
+            return None
+        from repro.predict.api import PredictionSpec
+
+        return PredictionSpec(
+            benchmark=self.benchmark,
+            cluster=self.cluster,
+            nnodes=self.nnodes,
+            suite=self.suite,
+            threads=self.threads,
+            nprocs=self.nprocs,
+        )
+
+    # --- identity ----------------------------------------------------------
+
+    def canonical_record(self) -> dict[str, Any]:
+        """The deterministically ordered record the key hashes.
+
+        Registry names are resolved (``"A"`` and ``"ClusterA"`` are the
+        same cluster, so they must be the same key), the rank count is
+        materialized, floats are hex-encoded (exact, platform-free), and
+        a fault plan contributes its own canonical JSON digest.
+        """
+        bench, cluster, nprocs = self.resolve()
+        plan = self.fault_plan()
+        fault_digest = None
+        if plan is not None and not plan.empty:
+            fault_digest = hashlib.sha256(
+                plan.to_json().encode()
+            ).hexdigest()[:16]
+        return {
+            "schema": SPEC_SCHEMA,
+            "benchmark": bench.name,
+            "cluster": cluster.name,
+            "nnodes": self.nnodes,
+            "nprocs": nprocs,
+            "suite": self.suite,
+            "threads": self.threads,
+            "seed": self.seed,
+            "noise_sigma": float(self.noise_sigma).hex(),
+            "sim_steps": self.sim_steps,
+            "faults": fault_digest,
+        }
+
+    @property
+    def key(self) -> str:
+        """Content-address: SHA-256 over the canonical record."""
+        payload = json.dumps(
+            self.canonical_record(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def to_request(self) -> dict[str, Any]:
+        """The JSON body a client would POST for this spec (inverse of
+        :meth:`from_request`, defaults omitted)."""
+        doc: dict[str, Any] = {
+            "benchmark": self.benchmark, "cluster": self.cluster,
+            "nnodes": self.nnodes,
+        }
+        if self.nprocs is not None:
+            doc["nprocs"] = self.nprocs
+        if self.suite != "tiny":
+            doc["suite"] = self.suite
+        if self.threads != 1:
+            doc["threads"] = self.threads
+        if self.seed != 0:
+            doc["seed"] = self.seed
+        if self.noise_sigma != 0.0:
+            doc["noise_sigma"] = self.noise_sigma
+        if self.sim_steps is not None:
+            doc["sim_steps"] = self.sim_steps
+        if self.faults is not None:
+            doc["faults"] = self.faults
+        return doc

@@ -2,7 +2,7 @@
 sanitizer, cross-mode differential conformance, prediction-tier
 differential, and inline MPI invariants.
 
-The five parts answer one question from five angles — *did this change
+The parts answer one question from six angles — *did this change
 alter simulated results it should not have?*
 
 * :mod:`repro.validate.golden` — canonical result fingerprints checked
@@ -19,6 +19,10 @@ alter simulated results it should not have?*
 * :mod:`repro.validate.prediction` — holds every :mod:`repro.predict`
   tier to its own stated error band against DES ground truth (golden
   corpus + fresh interpolation holdouts).
+* :mod:`repro.validate.serving` — replays golden specs through a
+  loopback ``repro serve`` HTTP server and holds every ladder path
+  (cold DES, cache hit, band-negotiated prediction) to the fingerprint
+  and band contracts of a direct run.
 * :mod:`repro.validate.invariants` — inline MPI conformance checks
   (non-overtaking, conservation, collective completeness, monotonic
   clocks) attachable to any run via ``run(..., invariants=True)``.
@@ -45,6 +49,7 @@ __all__ = [
     "observability_differential",
     "executor_differential",
     "prediction_differential",
+    "serving_differential",
 ]
 
 _LAZY = {
@@ -57,6 +62,7 @@ _LAZY = {
     "observability_differential": "repro.validate.differential",
     "executor_differential": "repro.validate.differential",
     "prediction_differential": "repro.validate.prediction",
+    "serving_differential": "repro.validate.serving",
 }
 
 

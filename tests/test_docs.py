@@ -33,7 +33,7 @@ def test_docstring_references_resolve(capsys):
 
 def test_docs_tree_exists():
     for page in ("architecture.md", "cli.md", "harness.md",
-                 "observability.md", "prediction.md"):
+                 "observability.md", "prediction.md", "serving.md"):
         path = os.path.join(ROOT, "docs", page)
         assert os.path.exists(path), f"docs/{page} is missing"
         assert open(path).read().startswith("#")
@@ -73,7 +73,8 @@ def test_cli_doc_covers_every_subcommand():
 def test_readme_mentions_docs():
     readme = open(os.path.join(ROOT, "README.md")).read()
     for page in ("docs/architecture.md", "docs/cli.md", "docs/harness.md",
-                 "docs/observability.md", "docs/prediction.md"):
+                 "docs/observability.md", "docs/prediction.md",
+                 "docs/serving.md"):
         assert page in readme, f"README does not link {page}"
 
 

@@ -1,0 +1,223 @@
+"""Single-flight under load: N identical concurrent requests, one engine
+execution, one set of bytes.
+
+The server-level test fires 32 concurrent identical ``/run`` requests
+plus interleaved distinct ones at a loopback server whose DES
+executions are artificially slowed (``inject_des_latency``) so every
+request demonstrably lands inside the coalescing window.  The contract:
+
+* exactly one engine execution per *unique* spec
+  (:func:`repro.harness.runner.engine_run_count` is the ground truth —
+  the engine itself is tallied, not the server's bookkeeping);
+* every caller for the same spec receives byte-identical payloads;
+* ``/metrics`` accounts every coalesced request.
+
+Unit tests pin the :class:`repro.serve.flight.SingleFlight` semantics
+the server builds on: join accounting, error propagation, cancellation
+shielding, and claim/settle for batch sweeps.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.harness.runner import engine_run_count
+from repro.serve import ServeApp, ServeClient, SingleFlight, loopback_server
+
+#: worst-case fan-in the battery proves (the ISSUE's contract point)
+IDENTICAL = 32
+
+
+def test_32_concurrent_identical_requests_cost_one_execution():
+    app = ServeApp(workers=4, inject_des_latency=0.75)
+    with loopback_server(app) as (host, port):
+        base = {"benchmark": "soma", "cluster": "A", "nnodes": 1}
+        distinct = [{**base, "seed": s} for s in (101, 202, 303)]
+        specs = [dict(base) for _ in range(IDENTICAL)] + distinct
+        unique = 1 + len(distinct)
+
+        answers = [None] * len(specs)
+        errors = []
+        barrier = threading.Barrier(len(specs))
+
+        def fire(i, spec):
+            try:
+                barrier.wait(timeout=30)
+                answers[i] = ServeClient(host, port, timeout=120).run(spec)
+            except Exception as exc:  # surfaced below, not swallowed
+                errors.append((i, exc))
+
+        before = engine_run_count()
+        threads = [
+            threading.Thread(target=fire, args=(i, s), daemon=True)
+            for i, s in enumerate(specs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        assert all(a is not None for a in answers)
+
+        # exactly one engine execution per unique spec
+        assert engine_run_count() - before == unique
+
+        # every identical caller received the leader's exact bytes
+        identical = answers[:IDENTICAL]
+        assert len({a.raw for a in identical}) == 1
+        fingerprints = {a.fingerprint for a in identical}
+        assert len(fingerprints) == 1 and None not in fingerprints
+
+        # the distinct specs each led their own flight: distinct keys,
+        # distinct payloads
+        keys = {a.doc["key"] for a in answers}
+        assert len(keys) == unique
+
+        metrics = ServeClient(host, port).metrics()
+        flight = metrics["singleflight"]
+        assert flight["open"] == 0
+        assert flight["leads"] == unique
+        assert flight["joins"] == IDENTICAL - 1
+        assert metrics["des_runs"] == unique
+        answered = metrics["answers"]
+        assert answered.get("des", 0) == unique
+        assert answered.get("coalesced", 0) == IDENTICAL - 1
+
+        # the flights are closed: a repeat is a store hit, still the
+        # same result document
+        warm = ServeClient(host, port).run(base)
+        assert warm.source == "store"
+        assert warm.doc["result"] == identical[0].doc["result"]
+        assert engine_run_count() - before == unique
+
+
+def test_sweep_coalesces_duplicate_points():
+    # serial sweep executor: batches run in-process, so the engine
+    # tally observes them (the default local pool forks workers)
+    app = ServeApp(workers=2, sweep_executor="serial")
+    with loopback_server(app) as (host, port):
+        client = ServeClient(host, port)
+        a = {"benchmark": "tealeaf", "cluster": "A", "nnodes": 1}
+        b = {"benchmark": "tealeaf", "cluster": "B", "nnodes": 1}
+        before = engine_run_count()
+        events = client.sweep([a, a, b, a])
+        assert engine_run_count() - before == 2  # one per unique spec
+        points = [e for e in events if e["event"] == "point"]
+        by_source = {}
+        for p in points:
+            by_source.setdefault(p["source"], []).append(p["index"])
+        assert sorted(by_source["des"]) == [0, 2]
+        assert sorted(by_source["coalesced"]) == [1, 3]
+        # coalesced points resolve to the leader's fingerprint
+        fps = {p["fingerprint"] for p in points if p["index"] in (0, 1, 3)}
+        assert len(fps) == 1
+
+
+# ----------------------------------------------------------------------
+# SingleFlight unit semantics
+# ----------------------------------------------------------------------
+
+
+def test_flight_joiners_share_leader_value():
+    async def main():
+        sf = SingleFlight()
+        gate = asyncio.Event()
+        calls = []
+
+        async def thunk():
+            calls.append(1)
+            await gate.wait()
+            return b"payload"
+
+        leader = asyncio.create_task(sf.do("k", thunk))
+        await asyncio.sleep(0)  # leader opens the flight
+        assert sf.flying("k")
+        joiners = [asyncio.create_task(sf.do("k", thunk)) for _ in range(5)]
+        await asyncio.sleep(0)
+        gate.set()
+        outcomes = await asyncio.gather(leader, *joiners)
+        assert calls == [1]  # the thunk ran exactly once
+        assert [joined for _, joined in outcomes] == [False] + [True] * 5
+        assert {value for value, _ in outcomes} == {b"payload"}
+        assert sf.leads == 1 and sf.joins == 5
+        assert not sf.flying("k")
+
+    asyncio.run(main())
+
+
+def test_flight_error_reaches_every_joiner_and_closes():
+    async def main():
+        sf = SingleFlight()
+        gate = asyncio.Event()
+
+        async def boom():
+            await gate.wait()
+            raise RuntimeError("engine fell over")
+
+        leader = asyncio.create_task(sf.do("k", boom))
+        await asyncio.sleep(0)
+        joiner = asyncio.create_task(sf.do("k", boom))
+        await asyncio.sleep(0)
+        gate.set()
+        for task in (leader, joiner):
+            with pytest.raises(RuntimeError, match="engine fell over"):
+                await task
+        # the flight is closed: the next caller retries fresh
+        assert not sf.flying("k")
+
+        async def ok():
+            return 42
+
+        assert await sf.do("k", ok) == (42, False)
+
+    asyncio.run(main())
+
+
+def test_cancelled_joiner_does_not_cancel_the_flight():
+    async def main():
+        sf = SingleFlight()
+        gate = asyncio.Event()
+
+        async def thunk():
+            await gate.wait()
+            return "done"
+
+        leader = asyncio.create_task(sf.do("k", thunk))
+        await asyncio.sleep(0)
+        joiner = asyncio.create_task(sf.do("k", thunk))
+        await asyncio.sleep(0)
+        joiner.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await joiner
+        gate.set()
+        value, joined = await leader  # unharmed by the joiner's cancel
+        assert (value, joined) == ("done", False)
+
+    asyncio.run(main())
+
+
+def test_claim_and_settle_feed_waiting_joiners():
+    async def main():
+        sf = SingleFlight()
+        fut = sf.claim("k")
+        assert fut is not None
+        assert sf.claim("k") is None  # already claimed
+        waiter = asyncio.create_task(sf.wait("k"))
+        await asyncio.sleep(0)
+        sf.settle("k", fut, value=b"batch-result")
+        assert await waiter == b"batch-result"
+        assert not sf.flying("k")
+        assert sf.leads == 1 and sf.joins == 1
+        # settling with an error propagates to waiters
+        fut2 = sf.claim("k")
+        waiter2 = asyncio.create_task(sf.wait("k"))
+        await asyncio.sleep(0)
+        sf.settle("k", fut2, error=RuntimeError("batch died"))
+        with pytest.raises(RuntimeError, match="batch died"):
+            await waiter2
+        # wait() on a closed flight returns None (caller falls back to
+        # the store)
+        assert await sf.wait("k") is None
+
+    asyncio.run(main())
