@@ -1,0 +1,95 @@
+"""Scenario frequency-sweep bench: the DVFS grid priced through Tier A.
+
+Prices the full 9-point 1.2-3.2 GHz ClusterA frequency grid for four
+benchmarks (two clock-down, two race-to-idle) through the analytic
+prediction tier and asserts both the latency budget and the physics:
+
+* the whole 36-point sweep costs **under one second** — pricing a DVFS
+  what-if must never require the event-level simulator;
+* weather (1 node) and soma (4 nodes) reproduce the *interior* EDP
+  minimum at 2.20 GHz with the energy minimum at 1.45 GHz (clock-down:
+  memory-bound runtime barely follows the clock, so dropping it saves
+  energy up to the point where stretched runtime wins);
+* lbm and minisweep keep both minima at the 3.2 GHz top of the grid
+  (race-to-idle: finish fast, stop burning the idle baseline).
+
+Run with ``--json BENCH_scenarios.json`` to emit the sweep artifact
+(per-benchmark optima + per-point energy/EDP curves) that CI commits.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.energy import (
+    dvfs_policy,
+    edp_optimal_frequency,
+    energy_optimal_frequency,
+    frequency_sweep,
+)
+from repro.machine.registry import CLUSTER_A
+from repro.spechpc.suite import get_benchmark
+
+#: the four headline codes and the optima docs/scenarios.md documents
+CASES = [
+    # (benchmark, nnodes, E-opt GHz, EDP-opt GHz, policy)
+    ("weather", 1, 1.45, 2.20, "clock-down"),
+    ("soma", 4, 1.45, 2.20, "clock-down"),
+    ("lbm", 1, 3.20, 3.20, "race-to-idle"),
+    ("minisweep", 1, 3.20, 3.20, "race-to-idle"),
+]
+
+#: wall-clock budget for pricing every grid of every case [seconds]
+SWEEP_BUDGET_S = 1.0
+
+
+def test_frequency_sweep_grid_under_budget(perf_records):
+    t0 = time.perf_counter()
+    sweeps = {
+        (name, nnodes): frequency_sweep(
+            get_benchmark(name), CLUSTER_A, nnodes=nnodes
+        )
+        for name, nnodes, _, _, _ in CASES
+    }
+    elapsed = time.perf_counter() - t0
+    n_points = sum(len(p) for p in sweeps.values())
+    assert elapsed < SWEEP_BUDGET_S, (
+        f"pricing {n_points} Tier A grid points took {elapsed:.2f}s "
+        f"(budget {SWEEP_BUDGET_S}s)"
+    )
+
+    cases = []
+    for name, nnodes, e_opt_ghz, edp_opt_ghz, policy in CASES:
+        points = sweeps[(name, nnodes)]
+        e_opt = energy_optimal_frequency(points)
+        edp_opt = edp_optimal_frequency(points)
+        assert e_opt.frequency_ghz == pytest.approx(e_opt_ghz, abs=0.005)
+        assert edp_opt.frequency_ghz == pytest.approx(edp_opt_ghz, abs=0.005)
+        assert dvfs_policy(points) == policy
+        cases.append({
+            "benchmark": name,
+            "nnodes": nnodes,
+            "policy": policy,
+            "energy_optimal_ghz": round(e_opt.frequency_ghz, 3),
+            "energy_optimal_kj": round(e_opt.total_energy / 1e3, 3),
+            "edp_optimal_ghz": round(edp_opt.frequency_ghz, 3),
+            "edp_optimal_kjs": round(edp_opt.edp / 1e3, 3),
+            "grid": [
+                {
+                    "frequency_ghz": round(p.frequency_ghz, 3),
+                    "elapsed_s": round(p.elapsed, 3),
+                    "total_energy_kj": round(p.total_energy / 1e3, 3),
+                    "edp_kjs": round(p.edp / 1e3, 3),
+                }
+                for p in points
+            ],
+        })
+
+    perf_records.append({
+        "bench": "scenario_frequency_sweep",
+        "tier": "analytic",
+        "cluster": "A",
+        "grid_points": n_points,
+        "sweep_seconds": round(elapsed, 4),
+        "cases": cases,
+    })

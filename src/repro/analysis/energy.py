@@ -5,13 +5,26 @@ parameter along the curve: horizontal lines are constant energy, vertical
 lines constant speedup, lines through the origin constant EDP.  On CPUs
 with dominant idle power, the energy-minimal and EDP-minimal operating
 points coincide at the fastest configuration — "race to idle".
+
+The second half of the module walks the *frequency* axis instead of the
+core-count axis: :func:`frequency_sweep` prices one benchmark across a
+DVFS grid (:func:`repro.model.dvfs.frequency_grid`) and
+:func:`dvfs_policy` names the verdict.  Compute-bound codes race to
+idle — runtime stretches as 1/f, so the idle-energy term dominates and
+both E and EDP fall monotonically toward the top of the grid.
+Memory-bound codes clock down: above the roofline crossover the runtime
+is flat while dynamic core power still rises ~f^2.4, which puts an
+*interior* minimum on the grid (the clock-down frequency).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Optional, Sequence
 
 from repro.harness.results import ScalingSeries
+from repro.machine.cluster import ClusterSpec
+from repro.spechpc.base import Benchmark
 
 
 @dataclass(frozen=True)
@@ -70,6 +83,135 @@ def race_to_idle_holds(points: list[ZPoint], tolerance: float = 0.06) -> bool:
     edp_min = edp_minimum(points)
     near = lambda p: p.speedup >= (1.0 - tolerance) * fastest.speedup  # noqa: E731
     return near(e_min) and near(edp_min)
+
+
+# --------------------------------------------------------------------------
+# DVFS what-ifs: the frequency axis
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FrequencyPoint:
+    """One operating frequency of a DVFS sweep."""
+
+    frequency_hz: float
+    elapsed: float
+    chip_energy: float
+    dram_energy: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0 or self.elapsed <= 0:
+            raise ValueError("invalid frequency point")
+
+    @property
+    def frequency_ghz(self) -> float:
+        return self.frequency_hz / 1e9
+
+    @property
+    def total_energy(self) -> float:
+        return self.chip_energy + self.dram_energy
+
+    @property
+    def edp(self) -> float:
+        return self.total_energy * self.elapsed
+
+    @property
+    def avg_power(self) -> float:
+        return self.total_energy / self.elapsed
+
+
+def frequency_sweep(
+    benchmark: Benchmark,
+    cluster: ClusterSpec,
+    frequencies: Optional[Sequence[float]] = None,
+    nnodes: int = 1,
+    nprocs: Optional[int] = None,
+    suite: str = "tiny",
+    uncore_ratio: float = 1.0,
+    tier: str = "analytic",
+    **run_kwargs: Any,
+) -> list[FrequencyPoint]:
+    """Price one benchmark across a core-frequency grid.
+
+    ``tier="analytic"`` prices every point through Tier A
+    (:func:`repro.predict.api.predict` with the re-clocked cluster as
+    the ``cluster_obj`` escape hatch) — the whole grid costs
+    milliseconds, which is what lets the scenario bench commit a full
+    sweep artifact.  ``tier="des"`` runs the event-level simulator per
+    point instead (``run_kwargs`` forwarded).  The default grid is
+    :func:`repro.model.dvfs.frequency_grid` over 0.5-1.33x nominal.
+    """
+    from repro.model.dvfs import apply_frequency, frequency_grid
+
+    if frequencies is None:
+        frequencies = frequency_grid(cluster)
+    if tier not in ("analytic", "des"):
+        raise ValueError(f"unknown frequency-sweep tier {tier!r}")
+    points = []
+    for f in frequencies:
+        clocked = apply_frequency(cluster, f, uncore_ratio)
+        if tier == "analytic":
+            from repro.predict.api import PredictionSpec, predict
+
+            pred = predict(
+                PredictionSpec(
+                    benchmark=benchmark.name,
+                    cluster=cluster.name,
+                    nnodes=nnodes,
+                    suite=suite,
+                    nprocs=nprocs,
+                    benchmark_obj=benchmark,
+                    cluster_obj=clocked,
+                ),
+                tier="analytic",
+            )
+            elapsed = pred.runtime
+            chip, dram = pred.energy.chip_energy, pred.energy.dram_energy
+        else:
+            from repro.harness.runner import run
+
+            result = run(
+                benchmark,
+                clocked,
+                nprocs=nprocs or nnodes * cluster.cores_per_node,
+                suite=suite,
+                **run_kwargs,
+            )
+            elapsed = result.elapsed
+            chip, dram = result.energy.chip_energy, result.energy.dram_energy
+        points.append(FrequencyPoint(
+            frequency_hz=f, elapsed=elapsed, chip_energy=chip, dram_energy=dram,
+        ))
+    return points
+
+
+def energy_optimal_frequency(points: list[FrequencyPoint]) -> FrequencyPoint:
+    """The grid point with minimal energy to solution."""
+    if not points:
+        raise ValueError("no points")
+    return min(points, key=lambda p: p.total_energy)
+
+
+def edp_optimal_frequency(points: list[FrequencyPoint]) -> FrequencyPoint:
+    """The grid point with minimal energy-delay product."""
+    if not points:
+        raise ValueError("no points")
+    return min(points, key=lambda p: p.edp)
+
+
+def dvfs_policy(points: list[FrequencyPoint]) -> str:
+    """``"race-to-idle"`` when both the E- and EDP-minima sit at the top
+    of the frequency grid (finish fast, let idle power stop burning);
+    ``"clock-down"`` when either minimum is interior or at the bottom
+    (memory-bound: the clock can drop without the runtime following)."""
+    if not points:
+        raise ValueError("no points")
+    top = max(points, key=lambda p: p.frequency_hz).frequency_hz
+    e_opt = energy_optimal_frequency(points)
+    edp_opt = edp_optimal_frequency(points)
+    if e_opt.frequency_hz == top and edp_opt.frequency_hz == top:
+        return "race-to-idle"
+    return "clock-down"
 
 
 def concurrency_throttling_saves(

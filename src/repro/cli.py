@@ -20,10 +20,15 @@ Commands
               content-addressed result cache, band-negotiated
               prediction answers, and single-flight DES escalation
               (see ``docs/serving.md``)
+``scenarios`` list / show / validate the scenario library and the
+              cluster zoo (see ``docs/scenarios.md``); ``sweep``,
+              ``trace``, and ``predict`` accept any of them via
+              ``--scenario``
 ``validate``  golden fingerprints + schedule-perturbation sanitizer +
               cross-mode differential conformance + prediction-tier
-              differential (``--regen`` rewrites the golden corpus;
-              refuses on a dirty git tree)
+              differential + scenario/zoo differential
+              (``--scenarios``; ``--regen`` rewrites the golden
+              corpus and refuses on a dirty git tree)
 """
 
 from __future__ import annotations
@@ -66,6 +71,57 @@ def _load_faults(path: str | None):
     return FaultPlan.load(path)
 
 
+def _scenario_context(args: argparse.Namespace):
+    """Resolve ``--scenario`` against explicit flags.
+
+    Precedence: an explicit ``--cluster``/``--suite``/``--faults`` flag
+    beats the scenario's value beats the command's default.  Returns
+    ``(scenario, cluster, suite, faults)`` with ``suite=None`` left for
+    the caller's own default.  Raises
+    :class:`~repro.scenarios.ScenarioError` for unknown references,
+    scenario/flag fault conflicts, and segmented frequency plans (the
+    single-cluster consumers only take fixed plans — segmented plans go
+    through :func:`repro.scenarios.run_frequency_plan`).
+    """
+    scenario = None
+    if getattr(args, "scenario", None):
+        from repro.scenarios import load_scenario
+
+        scenario = load_scenario(args.scenario)
+    if args.cluster is not None:
+        cluster = get_cluster(args.cluster)
+    elif scenario is not None:
+        cluster = scenario.effective_cluster()
+    else:
+        cluster = get_cluster("A")
+    suite = args.suite or (scenario.suite if scenario else None)
+    faults = _load_faults(getattr(args, "faults", None))
+    if scenario is not None and scenario.faults is not None:
+        if faults is not None:
+            from repro.scenarios import ScenarioError
+
+            raise ScenarioError(
+                "fault plan given both by --faults and the scenario"
+            )
+        faults = scenario.fault_plan()
+    return scenario, cluster, suite, faults
+
+
+def _scenario_benchmark(args: argparse.Namespace, scenario, name=None) -> str:
+    """The benchmark to run: explicit argument, else the scenario's
+    first listed one."""
+    name = name or getattr(args, "benchmark", None)
+    if name is None and scenario is not None and scenario.benchmarks:
+        name = scenario.benchmarks[0]
+    if name is None:
+        from repro.scenarios import ScenarioError
+
+        raise ScenarioError(
+            "a benchmark is required (positional, or listed by the scenario)"
+        )
+    return name
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     cluster = get_cluster(args.cluster)
     bench = get_benchmark(args.benchmark)
@@ -101,11 +157,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     import os
 
-    cluster = get_cluster(args.cluster)
-    name = args.benchmark_opt or args.benchmark
-    if name is None:
-        print("trace: a benchmark is required (positional or --benchmark)",
-              file=sys.stderr)
+    from repro.scenarios import ScenarioError
+
+    try:
+        scenario, cluster, suite, faults = _scenario_context(args)
+        name = _scenario_benchmark(
+            args, scenario, name=args.benchmark_opt or args.benchmark
+        )
+    except ScenarioError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
         return 2
     bench = get_benchmark(name)
     if args.nprocs is not None:
@@ -114,8 +174,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         nprocs = args.nodes * cluster.node.cores
     else:
         nprocs = cluster.node.cores
-    result = run(bench, cluster, nprocs, suite=args.suite, trace=True,
-                 faults=_load_faults(args.faults))
+    result = run(bench, cluster, nprocs, suite=suite or "tiny", trace=True,
+                 faults=faults)
     obs = result.observability()
     os.makedirs(args.out, exist_ok=True)
     prefix = os.path.join(
@@ -140,20 +200,29 @@ def _parse_hostport(value: str) -> tuple[str, int]:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    cluster = get_cluster(args.cluster)
-    bench = get_benchmark(args.benchmark)
+    from repro.scenarios import ScenarioError
+
+    try:
+        scenario, cluster, suite, faults = _scenario_context(args)
+        bench = get_benchmark(_scenario_benchmark(args, scenario))
+    except ScenarioError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
     if args.nodes:
         cores = cluster.node.cores
         counts = [n * cores for n in (1, 2, 4, 8, 16) if n <= cluster.max_nodes]
-        suite = "small"
+        suite = suite or "small"
     else:
         counts = [int(c) for c in args.counts.split(",")] if args.counts else None
+        if counts is None and scenario is not None:
+            counts = scenario.rank_counts(cluster)
         if counts is None:
             dom = cluster.node.cores_per_domain
             counts = sorted({1, 2, 4, dom // 2, dom, 2 * dom, cluster.node.cores})
-        suite = args.suite
+        suite = suite or "tiny"
     tolerant = bool(
-        args.timeout is not None or args.retries or args.resume or args.faults
+        args.timeout is not None or args.retries or args.resume
+        or (faults is not None and not faults.empty)
     )
     executor = args.executor
     if executor == "fabric":
@@ -177,7 +246,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                noise_sigma=0.015 if args.repeats > 1 else 0.0,
                                workers=args.workers,
                                wavefront=args.wavefront,
-                               faults=_load_faults(args.faults),
+                               faults=faults,
                                timeout=args.timeout,
                                retries=args.retries,
                                tolerate_failures=tolerant,
@@ -195,11 +264,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{p.best.per_node_bandwidth / GB:.1f}",
             f"{100 * p.best.mpi_fraction:.1f}%",
             f"{p.best.total_energy / 1e3:.1f}",
+            f"{p.best.edp / 1e3:.3g}",
         )
         for p in series.points
     ]
     print(ascii_table(
-        ["ranks", "speedup", "Gflop/s", "GB/s/node", "MPI", "energy kJ"],
+        ["ranks", "speedup", "Gflop/s", "GB/s/node", "MPI", "energy kJ",
+         "EDP kJ*s"],
         rows,
         title=f"{bench.name} ({suite}) on {cluster.name}",
     ))
@@ -312,13 +383,49 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     )
 
     golden_dir = args.golden_dir or _default_golden_dir()
-    benchmarks = (
-        list(SUITE_ORDER)
-        if args.benchmarks is None
-        else [get_benchmark(b).name for b in args.benchmarks.split(",")]
+    scenario = None
+    if args.scenario:
+        from repro.scenarios import ScenarioError, load_scenario
+
+        try:
+            scenario = load_scenario(args.scenario)
+        except ScenarioError as exc:
+            print(f"predict: {exc}", file=sys.stderr)
+            return 2
+    if args.benchmarks is not None:
+        benchmarks = [get_benchmark(b).name for b in args.benchmarks.split(",")]
+    elif scenario is not None and scenario.benchmarks:
+        benchmarks = [get_benchmark(b).name for b in scenario.benchmarks]
+    else:
+        benchmarks = list(SUITE_ORDER)
+    if scenario is not None and args.cluster is None:
+        # label rows with the reference when there is one, else the name
+        try:
+            clusters = [(scenario.cluster or scenario.name,
+                         scenario.effective_cluster())]
+        except ScenarioError as exc:
+            print(f"predict: {exc}", file=sys.stderr)
+            return 2
+    else:
+        sel = args.cluster or "both"
+        names = ["A", "B"] if sel == "both" else [sel]
+        clusters = [(n, get_cluster(n)) for n in names]
+    if args.nodes is not None:
+        node_counts = [int(n) for n in args.nodes.split(",")]
+    elif scenario is not None and scenario.node_counts() is not None:
+        node_counts = scenario.node_counts()
+    else:
+        node_counts = [1, 2, 4, 8, 16, 32, 64]
+    suite = args.suite or (scenario.suite if scenario else None) or "tiny"
+    # golden truth and the surrogate corpus describe the *registry*
+    # clusters at nominal clock; a zoo machine or a re-clocked scenario
+    # must neither be compared against them nor corrected by them
+    calibrated = scenario is None or args.cluster is not None or (
+        scenario.cluster in ("A", "B", "ClusterA", "ClusterB")
+        and (scenario.frequency is None
+             or scenario.frequency.canonical_record(
+                 clusters[0][1].node.cpu.nominal_clock_hz) is None)
     )
-    clusters = ["A", "B"] if args.cluster == "both" else [args.cluster]
-    node_counts = [int(n) for n in args.nodes.split(",")]
 
     # reference corpus: DES ground truth for the error-bar column (and
     # the surrogate's training data)
@@ -332,21 +439,21 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     violations = 0
     t0 = time.perf_counter()
     for bname in benchmarks:
-        for cname in clusters:
-            cluster = get_cluster(cname)
+        for cname, cluster in clusters:
             for nnodes in node_counts:
                 spec = PredictionSpec(
-                    benchmark=bname, cluster=cname, nnodes=nnodes,
-                    suite=args.suite,
+                    benchmark=bname, cluster=cluster.name, nnodes=nnodes,
+                    suite=suite, cluster_obj=cluster,
                 )
                 pred = predict(
-                    spec, tier=args.tier, corpus=corpus,
+                    spec, tier=args.tier,
+                    corpus=corpus if calibrated else None,
                     allow_des=not args.no_des,
                 )
                 ref = truth.get((
-                    bname, cluster.name, args.suite,
+                    bname, cluster.name, suite,
                     nnodes * cluster.cores_per_node,
-                ))
+                )) if calibrated else None
                 if ref is not None and pred.tier != "des":
                     err = pred.runtime / ref.elapsed - 1.0
                     ok = abs(err) <= pred.band
@@ -370,7 +477,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         ["benchmark", "cl", "nodes", "tier", "runtime", "band", "energy",
          "vs DES"],
         rows,
-        title=f"tiered prediction ({args.suite}, tier={args.tier})",
+        title=f"tiered prediction ({suite}, tier={args.tier})",
     ))
     compared = sum(1 for r in rows if r[-1] != "-")
     print(f"\n{len(rows)} predictions in {elapsed:.3f} s "
@@ -439,6 +546,151 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        Scenario,
+        ScenarioError,
+        load_scenario,
+        load_zoo_cluster,
+        scenario_names,
+        zoo_provenance,
+    )
+
+    names = scenario_names()
+
+    if args.action == "list":
+        zrows = []
+        for name in names["zoo"]:
+            c = load_zoo_cluster(name)
+            zrows.append((
+                f"zoo/{name}",
+                c.name,
+                f"{c.node.cpu.base_clock_hz / 1e9:g} GHz",
+                f"{c.node.cores} x {c.max_nodes}",
+                Scenario(name=name, cluster=f"zoo/{name}").short_digest,
+            ))
+        print(ascii_table(
+            ["reference", "cluster", "clock", "cores x nodes", "digest"],
+            zrows, title="cluster zoo (parameter files; see docs/scenarios.md)",
+        ))
+        lrows = []
+        for name in names["library"]:
+            s = load_scenario(name)
+            freq = "-"
+            if s.frequency is not None:
+                freq = "/".join(
+                    f"{seg.frequency_hz / 1e9:g}"
+                    for seg in s.frequency.active_segments
+                ) + " GHz"
+            lrows.append((
+                name,
+                s.cluster or "(inline)",
+                ",".join(s.benchmarks) or "-",
+                freq,
+                "yes" if s.faults else "-",
+                s.short_digest,
+            ))
+        print()
+        print(ascii_table(
+            ["scenario", "cluster", "benchmarks", "frequency", "faults",
+             "digest"],
+            lrows, title="scenario library",
+        ))
+        return 0
+
+    if args.action in ("show", "frequencies") and args.name is None:
+        print(f"scenarios {args.action}: a scenario name is required",
+              file=sys.stderr)
+        return 2
+
+    if args.action == "show":
+        try:
+            s = load_scenario(args.name)
+            cluster = s.base_cluster()
+        except ScenarioError as exc:
+            print(f"scenarios show: {exc}", file=sys.stderr)
+            return 2
+        print(s.to_json())
+        print(f"\ndigest : {s.digest}")
+        print(f"cluster: {cluster.name} — {cluster.node.cores} cores/node "
+              f"({cluster.node.cpu.base_clock_hz / 1e9:g} GHz), "
+              f"up to {cluster.max_nodes} nodes")
+        if s.cluster and s.cluster.startswith("zoo/"):
+            print(f"source : {zoo_provenance(s.cluster)}")
+        return 0
+
+    if args.action == "validate":
+        refs = (
+            [args.name]
+            if args.name
+            else [f"zoo/{n}" for n in names["zoo"]] + names["library"]
+        )
+        failures = []
+        for ref in refs:
+            try:
+                s = load_scenario(ref)
+                status = s.short_digest
+            except ScenarioError as exc:
+                failures.append(f"{ref}: {exc}")
+                status = "FAIL"
+            print(f"  {ref:28s} {status}")
+        if failures:
+            print(f"\n{len(failures)} invalid scenario(s):")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print(f"\nall {len(refs)} scenario(s) valid")
+        return 0
+
+    # action == "frequencies": DVFS grid sweep via Tier A
+    from repro.analysis.energy import (
+        dvfs_policy,
+        edp_optimal_frequency,
+        energy_optimal_frequency,
+        frequency_sweep,
+    )
+    from repro.model.dvfs import frequency_grid
+
+    try:
+        s = load_scenario(args.name)
+        cluster = s.base_cluster()
+    except ScenarioError as exc:
+        print(f"scenarios frequencies: {exc}", file=sys.stderr)
+        return 2
+    if args.benchmarks is not None:
+        benchmarks = [get_benchmark(b).name for b in args.benchmarks.split(",")]
+    elif s.benchmarks:
+        benchmarks = list(s.benchmarks)
+    else:
+        benchmarks = list(SUITE_ORDER)
+    grid = frequency_grid(cluster, steps=args.steps)
+    suite = s.suite or "tiny"
+    rows = []
+    for bname in benchmarks:
+        pts = frequency_sweep(
+            get_benchmark(bname), cluster, frequencies=grid,
+            nnodes=args.nodes, suite=suite,
+        )
+        e, d = energy_optimal_frequency(pts), edp_optimal_frequency(pts)
+        rows.append((
+            bname,
+            f"{e.frequency_ghz:.2f}",
+            f"{e.total_energy / 1e3:.1f}",
+            f"{d.frequency_ghz:.2f}",
+            f"{d.edp / 1e3:.3g}",
+            dvfs_policy(pts),
+        ))
+    print(ascii_table(
+        ["benchmark", "E-opt GHz", "E kJ", "EDP-opt GHz", "EDP kJ*s",
+         "policy"],
+        rows,
+        title=(f"DVFS grid {grid[0] / 1e9:.2f}-{grid[-1] / 1e9:.2f} GHz on "
+               f"{cluster.name}, {args.nodes} node(s), {suite} "
+               f"(Tier A analytic)"),
+    ))
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     import os
 
@@ -502,6 +754,22 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             benchmarks=tuple(benchmarks),
             clusters=tuple(clusters),
         ))
+
+    if args.scenarios:
+        # named scenario runs must be fingerprint-identical to their
+        # inline-flag equivalents, and every zoo file must load,
+        # round-trip, and price
+        from repro.validate.scenario import (
+            scenario_differential,
+            zoo_validation,
+        )
+
+        lane = zoo_validation() + scenario_differential()
+        failures.extend(lane)
+        print(
+            "scenario lane (zoo + named-vs-inline differential): "
+            + ("ok" if not lane else f"{len(lane)} failure(s)")
+        )
 
     for bname in benchmarks:
         for cname in clusters:
@@ -611,12 +879,20 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("benchmark", nargs="?", default=None)
     pt.add_argument("--benchmark", "-b", dest="benchmark_opt", default=None,
                     help="benchmark name (alternative to the positional)")
-    pt.add_argument("--cluster", "-c", default="A")
+    pt.add_argument("--cluster", "-c", default=None,
+                    help="registry or zoo cluster (default: A, or the "
+                         "scenario's machine)")
     pt.add_argument("--nodes", type=_positive_int, default=None,
                     help="full nodes to use (nprocs = nodes x cores/node)")
     pt.add_argument("--nprocs", "-n", type=_positive_int, default=None,
                     help="explicit rank count (overrides --nodes)")
-    pt.add_argument("--suite", "-s", default="tiny")
+    pt.add_argument("--suite", "-s", default=None,
+                    help="workload class (default: tiny, or the "
+                         "scenario's suite)")
+    pt.add_argument("--scenario", metavar="REF", default=None,
+                    help="trace under a scenario (file, library name, or "
+                         "zoo/<cluster>); explicit flags override "
+                         "scenario values")
     pt.add_argument("--faults", metavar="PLAN.json",
                     help="inject faults from a FaultPlan JSON file")
     pt.add_argument("--out", "-o", default="trace_out",
@@ -624,9 +900,20 @@ def build_parser() -> argparse.ArgumentParser:
     pt.set_defaults(fn=_cmd_trace)
 
     ps = sub.add_parser("sweep", help="scaling sweep")
-    ps.add_argument("benchmark")
-    ps.add_argument("--cluster", "-c", default="A")
-    ps.add_argument("--suite", "-s", default="tiny")
+    ps.add_argument("benchmark", nargs="?", default=None,
+                    help="benchmark name (optional when the scenario "
+                         "lists one)")
+    ps.add_argument("--cluster", "-c", default=None,
+                    help="registry or zoo cluster (default: A, or the "
+                         "scenario's machine)")
+    ps.add_argument("--suite", "-s", default=None,
+                    help="workload class (default: tiny, or the "
+                         "scenario's suite)")
+    ps.add_argument("--scenario", metavar="REF", default=None,
+                    help="run under a scenario: a JSON file, a library "
+                         "name, or zoo/<cluster> (explicit flags "
+                         "override scenario values; see "
+                         "docs/scenarios.md)")
     ps.add_argument("--counts", help="comma-separated rank counts")
     ps.add_argument("--nodes", action="store_true",
                     help="node-level sweep of the small workload")
@@ -700,13 +987,23 @@ def build_parser() -> argparse.ArgumentParser:
              "predicted-vs-simulated error bars",
     )
     pp.add_argument("--benchmarks", "-b", default=None,
-                    help="comma-separated subset (default: all nine)")
-    pp.add_argument("--cluster", "-c", default="both",
-                    choices=["A", "B", "both"])
-    pp.add_argument("--suite", "-s", default="tiny")
-    pp.add_argument("--nodes", default="1,2,4,8,16,32,64",
-                    help="comma-separated node counts "
-                         "(default: the paper grid, 1..64 powers of two)")
+                    help="comma-separated subset (default: all nine, or "
+                         "the scenario's list)")
+    pp.add_argument("--cluster", "-c", default=None,
+                    help="'A', 'B', 'both', or any registry/zoo name "
+                         "(default: both, or the scenario's machine)")
+    pp.add_argument("--suite", "-s", default=None,
+                    help="workload class (default: tiny, or the "
+                         "scenario's suite)")
+    pp.add_argument("--scenario", metavar="REF", default=None,
+                    help="price a scenario: zoo/<cluster> answers the "
+                         "whole grid from the parameter file alone "
+                         "(Tier A); explicit flags override scenario "
+                         "values")
+    pp.add_argument("--nodes", default=None,
+                    help="comma-separated node counts (default: the "
+                         "paper grid 1..64 powers of two, or the "
+                         "scenario's sweep axis)")
     pp.add_argument("--tier", default="analytic",
                     choices=["auto", "analytic", "surrogate", "des"],
                     help="prediction fidelity (default: analytic — the "
@@ -758,6 +1055,33 @@ def build_parser() -> argparse.ArgumentParser:
                              "fabric workers on (port 0 picks a free port)")
     pserve.set_defaults(fn=_cmd_serve)
 
+    psc = sub.add_parser(
+        "scenarios",
+        help="list / show / validate scenarios and the cluster zoo; "
+             "'frequencies' sweeps the DVFS grid via Tier A "
+             "(see docs/scenarios.md)",
+    )
+    psc.add_argument("action", nargs="?", default="list",
+                     choices=["list", "show", "validate", "frequencies"],
+                     help="list (default): zoo + library tables; "
+                          "show REF: full JSON + digest; "
+                          "validate [REF]: resolve every reference; "
+                          "frequencies REF: per-benchmark E/EDP-optimal "
+                          "frequency table")
+    psc.add_argument("name", nargs="?", default=None,
+                     help="scenario reference (file, library name, or "
+                          "zoo/<cluster>)")
+    psc.add_argument("--benchmarks", "-b", default=None,
+                     help="with frequencies: comma-separated subset "
+                          "(default: the scenario's list, else all nine)")
+    psc.add_argument("--nodes", type=_positive_int, default=1,
+                     help="with frequencies: node count per point "
+                          "(default: 1)")
+    psc.add_argument("--steps", type=_positive_int, default=9,
+                     help="with frequencies: grid points over "
+                          "0.5x-1.33x nominal (default: 9)")
+    psc.set_defaults(fn=_cmd_scenarios)
+
     pv = sub.add_parser(
         "validate",
         help="golden fingerprints, perturbation sanitizer, differential "
@@ -778,6 +1102,12 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--skip-prediction", action="store_true",
                     help="skip the prediction-tier differential "
                          "(analytic/surrogate vs DES ground truth)")
+    pv.add_argument("--scenarios", action="store_true",
+                    help="also run the scenario differential (named "
+                         "scenario runs vs equivalent inline flags, "
+                         "fingerprint-identical) and the zoo validation "
+                         "(every parameter file loads, round-trips, and "
+                         "prices through Tier A)")
     pv.add_argument("--serving", action="store_true",
                     help="also run the serving differential: every "
                          "selected golden spec through a loopback "

@@ -48,6 +48,12 @@ class CpuSpec:
     single_core_mem_bw:
         DRAM bandwidth one core can draw alone [B/s]; fixes where the
         per-domain saturation knee sits (~5 cores on both paper CPUs).
+    nominal_clock_hz:
+        The design-point clock the power envelope (``tdp_w``,
+        ``idle_power_w``) is calibrated at.  Defaults to
+        ``base_clock_hz``; a DVFS what-if (see :mod:`repro.model.dvfs`)
+        moves ``base_clock_hz`` while keeping this anchor, and
+        :attr:`frequency_ratio` reports how far the clock sits from it.
     """
 
     name: str
@@ -69,9 +75,14 @@ class CpuSpec:
     dram_power_per_gbs: float = 0.20
     isa: str = "AVX-512"
     launch_year: int = 2021
+    nominal_clock_hz: float = 0.0
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if self.base_clock_hz <= 0:
+            raise ValueError("base_clock_hz must be positive")
+        if self.nominal_clock_hz <= 0.0:
+            object.__setattr__(self, "nominal_clock_hz", self.base_clock_hz)
         if self.cores < 1:
             raise ValueError("cores must be >= 1")
         if self.cores % self.numa_domains != 0:
@@ -82,6 +93,12 @@ class CpuSpec:
             raise ValueError("idle power must be below TDP")
 
     # --- derived compute capabilities --------------------------------------
+
+    @property
+    def frequency_ratio(self) -> float:
+        """Core clock relative to the calibration point
+        (``base_clock_hz / nominal_clock_hz``; 1.0 at nominal)."""
+        return self.base_clock_hz / self.nominal_clock_hz
 
     @property
     def cores_per_domain(self) -> int:

@@ -143,12 +143,30 @@ CLUSTERS: dict[str, ClusterSpec] = {
 
 
 def get_cluster(name: str) -> ClusterSpec:
-    """Look up a cluster by short (``"A"``) or long (``"ClusterA"``) name."""
+    """Look up a cluster by short (``"A"``) or long (``"ClusterA"``) name.
+
+    ``zoo/<name>`` references resolve lazily through the scenario
+    cluster zoo (:mod:`repro.scenarios.zoo`) — parameter files checked
+    in under ``src/repro/scenarios/zoo/``, loaded on first use so the
+    registry import stays free of the scenarios package.
+    """
     try:
         return CLUSTERS[name]
     except KeyError:
-        valid = sorted(set(CLUSTERS))
-        raise KeyError(f"unknown cluster {name!r}; valid names: {valid}") from None
+        pass
+    if name.startswith("zoo/"):
+        # local import: the zoo sits above the machine layer
+        from repro.scenarios.zoo import ZooError, load_zoo_cluster
+
+        try:
+            return load_zoo_cluster(name)
+        except (KeyError, ZooError) as exc:
+            raise KeyError(str(exc)) from None
+    valid = sorted(set(CLUSTERS))
+    from repro.scenarios.zoo import zoo_names
+
+    zoo = [f"zoo/{n}" for n in zoo_names()]
+    raise KeyError(f"unknown cluster {name!r}; valid names: {valid + zoo}")
 
 
 def theoretical_ratio_summary() -> dict[str, float]:

@@ -15,6 +15,14 @@ Strong-scaling cache effects are modeled by :func:`cache_fit_factor`: as
 the per-rank working set approaches the rank's outer-cache share, DRAM
 traffic shifts inward (first into L3, then into L2), reducing the memory
 time and producing superlinear speedups (paper Sect. 5.1, cases A-C).
+
+DVFS what-ifs need no special casing here: a re-clocked
+:class:`~repro.machine.cpu.CpuSpec` (see :mod:`repro.model.dvfs`) moves
+``peak_flops_per_core`` and the L1/L2 bandwidths with the core clock
+while DRAM bandwidth stays put, so compute-bound phases stretch as
+``1/f`` and memory-bound phases barely move — the runtime asymmetry the
+energy/EDP analysis rests on.  :meth:`ExecutionModel.at_frequency` is
+the convenience constructor for such a model.
 """
 
 from __future__ import annotations
@@ -231,6 +239,22 @@ class ExecutionModel:
             ),
             heat=kernel.heat,
         )
+
+    def at_frequency(
+        self, frequency_hz: float, uncore_ratio: float = 1.0
+    ) -> "ExecutionModel":
+        """This model re-clocked to ``frequency_hz`` (via
+        :func:`repro.model.dvfs.scale_cpu`).  A distinct model instance
+        per operating point keeps memoized phase-cost caches trivially
+        valid: each :class:`MemoizedExecutionModel` wraps exactly one
+        frequency, so mid-run frequency plans are priced segment by
+        segment with no shared cache to go stale."""
+        from repro.model.dvfs import scale_cpu
+
+        cpu = scale_cpu(self.cpu, frequency_hz, uncore_ratio)
+        if cpu is self.cpu:
+            return self
+        return ExecutionModel(cpu, self.single_core_mem_bw)
 
     def memoized(self) -> "MemoizedExecutionModel":
         """A per-run caching wrapper around this model (see

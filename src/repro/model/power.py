@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.machine.cpu import CpuSpec
 from repro.machine.node import NodeSpec
+from repro.model.dvfs import CORE_DVFS_EXPONENT
 from repro.units import GB
 
 #: Fraction of its full dynamic power a stalled-but-active core keeps
@@ -36,7 +37,12 @@ class ChipPowerModel:
 
     ``core_power_max_w`` — dynamic power of one fully-busy core running the
     hottest instruction mix — defaults to the value that makes a fully
-    occupied socket reach ``HOT_TDP_FRACTION`` of TDP.
+    occupied socket reach ``HOT_TDP_FRACTION`` of TDP *at the nominal
+    clock*.  Off-nominal clocks (DVFS what-ifs built by
+    :func:`repro.model.dvfs.apply_frequency`) scale the derived term by
+    ``frequency_ratio ** CORE_DVFS_EXPONENT``; the idle baseline is
+    uncore territory and does not move with the core clock.  An explicit
+    ``core_power_max_w`` is taken as-is.
     """
 
     cpu: CpuSpec
@@ -47,6 +53,7 @@ class ChipPowerModel:
             derived = (HOT_TDP_FRACTION * self.cpu.tdp_w - self.cpu.idle_power_w) / (
                 self.cpu.cores
             )
+            derived *= self.cpu.frequency_ratio**CORE_DVFS_EXPONENT
             object.__setattr__(self, "core_power_max_w", derived)
 
     def core_power(self, heat: float, utilization: float) -> float:

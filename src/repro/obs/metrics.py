@@ -166,13 +166,28 @@ def run_metrics(runtime: "MpiRuntime") -> dict[str, dict[str, float]]:
 def aggregate_metrics(series: "ScalingSeries") -> dict[str, dict[str, float]]:
     """Sum the per-run snapshots of every run in a sweep series.
 
-    ``peak_heap_size`` aggregates as a max (it is a high-water mark, not
-    a flow); everything else sums.  Runs recorded before metrics existed
-    (resumed pre-observability checkpoints) contribute nothing.
+    ``peak_heap_size`` and ``peak_power_w`` aggregate as a max (they are
+    high-water marks, not flows); everything else sums.  Runs recorded
+    before metrics existed (resumed pre-observability checkpoints)
+    contribute no engine counters, but every run contributes to the
+    ``energy`` source — chip/DRAM joules and EDP are first-class
+    :class:`~repro.harness.results.RunResult` fields, not an optional
+    engine snapshot.
     """
     total: dict[str, dict[str, float]] = {}
     for point in series.points:
         for run in point.runs:
+            energy = total.setdefault("energy", {})
+            for metric, value in (
+                ("chip_energy_j", run.energy.chip_energy),
+                ("dram_energy_j", run.energy.dram_energy),
+                ("total_energy_j", run.total_energy),
+                ("edp_js", run.edp),
+            ):
+                energy[metric] = energy.get(metric, 0.0) + value
+            energy["peak_power_w"] = max(
+                energy.get("peak_power_w", 0.0), run.avg_power
+            )
             snap = run.meta.get("metrics")
             if not snap:
                 continue

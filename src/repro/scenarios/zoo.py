@@ -1,0 +1,329 @@
+"""The cluster zoo: machine parameter files loadable by name.
+
+The registry (:mod:`repro.machine.registry`) hard-codes the paper's two
+Table 3 clusters; the zoo keeps *every* machine — including those two —
+as checked-in JSON parameter files under ``src/repro/scenarios/zoo/``,
+so a cluster is data, not code.  ``repro predict --scenario
+zoo/cascadelake`` must price its whole scaling grid from such a file
+alone; :func:`repro.validate.scenario.zoo_validation` proves it can.
+
+File schema (human units; everything converts to the SI base units of
+:mod:`repro.machine` on load):
+
+=======================  ====================================================
+key                      meaning
+=======================  ====================================================
+``schema``               format version (currently 1)
+``name``                 cluster display name
+``provenance``           free text: which paper/table the numbers come from
+``max_nodes``            cluster capacity
+``node``                 ``{"sockets": n, "memory_gib": g}``
+``cpu``                  socket parameters, see :func:`cluster_from_dict`
+``network``              optional :class:`~repro.machine.network.NetworkSpec`
+                         overrides (defaults: the paper's HDR100 fat-tree)
+=======================  ====================================================
+
+Unknown keys are rejected loudly at every level — a typo must not
+silently price a different machine.  ``cluster_to_dict`` inverts the
+loader exactly (asserted by the zoo validation round-trip), and
+``zoo/icelake`` / ``zoo/sapphirerapids`` parse to specs *equal* to the
+registry's ``CLUSTER_A`` / ``CLUSTER_B``, which is what makes scenario
+runs on them fingerprint-identical to registry runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from functools import lru_cache
+from typing import Any
+
+from repro.machine.cache import CacheLevel, MemoryHierarchy
+from repro.machine.cluster import ClusterSpec
+from repro.machine.cpu import CpuSpec
+from repro.machine.network import NetworkSpec
+from repro.machine.node import NodeSpec
+from repro.units import GB, GiB, KiB, MiB
+
+ZOO_SCHEMA = 1
+
+#: Directory holding the checked-in parameter files.
+ZOO_DIR = os.path.join(os.path.dirname(__file__), "zoo")
+
+
+class ZooError(ValueError):
+    """A malformed zoo/cluster parameter document."""
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ZooError(msg)
+
+
+def _take(doc: dict[str, Any], allowed: dict[str, Any], what: str) -> dict[str, Any]:
+    """``doc`` with defaults applied; unknown keys rejected."""
+    _require(isinstance(doc, dict), f"{what} must be a JSON object")
+    unknown = sorted(set(doc) - set(allowed))
+    _require(not unknown, f"unknown {what} key(s): {', '.join(unknown)}")
+    return {**allowed, **doc}
+
+
+_CACHE_KEYS = {
+    "l1_kib": None, "l1_bw_gbs": None,
+    "l2_kib": None, "l2_bw_gbs": None,
+    "l3_mib": None, "l3_bw_gbs": None,
+    "l3_victim": True, "l3_shared_by_cores": None,
+}
+
+_CPU_KEYS = {
+    "name": None, "model": None,
+    "base_clock_ghz": None, "nominal_clock_ghz": None,
+    "cores": None, "numa_domains": None,
+    "simd_width_dp": 8, "fma_units": 2,
+    "memory_channels": 8, "memory_transfer_mts": None, "memory_bus_bytes": 8,
+    "sustained_bw_fraction": None, "single_core_mem_bw_gbs": None,
+    "tdp_w": None, "idle_power_w": None,
+    "dram_idle_power_w": None, "dram_power_per_gbs": None,
+    "isa": "AVX-512", "launch_year": 2021,
+    "caches": None, "extras": None,
+}
+
+_NODE_KEYS = {"sockets": 2, "memory_gib": None}
+
+# network values that are not plain floats in SI units
+_NETWORK_KEYS = {
+    "name": NetworkSpec.name, "topology": NetworkSpec.topology,
+    "link_gbits": None, "efficiency": NetworkSpec.efficiency,
+    "latency_s": NetworkSpec.latency,
+    "intra_node_bandwidth_gbs": None,
+    "intra_node_latency_s": NetworkSpec.intra_node_latency,
+    "eager_threshold_kib": None,
+    "rendezvous_handshake_s": NetworkSpec.rendezvous_handshake,
+    "per_message_overhead_s": NetworkSpec.per_message_overhead,
+}
+
+_TOP_KEYS = {
+    "schema": ZOO_SCHEMA, "name": None, "provenance": "",
+    "max_nodes": 64, "node": None, "cpu": None, "network": None,
+}
+
+
+def _hierarchy_from_dict(doc: dict[str, Any], cores: int) -> MemoryHierarchy:
+    c = _take(doc, _CACHE_KEYS, "cpu.caches")
+    for key in ("l1_kib", "l1_bw_gbs", "l2_kib", "l2_bw_gbs",
+                "l3_mib", "l3_bw_gbs"):
+        _require(c[key] is not None, f"cpu.caches needs {key!r}")
+    shared = c["l3_shared_by_cores"] or cores
+    return MemoryHierarchy(
+        l1=CacheLevel("L1", c["l1_kib"] * KiB,
+                      bandwidth_per_core=c["l1_bw_gbs"] * GB),
+        l2=CacheLevel("L2", c["l2_kib"] * KiB,
+                      bandwidth_per_core=c["l2_bw_gbs"] * GB),
+        l3=CacheLevel("L3", c["l3_mib"] * MiB, shared_by_cores=shared,
+                      bandwidth_per_core=c["l3_bw_gbs"] * GB,
+                      victim=bool(c["l3_victim"])),
+    )
+
+
+def _cpu_from_dict(doc: dict[str, Any]) -> CpuSpec:
+    c = _take(doc, _CPU_KEYS, "cpu")
+    for key in ("name", "model", "base_clock_ghz", "cores", "numa_domains",
+                "memory_transfer_mts", "sustained_bw_fraction",
+                "single_core_mem_bw_gbs", "tdp_w", "idle_power_w",
+                "dram_idle_power_w", "dram_power_per_gbs", "caches"):
+        _require(c[key] is not None, f"cpu needs {key!r}")
+    try:
+        return CpuSpec(
+            name=str(c["name"]),
+            model=str(c["model"]),
+            base_clock_hz=c["base_clock_ghz"] * 1e9,
+            cores=int(c["cores"]),
+            numa_domains=int(c["numa_domains"]),
+            hierarchy=_hierarchy_from_dict(c["caches"], int(c["cores"])),
+            simd_width_dp=int(c["simd_width_dp"]),
+            fma_units=int(c["fma_units"]),
+            memory_channels=int(c["memory_channels"]),
+            memory_transfer_rate=c["memory_transfer_mts"] * 1e6,
+            memory_bus_bytes=int(c["memory_bus_bytes"]),
+            sustained_bw_fraction=float(c["sustained_bw_fraction"]),
+            single_core_mem_bw=c["single_core_mem_bw_gbs"] * GB,
+            tdp_w=float(c["tdp_w"]),
+            idle_power_w=float(c["idle_power_w"]),
+            dram_idle_power_w=float(c["dram_idle_power_w"]),
+            dram_power_per_gbs=float(c["dram_power_per_gbs"]),
+            isa=str(c["isa"]),
+            launch_year=int(c["launch_year"]),
+            nominal_clock_hz=(
+                0.0 if c["nominal_clock_ghz"] is None
+                else c["nominal_clock_ghz"] * 1e9
+            ),
+            extras=dict(c["extras"] or {}),
+        )
+    except ValueError as exc:
+        raise ZooError(f"invalid cpu parameters: {exc}") from exc
+
+
+def _network_from_dict(doc: dict[str, Any] | None) -> NetworkSpec:
+    if doc is None:
+        return NetworkSpec()
+    n = _take(doc, _NETWORK_KEYS, "network")
+    try:
+        return NetworkSpec(
+            name=str(n["name"]),
+            topology=str(n["topology"]),
+            link_bandwidth=(
+                NetworkSpec.link_bandwidth if n["link_gbits"] is None
+                else n["link_gbits"] * 1e9 / 8.0
+            ),
+            efficiency=float(n["efficiency"]),
+            latency=float(n["latency_s"]),
+            intra_node_bandwidth=(
+                NetworkSpec.intra_node_bandwidth
+                if n["intra_node_bandwidth_gbs"] is None
+                else n["intra_node_bandwidth_gbs"] * GB
+            ),
+            intra_node_latency=float(n["intra_node_latency_s"]),
+            eager_threshold=(
+                NetworkSpec.eager_threshold if n["eager_threshold_kib"] is None
+                else int(n["eager_threshold_kib"] * KiB)
+            ),
+            rendezvous_handshake=float(n["rendezvous_handshake_s"]),
+            per_message_overhead=float(n["per_message_overhead_s"]),
+        )
+    except ValueError as exc:
+        raise ZooError(f"invalid network parameters: {exc}") from exc
+
+
+def cluster_from_dict(doc: dict[str, Any]) -> ClusterSpec:
+    """Build a :class:`~repro.machine.cluster.ClusterSpec` from a zoo
+    document (also the schema of a scenario's inline ``cluster_spec``)."""
+    top = _take(doc, _TOP_KEYS, "cluster")
+    _require(top["schema"] == ZOO_SCHEMA,
+             f"unsupported cluster schema {top['schema']!r} "
+             f"(this build reads {ZOO_SCHEMA})")
+    _require(top["name"] is not None, "cluster needs a 'name'")
+    _require(top["cpu"] is not None, "cluster needs a 'cpu' section")
+    node = _take(top["node"] or {}, _NODE_KEYS, "node")
+    _require(node["memory_gib"] is not None, "node needs 'memory_gib'")
+    try:
+        return ClusterSpec(
+            name=str(top["name"]),
+            node=NodeSpec(
+                cpu=_cpu_from_dict(top["cpu"]),
+                sockets=int(node["sockets"]),
+                memory_bytes=node["memory_gib"] * GiB,
+            ),
+            network=_network_from_dict(top["network"]),
+            max_nodes=int(top["max_nodes"]),
+        )
+    except ZooError:
+        raise
+    except ValueError as exc:
+        raise ZooError(f"invalid cluster parameters: {exc}") from exc
+
+
+def cluster_to_dict(cluster: ClusterSpec, provenance: str = "") -> dict[str, Any]:
+    """Exact inverse of :func:`cluster_from_dict` (round-trip asserted by
+    the zoo validation)."""
+    cpu = cluster.node.cpu
+    hier = cpu.hierarchy
+    doc: dict[str, Any] = {
+        "schema": ZOO_SCHEMA,
+        "name": cluster.name,
+        "max_nodes": cluster.max_nodes,
+        "node": {
+            "sockets": cluster.node.sockets,
+            "memory_gib": cluster.node.memory_bytes / GiB,
+        },
+        "cpu": {
+            "name": cpu.name,
+            "model": cpu.model,
+            "base_clock_ghz": cpu.base_clock_hz / 1e9,
+            "cores": cpu.cores,
+            "numa_domains": cpu.numa_domains,
+            "simd_width_dp": cpu.simd_width_dp,
+            "fma_units": cpu.fma_units,
+            "memory_channels": cpu.memory_channels,
+            "memory_transfer_mts": cpu.memory_transfer_rate / 1e6,
+            "memory_bus_bytes": cpu.memory_bus_bytes,
+            "sustained_bw_fraction": cpu.sustained_bw_fraction,
+            "single_core_mem_bw_gbs": cpu.single_core_mem_bw / GB,
+            "tdp_w": cpu.tdp_w,
+            "idle_power_w": cpu.idle_power_w,
+            "dram_idle_power_w": cpu.dram_idle_power_w,
+            "dram_power_per_gbs": cpu.dram_power_per_gbs,
+            "isa": cpu.isa,
+            "launch_year": cpu.launch_year,
+            "caches": {
+                "l1_kib": hier.l1.capacity_bytes / KiB,
+                "l1_bw_gbs": hier.l1.bandwidth_per_core / GB,
+                "l2_kib": hier.l2.capacity_bytes / KiB,
+                "l2_bw_gbs": hier.l2.bandwidth_per_core / GB,
+                "l3_mib": hier.l3.capacity_bytes / MiB,
+                "l3_bw_gbs": hier.l3.bandwidth_per_core / GB,
+                "l3_victim": hier.l3.victim,
+                "l3_shared_by_cores": hier.l3.shared_by_cores,
+            },
+            "extras": dict(cpu.extras),
+        },
+        "network": {
+            "name": cluster.network.name,
+            "topology": cluster.network.topology,
+            "link_gbits": cluster.network.link_bandwidth * 8.0 / 1e9,
+            "efficiency": cluster.network.efficiency,
+            "latency_s": cluster.network.latency,
+            "intra_node_bandwidth_gbs": cluster.network.intra_node_bandwidth / GB,
+            "intra_node_latency_s": cluster.network.intra_node_latency,
+            "eager_threshold_kib": cluster.network.eager_threshold / KiB,
+            "rendezvous_handshake_s": cluster.network.rendezvous_handshake,
+            "per_message_overhead_s": cluster.network.per_message_overhead,
+        },
+    }
+    if cpu.nominal_clock_hz != cpu.base_clock_hz:
+        doc["cpu"]["nominal_clock_ghz"] = cpu.nominal_clock_hz / 1e9
+    if provenance:
+        doc["provenance"] = provenance
+    return doc
+
+
+# --- the checked-in zoo ----------------------------------------------------
+
+
+def zoo_names() -> list[str]:
+    """Sorted short names of the checked-in zoo (``["broadwell", ...]``)."""
+    return sorted(
+        f[: -len(".json")]
+        for f in os.listdir(ZOO_DIR)
+        if f.endswith(".json")
+    )
+
+
+def zoo_path(name: str) -> str:
+    """Path of one zoo file; accepts ``"icelake"`` or ``"zoo/icelake"``."""
+    short = name.split("/", 1)[1] if name.startswith("zoo/") else name
+    path = os.path.join(ZOO_DIR, f"{short}.json")
+    if not os.path.exists(path):
+        raise KeyError(
+            f"unknown zoo cluster {name!r}; available: "
+            + ", ".join(f"zoo/{n}" for n in zoo_names())
+        )
+    return path
+
+
+@lru_cache(maxsize=None)
+def load_zoo_cluster(name: str) -> ClusterSpec:
+    """Load one zoo cluster by short or ``zoo/``-prefixed name.
+
+    Cached: repeated loads of the same name return the identical object,
+    so digests and memoization behave as if the cluster were a registry
+    constant.
+    """
+    with open(zoo_path(name)) as fh:
+        doc = json.load(fh)
+    return cluster_from_dict(doc)
+
+
+def zoo_provenance(name: str) -> str:
+    """The free-text provenance line of one zoo file."""
+    with open(zoo_path(name)) as fh:
+        return json.load(fh).get("provenance", "")

@@ -14,6 +14,17 @@ Engine-mode flags (``fast_path``, ``matcher``, ...) are deliberately
 modes bit-identical, so they select an implementation, not a result.
 Fields that do change results — benchmark, cluster, scale, suite,
 threads, seed/noise, explicit step counts, fault plans — are all keyed.
+
+A request may name a :class:`~repro.scenarios.Scenario` instead of a
+cluster — a library/zoo reference string or an inline scenario
+document (``"scenario": "zoo/cascadelake"``).  The scenario supplies
+the machine, a fixed frequency plan, a fault plan, and a default suite;
+the scenario's parameter-level :attr:`~repro.scenarios.Scenario.digest`
+joins the canonical record, so two scenarios that resolve to different
+parameters can never alias one key.  Segmented frequency plans are
+rejected here — the server prices single runs, and a multi-frequency
+trajectory is not one run (use
+:func:`repro.scenarios.run_frequency_plan` locally).
 """
 
 from __future__ import annotations
@@ -25,8 +36,9 @@ from typing import Any, Optional
 
 #: Bump on incompatible canonical-record change (old store records then
 #: key differently and simply miss — recompute-and-rewrite, never a
-#: wrong answer).
-SPEC_SCHEMA = 1
+#: wrong answer).  2: scenario digest joined the record, ``suite``
+#: became resolution-ordered (request > scenario > "tiny").
+SPEC_SCHEMA = 2
 
 
 class SpecError(ValueError):
@@ -45,19 +57,23 @@ class ServeSpec:
     ``nprocs=None`` means fully populated nodes (``nnodes`` x cores per
     node — the paper's multi-node axis); the resolved rank count is part
     of the canonical record so a later cluster-table change cannot alias
-    two different runs onto one key.
+    two different runs onto one key.  Exactly one of ``cluster`` and
+    ``scenario`` must be given; ``suite=None`` resolves to the
+    scenario's suite, then ``"tiny"``.
     """
 
     benchmark: str
-    cluster: str
+    cluster: Optional[str] = None
     nnodes: int = 1
     nprocs: Optional[int] = None
-    suite: str = "tiny"
+    suite: Optional[str] = None
     threads: int = 1
     seed: int = 0
     noise_sigma: float = 0.0
     sim_steps: Optional[int] = None
     faults: Optional[dict[str, Any]] = field(default=None, hash=False)
+    #: scenario reference (string) or inline scenario document (dict)
+    scenario: Optional[Any] = field(default=None, hash=False)
 
     @classmethod
     def from_request(cls, doc: dict[str, Any]) -> "ServeSpec":
@@ -70,18 +86,24 @@ class ServeSpec:
         allowed = {
             "benchmark", "cluster", "nnodes", "nprocs", "suite",
             "threads", "seed", "noise_sigma", "sim_steps", "faults",
+            "scenario",
         }
         unknown = sorted(set(doc) - allowed)
         _require(not unknown, f"unknown spec field(s): {', '.join(unknown)}")
         _require("benchmark" in doc, "spec needs a 'benchmark'")
-        _require("cluster" in doc, "spec needs a 'cluster'")
+        _require(
+            "cluster" in doc or "scenario" in doc,
+            "spec needs a 'cluster' or a 'scenario'",
+        )
         try:
             spec = cls(
                 benchmark=str(doc["benchmark"]),
-                cluster=str(doc["cluster"]),
+                cluster=(
+                    None if doc.get("cluster") is None else str(doc["cluster"])
+                ),
                 nnodes=int(doc.get("nnodes", 1)),
                 nprocs=None if doc.get("nprocs") is None else int(doc["nprocs"]),
-                suite=str(doc.get("suite", "tiny")),
+                suite=None if doc.get("suite") is None else str(doc["suite"]),
                 threads=int(doc.get("threads", 1)),
                 seed=int(doc.get("seed", 0)),
                 noise_sigma=float(doc.get("noise_sigma", 0.0)),
@@ -90,17 +112,45 @@ class ServeSpec:
                     else int(doc["sim_steps"])
                 ),
                 faults=doc.get("faults"),
+                scenario=doc.get("scenario"),
             )
         except (TypeError, ValueError) as exc:
             raise SpecError(f"malformed spec field: {exc}") from exc
         spec.validate()
         return spec
 
+    # --- scenario resolution ----------------------------------------------
+
+    def scenario_obj(self):
+        """The resolved :class:`~repro.scenarios.Scenario`, or ``None``."""
+        if self.scenario is None:
+            return None
+        from repro.scenarios import Scenario, ScenarioError, load_scenario
+
+        try:
+            if isinstance(self.scenario, str):
+                return load_scenario(self.scenario)
+            scenario = Scenario.from_dict(self.scenario)
+            scenario.validate()
+            return scenario
+        except ScenarioError as exc:
+            raise SpecError(f"bad scenario: {exc}") from exc
+
+    @property
+    def resolved_suite(self) -> str:
+        """Request suite > scenario suite > ``"tiny"``."""
+        if self.suite is not None:
+            return self.suite
+        if self.scenario is not None:
+            scenario = self.scenario_obj()
+            if scenario.suite is not None:
+                return scenario.suite
+        return "tiny"
+
     # --- validation / resolution ------------------------------------------
 
     def validate(self) -> None:
         """Resolve registry names and bounds; raises :class:`SpecError`."""
-        from repro.machine.registry import get_cluster
         from repro.spechpc.suite import get_benchmark
 
         _require(self.nnodes >= 1, "nnodes must be >= 1")
@@ -111,46 +161,82 @@ class ServeSpec:
             self.sim_steps is None or self.sim_steps >= 1,
             "sim_steps must be >= 1",
         )
+        _require(
+            (self.cluster is None) != (self.scenario is None),
+            "give exactly one of 'cluster' and 'scenario'",
+        )
         try:
             bench = get_benchmark(self.benchmark)
         except (KeyError, ValueError) as exc:
             raise SpecError(f"unknown benchmark {self.benchmark!r}") from exc
-        try:
-            cluster = get_cluster(self.cluster)
-        except (KeyError, ValueError) as exc:
-            raise SpecError(f"unknown cluster {self.cluster!r}") from exc
+        scenario = self.scenario_obj()
+        if scenario is not None:
+            if scenario.frequency is not None and not scenario.frequency.is_fixed:
+                raise SpecError(
+                    "the server prices single runs; segmented frequency "
+                    "plans are not one run (use repro.scenarios."
+                    "run_frequency_plan locally)"
+                )
+            _require(
+                not (scenario.faults is not None and self.faults is not None),
+                "fault plan given both by the scenario and the spec",
+            )
+        else:
+            from repro.machine.registry import get_cluster
+
+            try:
+                get_cluster(self.cluster)
+            except (KeyError, ValueError) as exc:
+                raise SpecError(f"unknown cluster {self.cluster!r}") from exc
+        suite = self.resolved_suite
         _require(
-            self.suite in bench.workloads,
-            f"benchmark {bench.name!r} has no {self.suite!r} workload "
+            suite in bench.workloads,
+            f"benchmark {bench.name!r} has no {suite!r} workload "
             f"(choose from {', '.join(sorted(bench.workloads))})",
         )
         if self.faults is not None:
             self.fault_plan()  # raises SpecError on malformed plans
-        del cluster
 
     def resolve(self):
         """-> (Benchmark, ClusterSpec, nprocs), capacity-raised like
-        :meth:`repro.predict.api.PredictionSpec.resolve`."""
+        :meth:`repro.predict.api.PredictionSpec.resolve`.  The cluster
+        is the scenario's *effective* machine (frequency plan applied)
+        when the request names a scenario."""
         from dataclasses import replace
 
-        from repro.machine.registry import get_cluster
         from repro.spechpc.suite import get_benchmark
 
         bench = get_benchmark(self.benchmark)
-        cluster = get_cluster(self.cluster)
+        scenario = self.scenario_obj()
+        if scenario is not None:
+            from repro.scenarios import ScenarioError
+
+            try:
+                cluster = scenario.effective_cluster()
+            except ScenarioError as exc:
+                raise SpecError(str(exc)) from exc
+        else:
+            from repro.machine.registry import get_cluster
+
+            cluster = get_cluster(self.cluster)
         if self.nnodes > cluster.max_nodes:
             cluster = replace(cluster, max_nodes=self.nnodes)
         nprocs = self.nprocs or self.nnodes * cluster.cores_per_node
         return bench, cluster, nprocs
 
     def fault_plan(self):
-        """The request's :class:`~repro.faults.plan.FaultPlan`, or None."""
-        if self.faults is None:
+        """The request's :class:`~repro.faults.plan.FaultPlan` (its own,
+        or the scenario's), or None."""
+        doc = self.faults
+        if doc is None and self.scenario is not None:
+            scenario = self.scenario_obj()
+            doc = scenario.faults
+        if doc is None:
             return None
         from repro.faults.plan import FaultPlan
 
         try:
-            return FaultPlan.from_json(json.dumps(self.faults))
+            return FaultPlan.from_json(json.dumps(doc))
         except Exception as exc:
             raise SpecError(f"malformed fault plan: {exc}") from exc
 
@@ -164,7 +250,7 @@ class ServeSpec:
             benchmark=bench,
             cluster=cluster,
             nprocs=nprocs,
-            suite=self.suite,
+            suite=self.resolved_suite,
             sim_steps=self.sim_steps,
             noise_sigma=self.noise_sigma,
             seed=self.seed,
@@ -172,23 +258,47 @@ class ServeSpec:
             faults=self.fault_plan(),
         )
 
+    def _calibrated_cluster(self) -> Optional[str]:
+        """The registry name of this request's machine, or ``None`` when
+        the request runs on something the calibrated tiers have never
+        seen (a zoo machine, a re-clocked scenario).  The cheap tiers'
+        corpora are keyed by registry cluster name, so only calibrated
+        requests may train or consult them."""
+        if self.scenario is None:
+            return self.cluster
+        from repro.machine.registry import CLUSTERS
+
+        scenario = self.scenario_obj()
+        effective = scenario.effective_cluster()
+        for name in ("A", "B"):
+            if effective == CLUSTERS[name]:
+                return name
+        return None
+
     def prediction_spec(self):
         """The equivalent :class:`~repro.predict.api.PredictionSpec`, or
         ``None`` when the request uses DES-only axes (noise, faults,
-        explicit step counts) that no cheap tier can price."""
+        explicit step counts) that no cheap tier can price — or runs on
+        a machine outside the calibrated registry (see
+        :meth:`_calibrated_cluster`): the surrogate corpus is keyed by
+        registry cluster name, and letting a re-clocked or zoo machine
+        consult (or train) it would silently mis-correct."""
         if (
             self.noise_sigma != 0.0
             or self.sim_steps is not None
-            or self.faults is not None
+            or self.fault_plan() is not None
         ):
+            return None
+        cluster = self._calibrated_cluster()
+        if cluster is None:
             return None
         from repro.predict.api import PredictionSpec
 
         return PredictionSpec(
             benchmark=self.benchmark,
-            cluster=self.cluster,
+            cluster=cluster,
             nnodes=self.nnodes,
-            suite=self.suite,
+            suite=self.resolved_suite,
             threads=self.threads,
             nprocs=self.nprocs,
         )
@@ -200,8 +310,11 @@ class ServeSpec:
 
         Registry names are resolved (``"A"`` and ``"ClusterA"`` are the
         same cluster, so they must be the same key), the rank count is
-        materialized, floats are hex-encoded (exact, platform-free), and
-        a fault plan contributes its own canonical JSON digest.
+        materialized, floats are hex-encoded (exact, platform-free), a
+        fault plan contributes its own canonical JSON digest, and a
+        scenario contributes its parameter-level digest (so a zoo
+        reference and an equal inline scenario document share a key,
+        while any parameter difference splits it).
         """
         bench, cluster, nprocs = self.resolve()
         plan = self.fault_plan()
@@ -210,18 +323,20 @@ class ServeSpec:
             fault_digest = hashlib.sha256(
                 plan.to_json().encode()
             ).hexdigest()[:16]
+        scenario = self.scenario_obj()
         return {
             "schema": SPEC_SCHEMA,
             "benchmark": bench.name,
             "cluster": cluster.name,
             "nnodes": self.nnodes,
             "nprocs": nprocs,
-            "suite": self.suite,
+            "suite": self.resolved_suite,
             "threads": self.threads,
             "seed": self.seed,
             "noise_sigma": float(self.noise_sigma).hex(),
             "sim_steps": self.sim_steps,
             "faults": fault_digest,
+            "scenario": None if scenario is None else scenario.digest[:16],
         }
 
     @property
@@ -236,12 +351,16 @@ class ServeSpec:
         """The JSON body a client would POST for this spec (inverse of
         :meth:`from_request`, defaults omitted)."""
         doc: dict[str, Any] = {
-            "benchmark": self.benchmark, "cluster": self.cluster,
+            "benchmark": self.benchmark,
             "nnodes": self.nnodes,
         }
+        if self.cluster is not None:
+            doc["cluster"] = self.cluster
+        if self.scenario is not None:
+            doc["scenario"] = self.scenario
         if self.nprocs is not None:
             doc["nprocs"] = self.nprocs
-        if self.suite != "tiny":
+        if self.suite is not None:
             doc["suite"] = self.suite
         if self.threads != 1:
             doc["threads"] = self.threads

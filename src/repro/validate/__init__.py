@@ -23,6 +23,10 @@ alter simulated results it should not have?*
   loopback ``repro serve`` HTTP server and holds every ladder path
   (cold DES, cache hit, band-negotiated prediction) to the fingerprint
   and band contracts of a direct run.
+* :mod:`repro.validate.scenario` — the scenario subsystem is pure
+  plumbing: named-scenario runs must be fingerprint-identical to their
+  inline-flag equivalents, and every zoo parameter file must load,
+  round-trip exactly, and price through Tier A.
 * :mod:`repro.validate.invariants` — inline MPI conformance checks
   (non-overtaking, conservation, collective completeness, monotonic
   clocks) attachable to any run via ``run(..., invariants=True)``.
@@ -50,6 +54,8 @@ __all__ = [
     "executor_differential",
     "prediction_differential",
     "serving_differential",
+    "scenario_differential",
+    "zoo_validation",
 ]
 
 _LAZY = {
@@ -63,6 +69,8 @@ _LAZY = {
     "executor_differential": "repro.validate.differential",
     "prediction_differential": "repro.validate.prediction",
     "serving_differential": "repro.validate.serving",
+    "scenario_differential": "repro.validate.scenario",
+    "zoo_validation": "repro.validate.scenario",
 }
 
 

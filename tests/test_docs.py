@@ -33,7 +33,8 @@ def test_docstring_references_resolve(capsys):
 
 def test_docs_tree_exists():
     for page in ("architecture.md", "cli.md", "harness.md",
-                 "observability.md", "prediction.md", "serving.md"):
+                 "observability.md", "prediction.md", "scenarios.md",
+                 "serving.md"):
         path = os.path.join(ROOT, "docs", page)
         assert os.path.exists(path), f"docs/{page} is missing"
         assert open(path).read().startswith("#")
@@ -70,11 +71,52 @@ def test_cli_doc_covers_every_subcommand():
     assert not missing, f"subcommands undocumented in docs/cli.md: {missing}"
 
 
+def test_cli_doc_covers_scenario_flags():
+    """The scenario surface must stay documented: the ``--scenario``
+    flag on every consumer command, every ``repro scenarios`` action,
+    and the serve request field."""
+    doc = open(os.path.join(ROOT, "docs", "cli.md")).read()
+    for cmd in ("sweep", "trace", "predict"):
+        pattern = rf"repro {cmd}[^\n]*--scenario"
+        assert re.search(pattern, doc), (
+            f"docs/cli.md does not show --scenario on `repro {cmd}`"
+        )
+    for action in ("list", "show", "validate", "frequencies"):
+        assert re.search(rf"scenarios\s+{action}", doc), (
+            f"docs/cli.md does not document `repro scenarios {action}`"
+        )
+    assert '"scenario"' in doc, (
+        "docs/cli.md does not document the serve request's scenario field"
+    )
+
+
+def test_scenarios_doc_pins_the_asserted_numbers():
+    """docs/scenarios.md must cite the exact sweep optima that
+    tests/test_dvfs_energy.py asserts — drift either place and this
+    fires."""
+    doc = open(os.path.join(ROOT, "docs", "scenarios.md")).read()
+    for number in ("1.2", "3.2", "1.45", "2.20"):
+        assert number in doc, f"docs/scenarios.md lost the {number} GHz pin"
+    for phrase in ("race-to-idle", "clock-down", "weather", "soma"):
+        assert phrase in doc, f"docs/scenarios.md does not discuss {phrase}"
+
+
+def test_scenarios_doc_covers_every_schema_field():
+    """Every accepted scenario key must appear in the schema table."""
+    from repro.scenarios.spec import Scenario
+
+    doc = open(os.path.join(ROOT, "docs", "scenarios.md")).read()
+    for field in Scenario._ALLOWED:
+        assert f"`{field}`" in doc, (
+            f"docs/scenarios.md schema table is missing `{field}`"
+        )
+
+
 def test_readme_mentions_docs():
     readme = open(os.path.join(ROOT, "README.md")).read()
     for page in ("docs/architecture.md", "docs/cli.md", "docs/harness.md",
                  "docs/observability.md", "docs/prediction.md",
-                 "docs/serving.md"):
+                 "docs/scenarios.md", "docs/serving.md"):
         assert page in readme, f"README does not link {page}"
 
 

@@ -1,0 +1,207 @@
+"""Energy-model edges of the DVFS dimension.
+
+Three families of checks:
+
+* **Segmented frequency plans vs the phase-cost cache** — each segment
+  of a mid-run frequency change must be bit-identical to a standalone
+  fixed run at that frequency (each segment gets its own memoized
+  execution model, so cache staleness across a frequency change is
+  structurally impossible), and zero-duration segments must change
+  nothing at all.
+* **Hypothesis properties** — in the idle-dominated low-frequency
+  regime, energy to solution is monotone *decreasing* in frequency for
+  a compute-bound kernel (the idle baseline burns longer than the
+  f^2.4 dynamic term saves); EDP is *not* monotone across the grid for
+  a memory-bound kernel (weather has an interior EDP minimum).
+* **The headline sweep numbers** — the exact optima that
+  ``docs/scenarios.md`` and ``BENCH_scenarios.json`` cite: on ClusterA's
+  1.2-3.2 GHz grid, weather (1 node) and soma (4 nodes) are clock-down
+  codes with an interior EDP minimum at 2.20 GHz and an energy minimum
+  at 1.45 GHz, while lbm and minisweep are race-to-idle (both minima at
+  the 3.2 GHz top of the grid).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.energy import (
+    dvfs_policy,
+    edp_optimal_frequency,
+    energy_optimal_frequency,
+    frequency_sweep,
+)
+from repro.harness.runner import run
+from repro.machine.registry import CLUSTER_A
+from repro.model.dvfs import apply_frequency, frequency_grid
+from repro.scenarios import (
+    FrequencyPlan,
+    FrequencySegment,
+    run_frequency_plan,
+)
+from repro.spechpc.suite import get_benchmark
+from repro.validate.golden import fingerprint
+
+NOMINAL_A = CLUSTER_A.node.cpu.nominal_clock_hz
+LBM = get_benchmark("lbm")
+
+
+# --- segmented plans vs the phase-cost cache ---------------------------------
+
+
+def test_segments_identical_to_standalone_fixed_runs():
+    """A frequency change mid-run must not leak memoized phase costs
+    from the previous frequency: every segment is bit-identical to a
+    fresh fixed run of the same length at that frequency."""
+    plan = FrequencyPlan(
+        (FrequencySegment(2.0e9, iterations=2), FrequencySegment(NOMINAL_A))
+    )
+    seg = run_frequency_plan(LBM, CLUSTER_A, plan, nprocs=4)
+    assert len(seg.segments) == 2
+    for result, steps, segment in zip(
+        seg.segments, seg.steps, plan.active_segments
+    ):
+        standalone = run(
+            LBM,
+            apply_frequency(CLUSTER_A, segment.frequency_hz),
+            nprocs=4,
+            sim_steps=steps,
+        )
+        assert fingerprint(result) == fingerprint(standalone)
+
+
+def test_zero_duration_segment_changes_nothing():
+    with_zero = FrequencyPlan(
+        (
+            FrequencySegment(3.0e9, iterations=0),
+            FrequencySegment(2.0e9, iterations=2),
+            FrequencySegment(NOMINAL_A),
+        )
+    )
+    without = FrequencyPlan(
+        (FrequencySegment(2.0e9, iterations=2), FrequencySegment(NOMINAL_A))
+    )
+    a = run_frequency_plan(LBM, CLUSTER_A, with_zero, nprocs=4)
+    b = run_frequency_plan(LBM, CLUSTER_A, without, nprocs=4)
+    assert a.steps == b.steps
+    assert [fingerprint(r) for r in a.segments] == [
+        fingerprint(r) for r in b.segments
+    ]
+    assert a.total_energy == b.total_energy
+    assert a.elapsed == b.elapsed
+
+
+def test_composite_totals_sum_the_segments():
+    plan = FrequencyPlan(
+        (FrequencySegment(2.0e9, iterations=2), FrequencySegment(NOMINAL_A))
+    )
+    seg = run_frequency_plan(LBM, CLUSTER_A, plan, nprocs=4)
+    assert seg.elapsed > 0
+    assert seg.total_energy == pytest.approx(
+        seg.chip_energy + seg.dram_energy
+    )
+    assert seg.edp == pytest.approx(seg.total_energy * seg.elapsed)
+    assert seg.avg_power == pytest.approx(seg.total_energy / seg.elapsed)
+
+
+def test_plan_longer_than_the_run_is_rejected():
+    from repro.scenarios import ScenarioError
+
+    plan = FrequencyPlan((FrequencySegment(2.0e9, iterations=10_000),))
+    with pytest.raises(ScenarioError, match="simulates only"):
+        run_frequency_plan(LBM, CLUSTER_A, plan, nprocs=4, sim_steps=4)
+
+
+def test_all_zero_plan_is_rejected_at_construction():
+    from repro.scenarios import ScenarioError
+
+    with pytest.raises(ScenarioError, match="at least one iteration"):
+        FrequencyPlan((FrequencySegment(2.0e9, iterations=0),))
+
+
+# --- hypothesis properties ---------------------------------------------------
+
+
+def _energy_at(benchmark, ratio: float) -> tuple[float, float]:
+    """(total energy, EDP) of one Tier A point at ``ratio`` x nominal."""
+    (pt,) = frequency_sweep(
+        benchmark, CLUSTER_A, frequencies=[NOMINAL_A * ratio], nnodes=1
+    )
+    return pt.total_energy, pt.edp
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lo=st.floats(min_value=0.50, max_value=0.70),
+    hi=st.floats(min_value=0.50, max_value=0.70),
+)
+def test_energy_monotone_in_frequency_when_idle_dominates(lo, hi):
+    """Below ~0.7x nominal the idle baseline dominates lbm's energy:
+    running faster always saves energy, so E(f) is monotone decreasing
+    in f throughout that regime."""
+    if lo > hi:
+        lo, hi = hi, lo
+    e_lo, _ = _energy_at(LBM, lo)
+    e_hi, _ = _energy_at(LBM, hi)
+    assert e_lo >= e_hi * (1 - 1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ratio=st.floats(min_value=1.10, max_value=4.0 / 3.0))
+def test_edp_not_monotone_for_memory_bound_weather(ratio):
+    """EDP is *not* monotone in frequency: weather's EDP minimum is
+    interior (2.20 GHz on ClusterA), so everywhere above ~1.1x nominal
+    a higher clock strictly costs more EDP than the optimum."""
+    weather = get_benchmark("weather")
+    _, edp_opt = _energy_at(weather, 2.2e9 / NOMINAL_A)
+    _, edp_hi = _energy_at(weather, ratio)
+    assert edp_hi > edp_opt
+
+
+# --- the headline numbers docs/scenarios.md cites ----------------------------
+
+
+def test_grid_spans_1p2_to_3p2_ghz_on_cluster_a():
+    grid = frequency_grid(CLUSTER_A)
+    assert len(grid) == 9
+    assert grid[0] == pytest.approx(1.2e9)
+    assert grid[-1] == pytest.approx(3.2e9)
+
+
+@pytest.mark.parametrize(
+    "name,nnodes,e_opt_ghz,edp_opt_ghz,policy",
+    [
+        ("weather", 1, 1.45, 2.20, "clock-down"),
+        ("soma", 4, 1.45, 2.20, "clock-down"),
+        ("lbm", 1, 3.20, 3.20, "race-to-idle"),
+        ("minisweep", 1, 3.20, 3.20, "race-to-idle"),
+    ],
+)
+def test_sweep_optima_match_documented_numbers(
+    name, nnodes, e_opt_ghz, edp_opt_ghz, policy
+):
+    points = frequency_sweep(
+        get_benchmark(name), CLUSTER_A, nnodes=nnodes
+    )
+    assert energy_optimal_frequency(points).frequency_ghz == pytest.approx(
+        e_opt_ghz, abs=0.005
+    )
+    assert edp_optimal_frequency(points).frequency_ghz == pytest.approx(
+        edp_opt_ghz, abs=0.005
+    )
+    assert dvfs_policy(points) == policy
+
+
+def test_weather_edp_minimum_is_interior():
+    """The acceptance-criterion shape: the EDP minimum sits strictly
+    inside the grid, not at either endpoint — clocking *down* from
+    nominal 2.4 GHz pays, but only to a point."""
+    points = frequency_sweep(get_benchmark("weather"), CLUSTER_A, nnodes=1)
+    opt = edp_optimal_frequency(points)
+    freqs = [p.frequency_hz for p in points]
+    assert min(freqs) < opt.frequency_hz < max(freqs)
+
+
+def test_dvfs_policy_requires_points():
+    with pytest.raises(ValueError):
+        dvfs_policy([])
